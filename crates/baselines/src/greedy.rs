@@ -1,0 +1,105 @@
+//! Sequential greedy MIS oracle.
+
+use mis_graphs::{Graph, NodeId};
+
+/// Sequential greedy MIS in ascending id order.
+///
+/// Not a distributed algorithm — a centralized oracle used by tests and
+/// experiments to validate outputs and compare set sizes.
+///
+/// # Example
+///
+/// ```
+/// use mis_baselines::greedy_mis;
+/// use mis_graphs::{generators, props};
+///
+/// let g = generators::cycle(7);
+/// let set = greedy_mis(&g);
+/// assert!(props::is_mis(&g, &set));
+/// ```
+pub fn greedy_mis(g: &Graph) -> Vec<bool> {
+    let order: Vec<NodeId> = g.nodes().collect();
+    greedy_mis_in_order(g, &order)
+}
+
+/// Sequential greedy MIS processing nodes in the given order: a node joins
+/// iff no earlier neighbor joined.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of the node ids.
+pub fn greedy_mis_in_order(g: &Graph, order: &[NodeId]) -> Vec<bool> {
+    assert_eq!(order.len(), g.n(), "order must cover every node");
+    let mut seen = vec![false; g.n()];
+    for &v in order {
+        assert!(!seen[v as usize], "node {v} appears twice in order");
+        seen[v as usize] = true;
+    }
+    let mut in_mis = vec![false; g.n()];
+    let mut blocked = vec![false; g.n()];
+    for &v in order {
+        if !blocked[v as usize] {
+            in_mis[v as usize] = true;
+            for &u in g.neighbors(v) {
+                blocked[u as usize] = true;
+            }
+        }
+    }
+    in_mis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graphs::{generators, props};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn greedy_is_mis_on_random_graphs() {
+        let mut rng = SmallRng::seed_from_u64(31);
+        for _ in 0..5 {
+            let g = generators::gnp(300, 0.03, &mut rng);
+            assert!(props::is_mis(&g, &greedy_mis(&g)));
+        }
+    }
+
+    #[test]
+    fn greedy_in_order_respects_priority() {
+        let g = generators::path(3);
+        // Center first: the MIS is {1}.
+        let set = greedy_mis_in_order(&g, &[1, 0, 2]);
+        assert_eq!(set, vec![false, true, false]);
+        // Ends first: the MIS is {0, 2}.
+        let set = greedy_mis_in_order(&g, &[0, 2, 1]);
+        assert_eq!(set, vec![true, false, true]);
+    }
+
+    #[test]
+    fn greedy_edgeless_takes_all() {
+        let g = generators::empty(6);
+        assert!(greedy_mis(&g).iter().all(|&b| b));
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn greedy_rejects_bad_order() {
+        let g = generators::path(3);
+        greedy_mis_in_order(&g, &[0, 0, 1]);
+    }
+
+    #[test]
+    fn greedy_random_orders_stay_valid() {
+        let mut rng = SmallRng::seed_from_u64(37);
+        let g = generators::grid2d(7, 7);
+        let mut order: Vec<NodeId> = g.nodes().collect();
+        for _ in 0..10 {
+            // Fisher–Yates
+            for i in (1..order.len()).rev() {
+                let j = rand::Rng::gen_range(&mut rng, 0..=i);
+                order.swap(i, j);
+            }
+            assert!(props::is_mis(&g, &greedy_mis_in_order(&g, &order)));
+        }
+    }
+}

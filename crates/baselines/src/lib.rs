@@ -1,0 +1,65 @@
+//! Baseline distributed MIS algorithms for the energy-MIS reproduction.
+//!
+//! The paper's headline comparison is against **Luby's algorithm**
+//! \[Lub86, ABI86\]: `O(log n)` time but also `O(log n)` *energy*, because
+//! every node stays awake until it is decided. This crate implements:
+//!
+//! * [`luby`] — classic Luby with degree-based tie-breaking,
+//! * [`permutation`] — the Alon–Babai–Itai / random-priority variant,
+//! * [`greedy_mis`] — a sequential greedy oracle used for verification and
+//!   as a ground-truth comparator.
+//!
+//! All distributed baselines run on the [`congest_sim`] engine, so their
+//! time/energy/message metrics are measured by exactly the same accounting
+//! as the paper's algorithms.
+//!
+//! # Example
+//!
+//! ```
+//! use congest_sim::SimConfig;
+//! use mis_baselines::luby;
+//! use mis_graphs::{generators, props};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+//! let g = generators::gnp(400, 0.02, &mut rng);
+//! let run = luby(&g, &SimConfig::seeded(7)).unwrap();
+//! assert!(props::is_mis(&g, &run.in_mis));
+//! // Luby's energy is essentially its time: nodes sleep only after deciding.
+//! assert!(run.metrics.max_awake() > 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod greedy;
+mod luby;
+mod permutation;
+
+pub use greedy::{greedy_mis, greedy_mis_in_order};
+pub use luby::{luby, LubyProtocol, LubyState};
+pub use permutation::{permutation, PermutationProtocol};
+
+use congest_sim::Metrics;
+
+/// Result of running a distributed MIS baseline: the computed set plus the
+/// simulator's time/energy metrics.
+#[derive(Debug, Clone)]
+pub struct MisRun {
+    /// `in_mis[v]` iff node `v` is in the computed independent set.
+    pub in_mis: Vec<bool>,
+    /// Time, energy, and message accounting of the run.
+    pub metrics: Metrics,
+}
+
+/// Decision status of a node in a distributed MIS protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Decision {
+    /// Still participating.
+    #[default]
+    Undecided,
+    /// Joined the independent set.
+    InMis,
+    /// A neighbor joined; the node is removed (covered).
+    Removed,
+}

@@ -1,0 +1,63 @@
+//! Criterion wall-clock benches for the end-to-end algorithms — the
+//! benchmark counterparts of experiments E1–E4, E6, E13.
+
+use congest_sim::SimConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use energy_mis::alg1::run_algorithm1;
+use energy_mis::alg2::run_algorithm2;
+use energy_mis::avg_energy::run_avg_energy;
+use energy_mis::params::{Alg1Params, Alg2Params, AvgEnergyParams};
+use mis_baselines::{luby, permutation};
+use mis_bench::{workload_gnp, workload_regular};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1-e4-scaling");
+    group.sample_size(10);
+    for exp in [10u32, 12] {
+        let n = 1usize << exp;
+        let g = workload_gnp(n, u64::from(exp));
+        group.bench_with_input(BenchmarkId::new("algorithm1", n), &g, |b, g| {
+            b.iter(|| run_algorithm1(g, &Alg1Params::default(), 1).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("algorithm2", n), &g, |b, g| {
+            b.iter(|| run_algorithm2(g, &Alg2Params::default(), 1).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("luby", n), &g, |b, g| {
+            b.iter(|| luby(g, &SimConfig::seeded(1)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("permutation", n), &g, |b, g| {
+            b.iter(|| permutation(g, &SimConfig::seeded(1)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_dense_phase1(c: &mut Criterion) {
+    // E6/E7 counterpart: a dense regular graph where Phase I dominates.
+    let mut group = c.benchmark_group("e6-dense");
+    group.sample_size(10);
+    let g = workload_regular(1 << 12, 256, 7);
+    group.bench_function("algorithm1-regular-4096x256", |b| {
+        b.iter(|| run_algorithm1(&g, &Alg1Params::default(), 1).unwrap())
+    });
+    group.bench_function("algorithm2-regular-4096x256", |b| {
+        b.iter(|| run_algorithm2(&g, &Alg2Params::default(), 1).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_avg_energy(c: &mut Criterion) {
+    // E13 counterpart.
+    let mut group = c.benchmark_group("e13-avg-energy");
+    group.sample_size(10);
+    let g = workload_gnp(1 << 12, 23);
+    group.bench_function("section4-pipeline-4096", |b| {
+        b.iter(|| {
+            run_avg_energy(&g, &Alg1Params::default(), &AvgEnergyParams::default(), 1).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling, bench_dense_phase1, bench_avg_energy);
+criterion_main!(benches);

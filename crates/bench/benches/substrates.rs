@@ -1,0 +1,87 @@
+//! Criterion benches for the substrates: awake schedules (E9), graph
+//! generators, the Ghaffari shattering engine (E12), and the simulator's
+//! raw round throughput (E11 counterpart).
+
+use congest_sim::schedule::AwakeSchedule;
+use congest_sim::{run, SimConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use energy_mis::ghaffari::GhaffariMis;
+use mis_bench::workload_gnp;
+use mis_graphs::generators;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9-schedule");
+    for t in [1024usize, 16384] {
+        group.bench_with_input(BenchmarkId::new("build", t), &t, |b, &t| {
+            b.iter(|| AwakeSchedule::build(t))
+        });
+    }
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    group.bench_function("gnp-65536-d10", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(1);
+            generators::gnp(1 << 16, 10.0 / (1 << 16) as f64, &mut rng)
+        })
+    });
+    group.bench_function("rgg-16384-d10", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(2);
+            generators::random_geometric(1 << 14, 0.014, &mut rng)
+        })
+    });
+    group.bench_function("regular-16384x8", |b| {
+        b.iter(|| {
+            let mut rng = SmallRng::seed_from_u64(3);
+            generators::random_regular(1 << 14, 8, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+fn bench_ghaffari(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e12-shattering");
+    group.sample_size(10);
+    let g = workload_gnp(1 << 13, 5);
+    let participating = vec![true; g.n()];
+    group.bench_function("ghaffari-1exec-8192", |b| {
+        b.iter(|| {
+            run(
+                &g,
+                &GhaffariMis {
+                    participating: &participating,
+                    iterations: 30,
+                    executions: 1,
+                    halt_when_done: true,
+                },
+                &SimConfig::seeded(1),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("ghaffari-32exec-8192", |b| {
+        b.iter(|| {
+            run(
+                &g,
+                &GhaffariMis {
+                    participating: &participating,
+                    iterations: 20,
+                    executions: 32,
+                    halt_when_done: false,
+                },
+                &SimConfig::seeded(1),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedule, bench_generators, bench_ghaffari);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Experiment driver: regenerates every measured table of the
+//! reproduction (EXPERIMENTS.md).
+//!
+//! ```sh
+//! cargo run --release -p mis-bench --bin experiments            # all, full sizes
+//! cargo run --release -p mis-bench --bin experiments -- --quick # all, small sizes
+//! cargo run --release -p mis-bench --bin experiments -- e2 e13  # a subset
+//! ```
+
+use mis_bench::experiments as exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
+
+    println!(
+        "# Energy-MIS experiment suite ({} mode)",
+        if quick { "quick" } else { "full" }
+    );
+    if want("e1") || want("e2") || want("e3") || want("e4") {
+        exp::scaling(quick);
+    }
+    if want("e5") {
+        let (ok, total) = exp::correctness(quick);
+        println!("\nE5 verdict: {ok}/{total} runs produced a verified MIS");
+    }
+    if want("e6") {
+        exp::phase_breakdown(quick);
+    }
+    if want("e7") {
+        exp::degree_trajectory(quick);
+    }
+    if want("e8") {
+        let e = exp::alg2_shrink(quick);
+        println!("\nE8 verdict: measured shrink exponent {e:.2} (paper: 0.7)");
+    }
+    if want("e9") {
+        exp::schedule_sizes(quick);
+    }
+    if want("e10") {
+        exp::families(quick);
+    }
+    if want("e11") {
+        exp::congest_compliance(quick);
+    }
+    if want("e12") {
+        exp::shattering(quick);
+    }
+    if want("e13") {
+        exp::avg_energy(quick);
+    }
+    if want("e14") {
+        exp::ablations(quick);
+    }
+}

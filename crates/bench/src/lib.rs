@@ -1,0 +1,59 @@
+//! Experiment harness for the energy-MIS reproduction.
+//!
+//! The paper (PODC 2023) has no empirical tables — it is a theory paper —
+//! so the "evaluation" to regenerate is the set of theorem claims, turned
+//! into measured scaling experiments E1–E14 (see DESIGN.md §6 and
+//! EXPERIMENTS.md). Each experiment here prints a markdown table; the
+//! `experiments` binary drives them and `cargo bench` provides wall-clock
+//! counterparts.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+use mis_graphs::Graph;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Standard workload: `G(n, p)` with average degree 10.
+pub fn workload_gnp(n: usize, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    mis_graphs::generators::gnp(n, (10.0 / n.max(2) as f64).min(1.0), &mut rng)
+}
+
+/// Dense workload: a `d`-regular graph that forces Phase I to engage.
+pub fn workload_regular(n: usize, d: usize, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    mis_graphs::generators::random_regular(n, d, &mut rng)
+}
+
+/// The n-sweep used by the scaling experiments.
+pub fn size_sweep(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1 << 10, 1 << 12, 1 << 14]
+    } else {
+        vec![
+            1 << 10,
+            1 << 11,
+            1 << 12,
+            1 << 13,
+            1 << 14,
+            1 << 15,
+            1 << 16,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_have_requested_sizes() {
+        assert_eq!(workload_gnp(256, 1).n(), 256);
+        assert_eq!(workload_regular(128, 4, 1).n(), 128);
+        assert!(size_sweep(true).len() < size_sweep(false).len());
+    }
+}

@@ -1,0 +1,733 @@
+//! The round-by-round simulation engine.
+
+use crate::error::SimError;
+use crate::message::Message;
+use crate::metrics::Metrics;
+use crate::rng;
+use crate::{NodeId, Round};
+use mis_graphs::Graph;
+use rand::rngs::SmallRng;
+use std::collections::BTreeMap;
+
+/// A distributed protocol in the sleeping CONGEST model.
+///
+/// The engine drives each awake node through a *send* half and a *receive*
+/// half per round, mirroring one synchronous CONGEST round: messages sent
+/// at the start of a round are delivered by its end. Sleeping nodes are
+/// never called.
+///
+/// Implementations hold the protocol *parameters* (and any read-only input
+/// from earlier phases); all per-node mutable data lives in
+/// [`Protocol::State`].
+pub trait Protocol {
+    /// Per-node mutable state.
+    type State;
+    /// Message payload type.
+    type Msg: Message;
+
+    /// Called once per node before round 0. This models the paper's free
+    /// local pre-computation ("each node can find its round r_v before the
+    /// algorithm even starts"): it costs no energy. Wakeups requested here
+    /// determine when the node first participates; a node that requests
+    /// nothing sleeps through the whole run.
+    fn init(&self, node: NodeId, api: &mut InitApi<'_>) -> Self::State;
+
+    /// Send half of an awake round: inspect state, optionally transmit.
+    fn send(&self, state: &mut Self::State, api: &mut SendApi<'_, Self::Msg>);
+
+    /// Receive half of an awake round: `inbox` holds the messages sent to
+    /// this node in this round by awake neighbors, in ascending sender
+    /// order. Future wakeups and halting are requested here.
+    fn recv(&self, state: &mut Self::State, inbox: &[(NodeId, Self::Msg)], api: &mut RecvApi<'_>);
+}
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Master seed; combined with `salt` and the node id for per-node RNGs.
+    pub seed: u64,
+    /// Phase salt, so consecutive phases draw independent randomness.
+    pub salt: u64,
+    /// Abort threshold for runaway protocols.
+    pub max_rounds: u64,
+    /// Optional bandwidth limit in bits per message. `Some(b)` with
+    /// [`SimConfig::strict_bandwidth`] returns an error on violation;
+    /// otherwise violations are only counted.
+    pub bandwidth_bits: Option<usize>,
+    /// Whether a bandwidth violation aborts the run.
+    pub strict_bandwidth: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            seed: 0,
+            salt: 0,
+            max_rounds: 50_000_000,
+            bandwidth_bits: None,
+            strict_bandwidth: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Config with the given seed and defaults elsewhere.
+    pub fn seeded(seed: u64) -> SimConfig {
+        SimConfig {
+            seed,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Returns a copy with the given phase salt.
+    pub fn with_salt(&self, salt: u64) -> SimConfig {
+        SimConfig {
+            salt,
+            ..self.clone()
+        }
+    }
+
+    /// The standard CONGEST bandwidth for an `n`-node graph:
+    /// `c * ceil(log2 n)` bits (at least 32).
+    pub fn congest_bandwidth(n: usize, c: usize) -> usize {
+        let logn = (n.max(2) as f64).log2().ceil() as usize;
+        (c * logn).max(32)
+    }
+}
+
+/// Outcome of a run: final per-node states plus metrics.
+#[derive(Debug)]
+pub struct SimResult<S> {
+    /// Final state of every node, indexed by node id.
+    pub states: Vec<S>,
+    /// Time/energy/message accounting for the run.
+    pub metrics: Metrics,
+}
+
+/// API available during [`Protocol::init`].
+#[derive(Debug)]
+pub struct InitApi<'a> {
+    node: NodeId,
+    graph: &'a Graph,
+    rng: &'a mut SmallRng,
+    wakes: &'a mut Vec<Round>,
+}
+
+impl InitApi<'_> {
+    /// This node's id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of nodes in the graph.
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// This node's degree.
+    pub fn degree(&self) -> usize {
+        self.graph.degree(self.node)
+    }
+
+    /// This node's sorted neighbor list.
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.graph.neighbors(self.node)
+    }
+
+    /// The node's deterministic RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Schedules this node to be awake in `round`.
+    pub fn wake_at(&mut self, round: Round) {
+        self.wakes.push(round);
+    }
+
+    /// Schedules this node to be awake in every round of `rounds`.
+    pub fn wake_range(&mut self, rounds: std::ops::Range<Round>) {
+        for r in rounds {
+            self.wakes.push(r);
+        }
+    }
+}
+
+/// API available during [`Protocol::send`].
+#[derive(Debug)]
+pub struct SendApi<'a, M: Message> {
+    node: NodeId,
+    round: Round,
+    graph: &'a Graph,
+    rng: &'a mut SmallRng,
+    out: &'a mut Vec<(NodeId, M)>,
+}
+
+impl<M: Message> SendApi<'_, M> {
+    /// This node's id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The current round.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Number of nodes in the graph.
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// This node's degree.
+    pub fn degree(&self) -> usize {
+        self.graph.degree(self.node)
+    }
+
+    /// This node's sorted neighbor list.
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.graph.neighbors(self.node)
+    }
+
+    /// The node's deterministic RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Sends `msg` to neighbor `dst` (delivered at the end of this round
+    /// if `dst` is awake, silently lost otherwise).
+    pub fn send(&mut self, dst: NodeId, msg: M) {
+        self.out.push((dst, msg));
+    }
+
+    /// Sends a copy of `msg` to every neighbor.
+    pub fn broadcast(&mut self, msg: M) {
+        for i in 0..self.graph.degree(self.node) {
+            let dst = self.graph.neighbors(self.node)[i];
+            self.out.push((dst, msg.clone()));
+        }
+    }
+}
+
+/// API available during [`Protocol::recv`].
+#[derive(Debug)]
+pub struct RecvApi<'a> {
+    node: NodeId,
+    round: Round,
+    graph: &'a Graph,
+    rng: &'a mut SmallRng,
+    wakes: &'a mut Vec<Round>,
+    halt: &'a mut bool,
+}
+
+impl RecvApi<'_> {
+    /// This node's id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The current round.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Number of nodes in the graph.
+    pub fn n(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// This node's degree.
+    pub fn degree(&self) -> usize {
+        self.graph.degree(self.node)
+    }
+
+    /// This node's sorted neighbor list.
+    pub fn neighbors(&self) -> &[NodeId] {
+        self.graph.neighbors(self.node)
+    }
+
+    /// The node's deterministic RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Schedules this node to be awake in `round` (must be in the future).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `round` is not strictly after the current round.
+    pub fn wake_at(&mut self, round: Round) {
+        assert!(
+            round > self.round,
+            "node {} asked to wake at {} during round {}",
+            self.node,
+            round,
+            self.round
+        );
+        self.wakes.push(round);
+    }
+
+    /// Schedules this node to be awake in every round of `rounds` (all in
+    /// the future).
+    pub fn wake_range(&mut self, rounds: std::ops::Range<Round>) {
+        for r in rounds {
+            self.wake_at(r);
+        }
+    }
+
+    /// Permanently stops this node: all of its pending and future wakeups
+    /// are cancelled and it spends no more energy. Models a node that has
+    /// terminated (e.g. it joined the MIS or was removed).
+    pub fn halt(&mut self) {
+        *self.halt = true;
+    }
+}
+
+/// Runs `protocol` on `graph` under `cfg` until no node has a pending
+/// wakeup.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the protocol exceeds `cfg.max_rounds`, addresses
+/// a non-neighbor, sends twice to the same neighbor in one round, or (in
+/// strict mode) exceeds the bandwidth.
+pub fn run<P: Protocol>(
+    graph: &Graph,
+    protocol: &P,
+    cfg: &SimConfig,
+) -> Result<SimResult<P::State>, SimError> {
+    let n = graph.n();
+    let mut metrics = Metrics::new(n);
+    let mut rngs: Vec<SmallRng> = (0..n as u32)
+        .map(|v| rng::derive(cfg.seed, cfg.salt, v))
+        .collect();
+    let mut halted = vec![false; n];
+    let mut queue: BTreeMap<Round, Vec<NodeId>> = BTreeMap::new();
+
+    // Initialization: free local pre-computation, may request wakeups.
+    let mut wakes: Vec<Round> = Vec::new();
+    let mut states: Vec<P::State> = Vec::with_capacity(n);
+    for v in 0..n as u32 {
+        wakes.clear();
+        let mut api = InitApi {
+            node: v,
+            graph,
+            rng: &mut rngs[v as usize],
+            wakes: &mut wakes,
+        };
+        states.push(protocol.init(v, &mut api));
+        for &r in wakes.iter() {
+            queue.entry(r).or_default().push(v);
+        }
+    }
+
+    let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+    let mut outbox: Vec<(NodeId, NodeId, P::Msg)> = Vec::new();
+    // awake_stamp[v] == current round key marks v awake this round.
+    let mut awake_stamp: Vec<u64> = vec![u64::MAX; n];
+    let mut last_round: Option<Round> = None;
+
+    while let Some((&round, _)) = queue.iter().next() {
+        if round >= cfg.max_rounds {
+            return Err(SimError::ExceededMaxRounds {
+                max_rounds: cfg.max_rounds,
+            });
+        }
+        let mut nodes = queue.remove(&round).expect("key just observed");
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes.retain(|&v| !halted[v as usize]);
+        if nodes.is_empty() {
+            continue;
+        }
+        last_round = Some(round);
+        metrics.busy_rounds += 1;
+        for &v in &nodes {
+            awake_stamp[v as usize] = round;
+            metrics.awake_rounds[v as usize] += 1;
+            inboxes[v as usize].clear();
+        }
+
+        // Send half.
+        outbox.clear();
+        let mut per_node_out: Vec<(NodeId, P::Msg)> = Vec::new();
+        for &v in &nodes {
+            per_node_out.clear();
+            let mut api = SendApi {
+                node: v,
+                round,
+                graph,
+                rng: &mut rngs[v as usize],
+                out: &mut per_node_out,
+            };
+            protocol.send(&mut states[v as usize], &mut api);
+            // CONGEST checks: neighbor addressing, one message per edge
+            // per round, bandwidth.
+            per_node_out.sort_by_key(|(dst, _)| *dst);
+            for w in per_node_out.windows(2) {
+                if w[0].0 == w[1].0 {
+                    return Err(SimError::DuplicateDestination {
+                        src: v,
+                        dst: w[0].0,
+                        round,
+                    });
+                }
+            }
+            for (dst, msg) in per_node_out.drain(..) {
+                if !graph.has_edge(v, dst) {
+                    return Err(SimError::NotANeighbor { src: v, dst });
+                }
+                let bits = msg.bits();
+                metrics.messages_sent += 1;
+                metrics.bits_sent += bits as u64;
+                metrics.max_message_bits = metrics.max_message_bits.max(bits);
+                if let Some(limit) = cfg.bandwidth_bits {
+                    if bits > limit {
+                        if cfg.strict_bandwidth {
+                            return Err(SimError::BandwidthExceeded {
+                                node: v,
+                                round,
+                                bits,
+                                limit,
+                            });
+                        }
+                        metrics.bandwidth_violations += 1;
+                    }
+                }
+                outbox.push((v, dst, msg));
+            }
+        }
+
+        // Delivery: only awake, non-halted receivers get the message.
+        for (src, dst, msg) in outbox.drain(..) {
+            if awake_stamp[dst as usize] == round && !halted[dst as usize] {
+                metrics.messages_delivered += 1;
+                inboxes[dst as usize].push((src, msg));
+            }
+        }
+        for &v in &nodes {
+            inboxes[v as usize].sort_by_key(|(src, _)| *src);
+        }
+
+        // Receive half.
+        let mut new_wakes: Vec<(Round, NodeId)> = Vec::new();
+        for &v in &nodes {
+            wakes.clear();
+            let mut halt = false;
+            let inbox = std::mem::take(&mut inboxes[v as usize]);
+            let mut api = RecvApi {
+                node: v,
+                round,
+                graph,
+                rng: &mut rngs[v as usize],
+                wakes: &mut wakes,
+                halt: &mut halt,
+            };
+            protocol.recv(&mut states[v as usize], &inbox, &mut api);
+            inboxes[v as usize] = inbox;
+            if halt {
+                halted[v as usize] = true;
+            } else {
+                for &r in wakes.iter() {
+                    new_wakes.push((r, v));
+                }
+            }
+        }
+        for (r, v) in new_wakes {
+            queue.entry(r).or_default().push(v);
+        }
+    }
+
+    metrics.elapsed_rounds = last_round.map_or(0, |r| r + 1);
+    Ok(SimResult { states, metrics })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graphs::generators;
+
+    /// Flood protocol: node 0 starts "infected" in round 0; infection
+    /// spreads one hop per round; infected nodes halt after notifying.
+    struct Flood {
+        rounds_cap: u64,
+    }
+
+    #[derive(Debug, Clone, Default)]
+    struct FloodState {
+        infected_at: Option<Round>,
+        notified: bool,
+    }
+
+    impl Protocol for Flood {
+        type State = FloodState;
+        type Msg = ();
+
+        fn init(&self, node: NodeId, api: &mut InitApi<'_>) -> FloodState {
+            // Everyone listens every round (energy-naive baseline style).
+            api.wake_range(0..self.rounds_cap);
+            FloodState {
+                infected_at: (node == 0).then_some(0),
+                notified: false,
+            }
+        }
+
+        fn send(&self, state: &mut FloodState, api: &mut SendApi<'_, ()>) {
+            if state.infected_at.is_some() && !state.notified {
+                api.broadcast(());
+                state.notified = true;
+            }
+        }
+
+        fn recv(&self, state: &mut FloodState, inbox: &[(NodeId, ())], api: &mut RecvApi<'_>) {
+            if state.infected_at.is_none() && !inbox.is_empty() {
+                state.infected_at = Some(api.round() + 1);
+            }
+            if state.notified {
+                api.halt();
+            }
+        }
+    }
+
+    #[test]
+    fn flood_reaches_everyone_on_path() {
+        let g = generators::path(6);
+        let res = run(&g, &Flood { rounds_cap: 10 }, &SimConfig::default()).unwrap();
+        for (v, s) in res.states.iter().enumerate() {
+            assert_eq!(s.infected_at, Some(v as u64), "node {v}");
+        }
+        assert!(res.metrics.elapsed_rounds <= 10);
+        assert!(res.metrics.messages_sent > 0);
+    }
+
+    #[test]
+    fn halted_nodes_pay_no_more_energy() {
+        let g = generators::path(3);
+        let res = run(&g, &Flood { rounds_cap: 50 }, &SimConfig::default()).unwrap();
+        // Node 0 halts after round 0 (notify + halt): energy exactly 1.
+        assert_eq!(res.metrics.awake_rounds[0], 1);
+        // Node 2 hears in round 1, notifies in round 2, halts: 3 awake rounds.
+        assert_eq!(res.metrics.awake_rounds[2], 3);
+    }
+
+    /// Protocol where nobody wakes: the run ends immediately.
+    struct Silent;
+    impl Protocol for Silent {
+        type State = ();
+        type Msg = ();
+        fn init(&self, _node: NodeId, _api: &mut InitApi<'_>) {}
+        fn send(&self, _state: &mut (), _api: &mut SendApi<'_, ()>) {}
+        fn recv(&self, _state: &mut (), _inbox: &[(NodeId, ())], _api: &mut RecvApi<'_>) {}
+    }
+
+    #[test]
+    fn silent_protocol_costs_nothing() {
+        let g = generators::cycle(10);
+        let res = run(&g, &Silent, &SimConfig::default()).unwrap();
+        assert_eq!(res.metrics.elapsed_rounds, 0);
+        assert_eq!(res.metrics.max_awake(), 0);
+        assert_eq!(res.metrics.messages_sent, 0);
+    }
+
+    /// Messages to sleeping neighbors are lost.
+    struct LonelySender;
+    impl Protocol for LonelySender {
+        type State = usize;
+        type Msg = ();
+        fn init(&self, node: NodeId, api: &mut InitApi<'_>) -> usize {
+            if node == 0 {
+                api.wake_at(0);
+            } else {
+                api.wake_at(1); // neighbors awake only in round 1
+            }
+            0
+        }
+        fn send(&self, _state: &mut usize, api: &mut SendApi<'_, ()>) {
+            if api.node() == 0 && api.round() == 0 {
+                api.broadcast(());
+            }
+        }
+        fn recv(&self, state: &mut usize, inbox: &[(NodeId, ())], _api: &mut RecvApi<'_>) {
+            *state += inbox.len();
+        }
+    }
+
+    #[test]
+    fn sleeping_receivers_lose_messages() {
+        let g = generators::star(5);
+        let res = run(&g, &LonelySender, &SimConfig::default()).unwrap();
+        assert_eq!(res.metrics.messages_sent, 4);
+        assert_eq!(res.metrics.messages_delivered, 0);
+        assert!(res.states[1..].iter().all(|&c| c == 0));
+    }
+
+    /// A runaway protocol trips the round limit.
+    struct Runaway;
+    impl Protocol for Runaway {
+        type State = ();
+        type Msg = ();
+        fn init(&self, _node: NodeId, api: &mut InitApi<'_>) {
+            api.wake_at(0);
+        }
+        fn send(&self, _state: &mut (), _api: &mut SendApi<'_, ()>) {}
+        fn recv(&self, _state: &mut (), _inbox: &[(NodeId, ())], api: &mut RecvApi<'_>) {
+            let next = api.round() + 1;
+            api.wake_at(next);
+        }
+    }
+
+    #[test]
+    fn max_rounds_enforced() {
+        let g = generators::path(2);
+        let cfg = SimConfig {
+            max_rounds: 100,
+            ..SimConfig::default()
+        };
+        assert_eq!(
+            run(&g, &Runaway, &cfg).unwrap_err(),
+            SimError::ExceededMaxRounds { max_rounds: 100 }
+        );
+    }
+
+    /// Sending to a non-neighbor is rejected.
+    struct BadAddress;
+    impl Protocol for BadAddress {
+        type State = ();
+        type Msg = ();
+        fn init(&self, _node: NodeId, api: &mut InitApi<'_>) {
+            api.wake_at(0);
+        }
+        fn send(&self, _state: &mut (), api: &mut SendApi<'_, ()>) {
+            if api.node() == 0 {
+                api.send(3, ()); // not adjacent on a path of 4
+            }
+        }
+        fn recv(&self, _state: &mut (), _inbox: &[(NodeId, ())], _api: &mut RecvApi<'_>) {}
+    }
+
+    #[test]
+    fn non_neighbor_send_rejected() {
+        let g = generators::path(4);
+        assert_eq!(
+            run(&g, &BadAddress, &SimConfig::default()).unwrap_err(),
+            SimError::NotANeighbor { src: 0, dst: 3 }
+        );
+    }
+
+    /// Duplicate destination in one round is rejected.
+    struct DoubleSend;
+    impl Protocol for DoubleSend {
+        type State = ();
+        type Msg = ();
+        fn init(&self, _node: NodeId, api: &mut InitApi<'_>) {
+            api.wake_at(0);
+        }
+        fn send(&self, _state: &mut (), api: &mut SendApi<'_, ()>) {
+            if api.node() == 0 {
+                api.send(1, ());
+                api.send(1, ());
+            }
+        }
+        fn recv(&self, _state: &mut (), _inbox: &[(NodeId, ())], _api: &mut RecvApi<'_>) {}
+    }
+
+    #[test]
+    fn duplicate_destination_rejected() {
+        let g = generators::path(2);
+        assert!(matches!(
+            run(&g, &DoubleSend, &SimConfig::default()).unwrap_err(),
+            SimError::DuplicateDestination { src: 0, dst: 1, .. }
+        ));
+    }
+
+    /// Oversized messages: counted, or fatal in strict mode.
+    struct BigTalker;
+    impl Protocol for BigTalker {
+        type State = ();
+        type Msg = u64;
+        fn init(&self, _node: NodeId, api: &mut InitApi<'_>) {
+            api.wake_at(0);
+        }
+        fn send(&self, _state: &mut (), api: &mut SendApi<'_, u64>) {
+            if api.node() == 0 {
+                api.send(1, u64::MAX); // 64 bits
+            }
+        }
+        fn recv(&self, _state: &mut (), _inbox: &[(NodeId, u64)], _api: &mut RecvApi<'_>) {}
+    }
+
+    #[test]
+    fn bandwidth_counting_and_strict_modes() {
+        let g = generators::path(2);
+        let lax = SimConfig {
+            bandwidth_bits: Some(32),
+            ..SimConfig::default()
+        };
+        let res = run(&g, &BigTalker, &lax).unwrap();
+        assert_eq!(res.metrics.bandwidth_violations, 1);
+        assert_eq!(res.metrics.max_message_bits, 64);
+
+        let strict = SimConfig {
+            bandwidth_bits: Some(32),
+            strict_bandwidth: true,
+            ..SimConfig::default()
+        };
+        assert!(matches!(
+            run(&g, &BigTalker, &strict).unwrap_err(),
+            SimError::BandwidthExceeded {
+                bits: 64,
+                limit: 32,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        use rand::Rng;
+        struct Sampler;
+        impl Protocol for Sampler {
+            type State = u64;
+            type Msg = ();
+            fn init(&self, _node: NodeId, api: &mut InitApi<'_>) -> u64 {
+                api.wake_at(0);
+                api.rng().gen()
+            }
+            fn send(&self, _state: &mut u64, _api: &mut SendApi<'_, ()>) {}
+            fn recv(&self, _state: &mut u64, _inbox: &[(NodeId, ())], _api: &mut RecvApi<'_>) {}
+        }
+        let g = generators::cycle(16);
+        let a = run(&g, &Sampler, &SimConfig::seeded(7)).unwrap();
+        let b = run(&g, &Sampler, &SimConfig::seeded(7)).unwrap();
+        let c = run(&g, &Sampler, &SimConfig::seeded(8)).unwrap();
+        assert_eq!(a.states, b.states);
+        assert_ne!(a.states, c.states);
+    }
+
+    #[test]
+    fn congest_bandwidth_helper() {
+        assert_eq!(SimConfig::congest_bandwidth(1 << 20, 4), 80);
+        assert!(SimConfig::congest_bandwidth(2, 1) >= 32);
+    }
+
+    #[test]
+    fn elapsed_counts_gap_rounds() {
+        struct Sparse;
+        impl Protocol for Sparse {
+            type State = ();
+            type Msg = ();
+            fn init(&self, node: NodeId, api: &mut InitApi<'_>) {
+                if node == 0 {
+                    api.wake_at(0);
+                    api.wake_at(41);
+                }
+            }
+            fn send(&self, _state: &mut (), _api: &mut SendApi<'_, ()>) {}
+            fn recv(&self, _state: &mut (), _inbox: &[(NodeId, ())], _api: &mut RecvApi<'_>) {}
+        }
+        let g = generators::path(2);
+        let res = run(&g, &Sparse, &SimConfig::default()).unwrap();
+        assert_eq!(res.metrics.elapsed_rounds, 42);
+        assert_eq!(res.metrics.busy_rounds, 2);
+        assert_eq!(res.metrics.awake_rounds[0], 2);
+    }
+}

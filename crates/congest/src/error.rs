@@ -1,0 +1,96 @@
+//! Simulator errors.
+
+use crate::{NodeId, Round};
+
+/// Errors raised while executing a protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The run did not terminate within the configured round budget —
+    /// almost always a protocol bug (a node re-scheduling itself forever).
+    ExceededMaxRounds {
+        /// The configured limit.
+        max_rounds: u64,
+    },
+    /// A message exceeded the configured bandwidth and the configuration
+    /// asked for strict enforcement.
+    BandwidthExceeded {
+        /// Sender of the oversized message.
+        node: NodeId,
+        /// Round in which it was sent.
+        round: Round,
+        /// Observed size in bits.
+        bits: usize,
+        /// Configured limit in bits.
+        limit: usize,
+    },
+    /// A node sent two messages to the same neighbor in one round, which
+    /// the CONGEST model forbids.
+    DuplicateDestination {
+        /// The sender.
+        src: NodeId,
+        /// The receiver addressed twice.
+        dst: NodeId,
+        /// Round of the violation.
+        round: Round,
+    },
+    /// A node addressed a message to a non-neighbor.
+    NotANeighbor {
+        /// The sender.
+        src: NodeId,
+        /// The invalid destination.
+        dst: NodeId,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::ExceededMaxRounds { max_rounds } => {
+                write!(f, "protocol did not terminate within {max_rounds} rounds")
+            }
+            SimError::BandwidthExceeded {
+                node,
+                round,
+                bits,
+                limit,
+            } => write!(
+                f,
+                "node {node} sent {bits} bits in round {round}, exceeding the {limit}-bit limit"
+            ),
+            SimError::DuplicateDestination { src, dst, round } => {
+                write!(f, "node {src} sent two messages to {dst} in round {round}")
+            }
+            SimError::NotANeighbor { src, dst } => {
+                write!(f, "node {src} addressed non-neighbor {dst}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::ExceededMaxRounds { max_rounds: 5 };
+        assert!(format!("{e}").contains("5 rounds"));
+        let e = SimError::BandwidthExceeded {
+            node: 1,
+            round: 2,
+            bits: 99,
+            limit: 32,
+        };
+        assert!(format!("{e}").contains("99 bits"));
+        let e = SimError::DuplicateDestination {
+            src: 0,
+            dst: 1,
+            round: 3,
+        };
+        assert!(format!("{e}").contains("two messages"));
+        let e = SimError::NotANeighbor { src: 0, dst: 9 };
+        assert!(format!("{e}").contains("non-neighbor"));
+    }
+}

@@ -1,0 +1,268 @@
+//! Message payloads and CONGEST bit accounting.
+
+/// A message payload with an explicit size in bits.
+///
+/// The CONGEST model allows `B = O(log n)` bits per message. Protocols
+/// declare how many bits each payload occupies; the simulator records the
+/// maximum observed size and (optionally) enforces a bandwidth limit.
+///
+/// For integers we count *significant* bits of the value — a node
+/// identifier `< n` therefore automatically costs `<= ceil(log2 n)` bits,
+/// matching the paper's convention that a message can describe "constant
+/// many nodes or edges and values polynomially bounded in n".
+pub trait Message: Clone + std::fmt::Debug {
+    /// Size of this payload in bits.
+    fn bits(&self) -> usize;
+}
+
+impl Message for () {
+    fn bits(&self) -> usize {
+        // A content-free "ping" still occupies one slot on the wire.
+        1
+    }
+}
+
+impl Message for bool {
+    fn bits(&self) -> usize {
+        1
+    }
+}
+
+macro_rules! impl_message_for_uint {
+    ($($t:ty),*) => {
+        $(
+            impl Message for $t {
+                fn bits(&self) -> usize {
+                    (<$t>::BITS - self.leading_zeros()).max(1) as usize
+                }
+            }
+        )*
+    };
+}
+
+impl_message_for_uint!(u8, u16, u32, u64, usize);
+
+impl<A: Message, B: Message> Message for (A, B) {
+    fn bits(&self) -> usize {
+        self.0.bits() + self.1.bits()
+    }
+}
+
+impl<A: Message, B: Message, C: Message> Message for (A, B, C) {
+    fn bits(&self) -> usize {
+        self.0.bits() + self.1.bits() + self.2.bits()
+    }
+}
+
+impl<T: Message> Message for Option<T> {
+    fn bits(&self) -> usize {
+        1 + self.as_ref().map_or(0, Message::bits)
+    }
+}
+
+/// A fixed-width bit vector used to run many 1-bit protocol executions in
+/// parallel inside one CONGEST message (the trick of Lemma 2.7: `Θ(log n)`
+/// independent executions of a 1-bit algorithm fit in one `O(log n)`-bit
+/// message).
+///
+/// # Example
+///
+/// ```
+/// use congest_sim::{Message, PackedBits};
+///
+/// let mut b = PackedBits::new(10);
+/// b.set(3, true);
+/// b.set(9, true);
+/// assert!(b.get(3) && b.get(9) && !b.get(4));
+/// assert_eq!(b.bits(), 10);
+/// assert_eq!(b.count_ones(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct PackedBits {
+    width: usize,
+    words: Vec<u64>,
+}
+
+impl PackedBits {
+    /// Creates an all-zero bit vector of the given width.
+    pub fn new(width: usize) -> PackedBits {
+        PackedBits {
+            width,
+            words: vec![0; width.div_ceil(64)],
+        }
+    }
+
+    /// Number of bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.width, "bit index {i} out of range {}", self.width);
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    /// Writes bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.width, "bit index {i} out of range {}", self.width);
+        if value {
+            self.words[i / 64] |= 1 << (i % 64);
+        } else {
+            self.words[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Bitwise AND with another vector of the same width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn and_assign(&mut self, other: &PackedBits) {
+        assert_eq!(self.width, other.width, "width mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Bitwise OR with another vector of the same width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn or_assign(&mut self, other: &PackedBits) {
+        assert_eq!(self.width, other.width, "width mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// Index of the lowest set bit, if any.
+    pub fn first_one(&self) -> Option<usize> {
+        for (w, word) in self.words.iter().enumerate() {
+            if *word != 0 {
+                let i = w * 64 + word.trailing_zeros() as usize;
+                return (i < self.width).then_some(i);
+            }
+        }
+        None
+    }
+
+    /// An all-ones vector of the given width.
+    pub fn ones(width: usize) -> PackedBits {
+        let mut b = PackedBits::new(width);
+        for i in 0..width {
+            b.set(i, true);
+        }
+        b
+    }
+}
+
+impl Message for PackedBits {
+    fn bits(&self) -> usize {
+        self.width
+    }
+}
+
+impl std::fmt::Debug for PackedBits {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PackedBits[")?;
+        for i in 0..self.width {
+            write!(f, "{}", if self.get(i) { '1' } else { '0' })?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_and_bool_bits() {
+        assert_eq!(().bits(), 1);
+        assert_eq!(true.bits(), 1);
+        assert_eq!(false.bits(), 1);
+    }
+
+    #[test]
+    fn integer_bits_are_significant_bits() {
+        assert_eq!(0u32.bits(), 1);
+        assert_eq!(1u32.bits(), 1);
+        assert_eq!(2u32.bits(), 2);
+        assert_eq!(255u8.bits(), 8);
+        assert_eq!(1023u64.bits(), 10);
+        assert_eq!((1usize << 20).bits(), 21);
+    }
+
+    #[test]
+    fn tuple_and_option_bits() {
+        assert_eq!((3u32, 7u32).bits(), 2 + 3);
+        assert_eq!((1u32, 1u32, 1u32).bits(), 3);
+        assert_eq!(Some(7u32).bits(), 4);
+        assert_eq!(None::<u32>.bits(), 1);
+    }
+
+    #[test]
+    fn packed_bits_roundtrip() {
+        let mut b = PackedBits::new(130);
+        for i in (0..130).step_by(7) {
+            b.set(i, true);
+        }
+        for i in 0..130 {
+            assert_eq!(b.get(i), i % 7 == 0, "bit {i}");
+        }
+        assert_eq!(b.count_ones(), 130 / 7 + 1);
+        assert_eq!(b.first_one(), Some(0));
+        b.set(0, false);
+        assert_eq!(b.first_one(), Some(7));
+    }
+
+    #[test]
+    fn packed_bits_logic_ops() {
+        let mut a = PackedBits::new(8);
+        a.set(1, true);
+        a.set(3, true);
+        let mut b = PackedBits::new(8);
+        b.set(3, true);
+        b.set(5, true);
+        let mut and = a.clone();
+        and.and_assign(&b);
+        assert_eq!(and.count_ones(), 1);
+        assert!(and.get(3));
+        a.or_assign(&b);
+        assert_eq!(a.count_ones(), 3);
+    }
+
+    #[test]
+    fn packed_bits_ones_and_empty() {
+        assert_eq!(PackedBits::ones(9).count_ones(), 9);
+        assert_eq!(PackedBits::new(0).first_one(), None);
+        assert_eq!(PackedBits::new(64).first_one(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn packed_bits_bounds_checked() {
+        PackedBits::new(4).get(4);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let b = PackedBits::new(3);
+        assert_eq!(format!("{b:?}"), "PackedBits[000]");
+    }
+}

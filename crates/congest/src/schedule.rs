@@ -1,0 +1,242 @@
+//! Awake schedules for the sleeping model (Lemma 2.5 of the paper).
+//!
+//! The paper's Lemma 2.5 constructs, for `T` rounds, a family of sets
+//! `S_0, …, S_{T-1}` with `|S_k| = O(log T)` such that any two rounds
+//! `i <= j` share a round `l ∈ S_i ∩ S_j` with `i <= l <= j`. Nodes sampled
+//! in round `k` stay awake exactly during the rounds of `S_k`, which is how
+//! both Phase I algorithms reach `O(log log n)` energy while spanning
+//! `poly(log n)` rounds. (Prior work calls this structure a "virtual
+//! binary tree".)
+//!
+//! Our construction additionally guarantees *strictness*: for `i < j` the
+//! common round satisfies `l < j`. This matters operationally: a node
+//! sampled at round `j` must learn whether an earlier neighbor joined the
+//! MIS *before* executing its own round `j`, because within round `j` the
+//! join decision (sub-round 2) precedes the status exchange (sub-round 3).
+//! The divide-and-conquer recursion below — split `[L, H]` at
+//! `M = L + (H-L)/2`, put `M` into every set of the range, recurse on
+//! `[L, M]` and `[M+1, H]` — delivers strictness because a pair `i < j`
+//! is always split at some level with `i <= M < j`.
+
+/// The awake-schedule family `S_0, …, S_{T-1}` of Lemma 2.5.
+///
+/// # Example
+///
+/// ```
+/// use congest_sim::schedule::AwakeSchedule;
+///
+/// let s = AwakeSchedule::build(16);
+/// assert_eq!(s.len(), 16);
+/// // Logarithmic set sizes.
+/// assert!(s.max_set_size() <= 6);
+/// // Strict common round for i < j.
+/// let l = s.strict_common(3, 11).unwrap();
+/// assert!(3 <= l && l < 11);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AwakeSchedule {
+    sets: Vec<Vec<u32>>,
+}
+
+impl AwakeSchedule {
+    /// Builds the schedule for `t` rounds (`t = 0` gives an empty family).
+    pub fn build(t: usize) -> AwakeSchedule {
+        assert!(t <= u32::MAX as usize, "schedule length exceeds u32");
+        let mut sets = vec![Vec::new(); t];
+        if t > 0 {
+            let mut stack = vec![(0u32, t as u32 - 1)];
+            while let Some((lo, hi)) = stack.pop() {
+                if lo == hi {
+                    sets[lo as usize].push(lo);
+                    continue;
+                }
+                let mid = lo + (hi - lo) / 2;
+                for k in lo..=hi {
+                    sets[k as usize].push(mid);
+                }
+                stack.push((lo, mid));
+                stack.push((mid + 1, hi));
+            }
+            for set in &mut sets {
+                set.sort_unstable();
+                set.dedup();
+            }
+        }
+        AwakeSchedule { sets }
+    }
+
+    /// Number of rounds `T` the schedule covers.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Whether the schedule covers zero rounds.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// The sorted awake set `S_k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= len()`.
+    pub fn set(&self, k: usize) -> &[u32] {
+        &self.sets[k]
+    }
+
+    /// Size of the largest set — the per-node energy cost of the schedule.
+    pub fn max_set_size(&self) -> usize {
+        self.sets.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Mean set size.
+    pub fn avg_set_size(&self) -> f64 {
+        if self.sets.is_empty() {
+            0.0
+        } else {
+            self.sets.iter().map(Vec::len).sum::<usize>() as f64 / self.sets.len() as f64
+        }
+    }
+
+    /// The smallest round `l ∈ S_i ∩ S_j` with `i <= l < j`, used by tests
+    /// and the schedule experiment. For `i == j` returns `i` (which is
+    /// always in `S_i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > j` or `j >= len()`.
+    pub fn strict_common(&self, i: usize, j: usize) -> Option<u32> {
+        assert!(i <= j, "need i <= j");
+        assert!(j < self.len(), "round out of range");
+        if i == j {
+            return self.sets[i]
+                .binary_search(&(i as u32))
+                .ok()
+                .map(|_| i as u32);
+        }
+        let a = &self.sets[i];
+        let b = &self.sets[j];
+        let (mut x, mut y) = (0, 0);
+        while x < a.len() && y < b.len() {
+            match a[x].cmp(&b[y]) {
+                std::cmp::Ordering::Less => x += 1,
+                std::cmp::Ordering::Greater => y += 1,
+                std::cmp::Ordering::Equal => {
+                    let l = a[x];
+                    if (i as u32) <= l && l < j as u32 {
+                        return Some(l);
+                    }
+                    x += 1;
+                    y += 1;
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Theoretical upper bound on set sizes: `ceil(log2 T) + 2`.
+pub fn set_size_bound(t: usize) -> usize {
+    if t <= 1 {
+        1
+    } else {
+        (t as f64).log2().ceil() as usize + 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn trivial_lengths() {
+        assert_eq!(AwakeSchedule::build(0).len(), 0);
+        assert!(AwakeSchedule::build(0).is_empty());
+        let s = AwakeSchedule::build(1);
+        assert_eq!(s.set(0), &[0]);
+    }
+
+    #[test]
+    fn every_round_in_own_set() {
+        // k ∈ S_k holds for every k: the base case of the recursion pushes
+        // it, or a mid at k covers it.
+        for t in 1..50 {
+            let s = AwakeSchedule::build(t);
+            for k in 0..t {
+                assert!(
+                    s.set(k).contains(&(k as u32)),
+                    "k = {k} missing from S_k at t = {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strictness_exhaustive_small() {
+        for t in 1..=64usize {
+            let s = AwakeSchedule::build(t);
+            for i in 0..t {
+                for j in i + 1..t {
+                    let l = s.strict_common(i, j);
+                    assert!(l.is_some(), "no strict common round for ({i},{j}) at t={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn logarithmic_set_sizes() {
+        for t in [1usize, 2, 3, 10, 100, 1000, 10_000, 100_000] {
+            let s = AwakeSchedule::build(t);
+            assert!(
+                s.max_set_size() <= set_size_bound(t),
+                "t = {t}: max set size {} > bound {}",
+                s.max_set_size(),
+                set_size_bound(t)
+            );
+        }
+    }
+
+    #[test]
+    fn sets_are_sorted_in_range() {
+        let s = AwakeSchedule::build(777);
+        for k in 0..777 {
+            let set = s.set(k);
+            assert!(set.windows(2).all(|w| w[0] < w[1]), "set {k} not sorted");
+            assert!(set.iter().all(|&l| (l as usize) < 777));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_strict_common_exists(t in 1usize..2000, seed in any::<u64>()) {
+            let s = AwakeSchedule::build(t);
+            // Sample a handful of pairs rather than all O(t^2).
+            let mut x = seed;
+            for _ in 0..50 {
+                x = crate::rng::splitmix64(x);
+                let i = (x % t as u64) as usize;
+                x = crate::rng::splitmix64(x);
+                let j = (x % t as u64) as usize;
+                let (i, j) = (i.min(j), i.max(j));
+                let l = s.strict_common(i, j);
+                prop_assert!(l.is_some(), "pair ({}, {}) uncovered", i, j);
+                let l = l.unwrap() as usize;
+                prop_assert!(i <= l);
+                if i < j {
+                    prop_assert!(l < j);
+                } else {
+                    prop_assert!(l == i);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_sizes_logarithmic(t in 1usize..5000) {
+            let s = AwakeSchedule::build(t);
+            prop_assert!(s.max_set_size() <= set_size_bound(t));
+            prop_assert!(s.avg_set_size() <= s.max_set_size() as f64);
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Phase I of Algorithm 1: regularized Luby with spoiled-once sampling and
+//! awake schedules (Lemma 2.1).
+//!
+//! `log ∆ − 2 log log n` iterations of `c log n` rounds each; in iteration
+//! `i` every not-yet-sampled node is marked with probability
+//! `2^i / (base · ∆)`. A node is marked **at most once** in the whole phase
+//! (afterwards it is *spoiled*), so it can pre-compute its single active
+//! round `r_v` before the algorithm starts and sleep in all rounds outside
+//! the Lemma 2.5 schedule `S_{r_v}`.
+//!
+//! Each algorithm round `k` spans three CONGEST rounds:
+//!
+//! 1. **mark** — nodes with `r_v = k` announce their mark,
+//! 2. **join** — a marked node with no marked neighbor joins the MIS,
+//! 3. **status** — every node with `k ∈ S_{r_v}` is awake; MIS members with
+//!    `r_v <= k` announce membership and later-scheduled listeners learn
+//!    they are removed.
+//!
+//! Because the schedule is *strict* (a node hears about any earlier
+//! neighbor's join strictly before its own round), the joined set is an
+//! independent set **deterministically**, not just with high probability —
+//! see `schedule` in `congest-sim` and the property tests below.
+
+use congest_sim::schedule::AwakeSchedule;
+use congest_sim::{InitApi, NodeId, Protocol, RecvApi, SendApi};
+use rand::Rng;
+
+/// Phase I protocol; see the module docs.
+#[derive(Debug)]
+pub struct Phase1Protocol<'a> {
+    participating: &'a [bool],
+    iterations: u32,
+    rounds_per_iter: u32,
+    delta: usize,
+    mark_base: f64,
+    schedule: AwakeSchedule,
+}
+
+impl<'a> Phase1Protocol<'a> {
+    /// Builds the protocol for a graph with maximum degree `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iterations` or `rounds_per_iter` is 0 (callers skip the
+    /// phase instead) or `delta == 0`.
+    pub fn new(
+        participating: &'a [bool],
+        iterations: u32,
+        rounds_per_iter: u32,
+        delta: usize,
+        mark_base: f64,
+    ) -> Phase1Protocol<'a> {
+        assert!(iterations > 0, "skip the phase instead of 0 iterations");
+        assert!(rounds_per_iter > 0);
+        assert!(delta > 0);
+        let total = iterations as usize * rounds_per_iter as usize;
+        Phase1Protocol {
+            participating,
+            iterations,
+            rounds_per_iter,
+            delta,
+            mark_base,
+            schedule: AwakeSchedule::build(total),
+        }
+    }
+
+    /// Total algorithm rounds `T` (each spanning 3 CONGEST rounds).
+    pub fn algorithm_rounds(&self) -> u32 {
+        self.iterations * self.rounds_per_iter
+    }
+
+    /// Marking probability of iteration `i`, capped at 1/4.
+    pub fn mark_probability(&self, i: u32) -> f64 {
+        ((1u64 << i.min(62)) as f64 / (self.mark_base * self.delta as f64)).min(0.25)
+    }
+
+    /// The Lemma 2.5 schedule in use (inspection hook for experiments).
+    pub fn schedule(&self) -> &AwakeSchedule {
+        &self.schedule
+    }
+
+    /// Samples the single round in which a node is marked, if any: the
+    /// first per-round Bernoulli success across all iterations, simulated
+    /// with geometric skips so initialization is `O(iterations)`.
+    fn sample_round<R: Rng>(&self, rng: &mut R) -> Option<u32> {
+        let r = self.rounds_per_iter as f64;
+        for i in 0..self.iterations {
+            let p = self.mark_probability(i);
+            if p <= 0.0 {
+                continue;
+            }
+            // ln(1-p) via ln_1p: plain (1.0 - p).ln() underflows to 0 for
+            // tiny p and would mis-sample round 0 with certainty.
+            let lq = (-p).ln_1p();
+            if lq == 0.0 {
+                continue;
+            }
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let skip = (u.ln() / lq).floor();
+            if skip < r {
+                return Some(i * self.rounds_per_iter + skip as u32);
+            }
+        }
+        None
+    }
+}
+
+/// Per-node outcome of Phase I.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Phase1State {
+    /// The single algorithm round in which this node was marked (`None`
+    /// means never sampled: the node slept through the entire phase).
+    pub sampled_round: Option<u32>,
+    /// Whether the node joined the MIS (at `sampled_round`).
+    pub joined: bool,
+    /// Whether the node learned during the phase that a neighbor joined.
+    pub removed: bool,
+    saw_marked_neighbor: bool,
+}
+
+impl Phase1State {
+    /// A node is *spoiled* if it was marked but did not join (the paper's
+    /// terminology); spoiled nodes stay in the residual graph.
+    pub fn spoiled(&self) -> bool {
+        self.sampled_round.is_some() && !self.joined
+    }
+}
+
+impl Protocol for Phase1Protocol<'_> {
+    type State = Phase1State;
+    type Msg = bool;
+
+    fn init(&self, node: NodeId, api: &mut InitApi<'_>) -> Phase1State {
+        let mut state = Phase1State::default();
+        if !self.participating[node as usize] {
+            return state;
+        }
+        if let Some(rv) = self.sample_round(api.rng()) {
+            state.sampled_round = Some(rv);
+            // Own round: all three sub-rounds.
+            let base = 3 * u64::from(rv);
+            api.wake_at(base);
+            api.wake_at(base + 1);
+            // Status sub-rounds of the whole schedule (incl. own round).
+            for &l in self.schedule.set(rv as usize) {
+                api.wake_at(3 * u64::from(l) + 2);
+            }
+        }
+        state
+    }
+
+    fn send(&self, state: &mut Phase1State, api: &mut SendApi<'_, bool>) {
+        let k = (api.round() / 3) as u32;
+        match api.round() % 3 {
+            0 => {
+                // Mark announcement (only nodes with r_v = k are awake).
+                if !state.removed {
+                    api.broadcast(true);
+                }
+            }
+            1 => {
+                // Join decision is local; the paper reserves this
+                // sub-round for the (vacuous within one cohort) join
+                // message, so no transmission is needed.
+            }
+            _ => {
+                // Status sub-round: MIS members announce.
+                if state.joined && state.sampled_round.expect("scheduled") <= k {
+                    api.broadcast(true);
+                }
+            }
+        }
+    }
+
+    fn recv(&self, state: &mut Phase1State, inbox: &[(NodeId, bool)], api: &mut RecvApi<'_>) {
+        match api.round() % 3 {
+            0 => {
+                state.saw_marked_neighbor = !inbox.is_empty();
+            }
+            1 => {
+                if !state.removed && !state.saw_marked_neighbor {
+                    state.joined = true;
+                }
+            }
+            _ => {
+                if !inbox.is_empty() && !state.joined {
+                    state.removed = true;
+                    // Nothing left to do or announce: stop paying energy.
+                    api.halt();
+                }
+                debug_assert!(
+                    !(state.joined && !inbox.is_empty() && inbox.iter().any(|&(_, b)| b)),
+                    "two adjacent nodes joined: schedule strictness violated"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_sim::{run, SimConfig};
+    use mis_graphs::{generators, props};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn phase1_outcome(
+        g: &mis_graphs::Graph,
+        iterations: u32,
+        rounds_per_iter: u32,
+        seed: u64,
+    ) -> (Vec<Phase1State>, congest_sim::Metrics) {
+        let participating = vec![true; g.n()];
+        let delta = g.max_degree().max(1);
+        let proto = Phase1Protocol::new(&participating, iterations, rounds_per_iter, delta, 10.0);
+        let res = run(g, &proto, &SimConfig::seeded(seed)).unwrap();
+        (res.states, res.metrics)
+    }
+
+    #[test]
+    fn joined_set_is_always_independent() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for seed in 0..10 {
+            let g = generators::gnp(400, 0.05, &mut rng);
+            let (states, _) = phase1_outcome(&g, 4, 20, seed);
+            let joined: Vec<bool> = states.iter().map(|s| s.joined).collect();
+            assert!(
+                props::independence_violation(&g, &joined).is_none(),
+                "seed {seed}: deterministic independence broken"
+            );
+        }
+    }
+
+    #[test]
+    fn removed_nodes_really_have_mis_neighbors() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let g = generators::gnp(300, 0.05, &mut rng);
+        let (states, _) = phase1_outcome(&g, 4, 20, 3);
+        for v in g.nodes() {
+            if states[v as usize].removed {
+                assert!(
+                    g.neighbors(v).iter().any(|&u| states[u as usize].joined),
+                    "node {v} removed without an MIS neighbor"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn energy_is_loglog_scale() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let g = generators::random_regular(2000, 64, &mut rng);
+        let (_, metrics) = phase1_outcome(&g, 5, 40, 1);
+        // T = 200 algorithm rounds; schedule sets have size <= log2(200)+2
+        // ≈ 10; plus 2 own-round wakeups.
+        let bound = congest_sim::schedule::set_size_bound(200) as u64 + 2;
+        assert!(
+            metrics.max_awake() <= bound,
+            "max awake {} exceeds schedule bound {}",
+            metrics.max_awake(),
+            bound
+        );
+        // Time = 3 CONGEST rounds per algorithm round.
+        assert!(metrics.elapsed_rounds <= 3 * 200);
+    }
+
+    #[test]
+    fn unsampled_nodes_sleep_entirely() {
+        // With a huge mark base, sampling is astronomically unlikely.
+        let g = generators::cycle(50);
+        let participating = vec![true; 50];
+        let proto = Phase1Protocol::new(&participating, 1, 5, 1_000_000_000, 1e9);
+        let res = run(&g, &proto, &SimConfig::seeded(0)).unwrap();
+        assert_eq!(res.metrics.max_awake(), 0);
+        assert!(res.states.iter().all(|s| s.sampled_round.is_none()));
+    }
+
+    #[test]
+    fn degree_reduction_on_regular_graph() {
+        // n = 2048, d = 512: log2 n = 11, so the target residual degree
+        // scale is O(log^2 n) ≈ 121.
+        let mut rng = SmallRng::seed_from_u64(8);
+        let g = generators::random_regular(2048, 512, &mut rng);
+        let iters = 2; // ceil(log2 512) − 2·log2(11) ≈ 2
+        let (states, _) = phase1_outcome(&g, iters, 44, 5);
+        let joined: Vec<bool> = states.iter().map(|s| s.joined).collect();
+        assert!(props::independence_violation(&g, &joined).is_none());
+        // Residual graph: not joined, no joined neighbor.
+        let mut active = vec![true; g.n()];
+        for v in g.nodes() {
+            if joined[v as usize] {
+                active[v as usize] = false;
+                for &u in g.neighbors(v) {
+                    active[u as usize] = false;
+                }
+            }
+        }
+        let residual = props::masked_max_degree(&g, &active);
+        assert!(
+            residual <= 2 * 121,
+            "residual degree {residual} not reduced to O(log^2 n)"
+        );
+    }
+
+    #[test]
+    fn spoiled_flag_matches_definition() {
+        let mut rng = SmallRng::seed_from_u64(10);
+        let g = generators::gnp(200, 0.1, &mut rng);
+        let (states, _) = phase1_outcome(&g, 3, 15, 2);
+        for s in &states {
+            if s.spoiled() {
+                assert!(s.sampled_round.is_some());
+                assert!(!s.joined);
+            }
+            if s.joined {
+                assert!(!s.spoiled());
+                assert!(s.sampled_round.is_some());
+            }
+        }
+        // With these probabilities someone must have been sampled.
+        assert!(states.iter().any(|s| s.sampled_round.is_some()));
+    }
+
+    #[test]
+    fn messages_are_single_bit() {
+        let mut rng = SmallRng::seed_from_u64(12);
+        let g = generators::gnp(300, 0.05, &mut rng);
+        let participating = vec![true; g.n()];
+        let proto = Phase1Protocol::new(&participating, 4, 20, g.max_degree().max(1), 10.0);
+        let res = run(&g, &proto, &SimConfig::seeded(6)).unwrap();
+        assert!(res.metrics.max_message_bits <= 1);
+    }
+
+    #[test]
+    fn mark_probability_ramps_and_caps() {
+        let participating = vec![true; 1];
+        let proto = Phase1Protocol::new(&participating, 10, 5, 1000, 10.0);
+        assert!(proto.mark_probability(0) < proto.mark_probability(3));
+        assert!(proto.mark_probability(62) <= 0.25);
+        assert_eq!(proto.algorithm_rounds(), 50);
+    }
+}

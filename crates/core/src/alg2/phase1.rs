@@ -1,0 +1,478 @@
+//! Phase I of Algorithm 2 (Lemma 3.1): one iteration reduces the maximum
+//! degree from `∆` to `∆^0.7` in `O(log n)` rounds at `O(log log n)`
+//! energy.
+//!
+//! Two pre-samplable processes replace Luby's adaptive probabilities:
+//!
+//! * **type (A) tagging** with per-round probability `∆^-0.5` — tagged
+//!   nodes announce themselves so pre-marked neighbors can *estimate*
+//!   their remaining degree as `~deg(v) = ∆^0.5 · A_v`,
+//! * **type (B) pre-marking** with probability `1/(2∆^0.6)` — pre-marked
+//!   nodes re-sample themselves with probability
+//!   `min{1, 2∆^0.6 / (5 ~deg)}`, so the effective marking probability is
+//!   `min{1/(2∆^0.6), 1/(5 ~deg)}` as in the paper.
+//!
+//! Both processes stop at their first success, so each node acts in a
+//! single round `r_v` and sleeps outside its Lemma 2.5 schedule. Each
+//! algorithm round spans **four** CONGEST rounds: tag, mark (conflicts
+//! resolved towards the higher estimated degree), join, status.
+//!
+//! A 4-round cleanup closes the iteration: exact remaining degrees are
+//! exchanged and the (w.h.p. independent) set of nodes with more than
+//! `4∆^0.6` surviving neighbors joins the MIS.
+
+use congest_sim::schedule::AwakeSchedule;
+use congest_sim::{InitApi, Message, NodeId, Protocol, RecvApi, SendApi};
+use rand::Rng;
+
+/// Message of the iteration protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum A2Msg {
+    /// Type (A) tag announcement.
+    Tag,
+    /// Mark announcement carrying the sender's tagged-neighbor count
+    /// `A_v` (the degree estimate is `∆^0.5 · A_v`).
+    Mark(u32),
+    /// MIS join announcement (same-round cohort).
+    Join,
+    /// Membership announcement on a status sub-round.
+    Status,
+}
+
+impl Message for A2Msg {
+    fn bits(&self) -> usize {
+        match self {
+            A2Msg::Mark(av) => 2 + Message::bits(av),
+            _ => 2,
+        }
+    }
+}
+
+/// One Phase I iteration of Algorithm 2; see the module docs.
+#[derive(Debug)]
+pub struct Alg2Phase1Iteration<'a> {
+    participating: &'a [bool],
+    rounds: u32,
+    delta: f64,
+    premark_cap: f64,
+    schedule: AwakeSchedule,
+    tag_p: f64,
+    premark_p: f64,
+}
+
+impl<'a> Alg2Phase1Iteration<'a> {
+    /// Builds one iteration for current degree bound `delta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0` or `delta < 2`.
+    pub fn new(
+        participating: &'a [bool],
+        rounds: u32,
+        delta: f64,
+        tag_exp: f64,
+        premark_exp: f64,
+    ) -> Alg2Phase1Iteration<'a> {
+        assert!(rounds > 0);
+        assert!(delta >= 2.0, "iteration needs a nontrivial degree bound");
+        Alg2Phase1Iteration {
+            participating,
+            rounds,
+            delta,
+            premark_cap: delta.powf(premark_exp),
+            schedule: AwakeSchedule::build(rounds as usize),
+            tag_p: delta.powf(-tag_exp).min(0.5),
+            premark_p: (1.0 / (2.0 * delta.powf(premark_exp))).min(0.25),
+        }
+    }
+
+    /// Total algorithm rounds (each spanning 4 CONGEST rounds).
+    pub fn rounds(&self) -> u32 {
+        self.rounds
+    }
+
+    /// First success of a per-round Bernoulli(`p`) process within the
+    /// iteration, via a geometric skip.
+    fn first_success<R: Rng>(&self, p: f64, rng: &mut R) -> Option<u32> {
+        if p <= 0.0 {
+            return None;
+        }
+        let lq = (-p).ln_1p();
+        if lq == 0.0 {
+            return None;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let skip = (u.ln() / lq).floor();
+        (skip < self.rounds as f64).then(|| skip as u32)
+    }
+}
+
+/// Per-node outcome of one iteration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct A2State {
+    /// The single round in which this node acts (`min` of its two
+    /// process successes), if any.
+    pub sampled_round: Option<u32>,
+    /// Whether the node was tagged (type A) in its round.
+    pub tag_role: bool,
+    /// Whether the node was pre-marked (type B) in its round.
+    pub premark_role: bool,
+    /// Tagged neighbors observed in the tag sub-round.
+    pub tagged_neighbors: u32,
+    /// Whether the node kept its mark and joined the MIS.
+    pub joined: bool,
+    /// Whether the node learned a neighbor joined.
+    pub removed: bool,
+    marked: bool,
+    my_estimate: u32,
+}
+
+impl A2State {
+    /// Spoiled: sampled (either type) but not in the MIS.
+    pub fn spoiled(&self) -> bool {
+        self.sampled_round.is_some() && !self.joined
+    }
+}
+
+impl Protocol for Alg2Phase1Iteration<'_> {
+    type State = A2State;
+    type Msg = A2Msg;
+
+    fn init(&self, node: NodeId, api: &mut InitApi<'_>) -> A2State {
+        let mut st = A2State::default();
+        if !self.participating[node as usize] {
+            return st;
+        }
+        let ra = self.first_success(self.tag_p, api.rng());
+        let rb = self.first_success(self.premark_p, api.rng());
+        let rv = match (ra, rb) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        if let Some(rv) = rv {
+            st.sampled_round = Some(rv);
+            st.tag_role = ra == Some(rv);
+            st.premark_role = rb == Some(rv);
+            let base = 4 * u64::from(rv);
+            api.wake_at(base);
+            api.wake_at(base + 1);
+            api.wake_at(base + 2);
+            for &l in self.schedule.set(rv as usize) {
+                api.wake_at(4 * u64::from(l) + 3);
+            }
+        }
+        st
+    }
+
+    fn send(&self, state: &mut A2State, api: &mut SendApi<'_, A2Msg>) {
+        let k = (api.round() / 4) as u32;
+        match api.round() % 4 {
+            0 => {
+                if state.tag_role && !state.removed {
+                    api.broadcast(A2Msg::Tag);
+                }
+            }
+            1 => {
+                if state.premark_role && !state.removed {
+                    // Re-sample to the capped effective probability.
+                    let est = self.delta.sqrt() * f64::from(state.tagged_neighbors);
+                    let p = if est <= 0.0 {
+                        1.0
+                    } else {
+                        (2.0 * self.premark_cap / (5.0 * est)).min(1.0)
+                    };
+                    state.marked = api.rng().gen_bool(p);
+                    if state.marked {
+                        state.my_estimate = state.tagged_neighbors;
+                        api.broadcast(A2Msg::Mark(state.tagged_neighbors));
+                    }
+                }
+            }
+            2 => {
+                if state.marked && !state.removed {
+                    state.joined = true;
+                    api.broadcast(A2Msg::Join);
+                }
+            }
+            _ => {
+                if state.joined && state.sampled_round.expect("scheduled") <= k {
+                    api.broadcast(A2Msg::Status);
+                }
+            }
+        }
+    }
+
+    fn recv(&self, state: &mut A2State, inbox: &[(NodeId, A2Msg)], api: &mut RecvApi<'_>) {
+        match api.round() % 4 {
+            0 => {
+                state.tagged_neighbors =
+                    inbox.iter().filter(|(_, m)| *m == A2Msg::Tag).count() as u32;
+            }
+            1 => {
+                if state.marked {
+                    // Unmark if a marked neighbor has a higher estimated
+                    // degree (ties towards the larger id).
+                    let me = (state.my_estimate, api.node());
+                    for (src, msg) in inbox {
+                        if let A2Msg::Mark(av) = msg {
+                            if (*av, *src) > me {
+                                state.marked = false;
+                            }
+                        }
+                    }
+                }
+            }
+            2 => {
+                if !state.joined && inbox.iter().any(|(_, m)| *m == A2Msg::Join) {
+                    state.removed = true;
+                }
+            }
+            _ => {
+                if !state.joined && inbox.iter().any(|(_, m)| *m == A2Msg::Status) {
+                    state.removed = true;
+                    api.halt();
+                }
+            }
+        }
+    }
+}
+
+/// The 4-round end-of-iteration cleanup: (0) MIS members announce so
+/// everyone learns its coverage, (1) surviving nodes exchange spoiled
+/// status and count their exact remaining degree, (2) nodes over the
+/// `4∆^0.6` threshold announce, (3) threshold nodes with no threshold
+/// neighbor join and announce.
+#[derive(Debug)]
+pub struct Alg2Cleanup<'a> {
+    /// Nodes of the iteration's graph.
+    pub participating: &'a [bool],
+    /// MIS membership after the iteration's main rounds.
+    pub in_mis: &'a [bool],
+    /// Spoiled flags from the iteration.
+    pub spoiled: &'a [bool],
+    /// The degree threshold `cleanup_coeff * ∆^premark_exp`.
+    pub threshold: f64,
+}
+
+/// Per-node outcome of [`Alg2Cleanup`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CleanupState {
+    /// Covered by an MIS neighbor (possibly learned here).
+    pub removed: bool,
+    /// Exact surviving non-spoiled degree.
+    pub remaining_degree: u32,
+    /// Joined the MIS in the cleanup's final step.
+    pub joined: bool,
+    over: bool,
+    saw_over: bool,
+}
+
+impl Protocol for Alg2Cleanup<'_> {
+    type State = CleanupState;
+    type Msg = bool;
+
+    fn init(&self, node: NodeId, api: &mut InitApi<'_>) -> CleanupState {
+        if self.participating[node as usize] {
+            api.wake_range(0..4);
+        }
+        CleanupState::default()
+    }
+
+    fn send(&self, state: &mut CleanupState, api: &mut SendApi<'_, bool>) {
+        let v = api.node() as usize;
+        match api.round() {
+            0 => {
+                if self.in_mis[v] {
+                    api.broadcast(true);
+                }
+            }
+            1 => {
+                if !self.in_mis[v] && !state.removed {
+                    // Alive nodes report whether they are spoiled.
+                    api.broadcast(self.spoiled[v]);
+                }
+            }
+            2 => {
+                if !self.in_mis[v] && !state.removed && state.over {
+                    api.broadcast(true);
+                }
+            }
+            _ => {
+                if state.joined {
+                    api.broadcast(true);
+                }
+            }
+        }
+    }
+
+    fn recv(&self, state: &mut CleanupState, inbox: &[(NodeId, bool)], api: &mut RecvApi<'_>) {
+        let v = api.node() as usize;
+        match api.round() {
+            0 => {
+                if !self.in_mis[v] && !inbox.is_empty() {
+                    state.removed = true;
+                }
+            }
+            1 => {
+                state.remaining_degree =
+                    inbox.iter().filter(|&&(_, spoiled)| !spoiled).count() as u32;
+                state.over = !self.in_mis[v]
+                    && !state.removed
+                    && f64::from(state.remaining_degree) > self.threshold;
+            }
+            2 => {
+                state.saw_over = !inbox.is_empty();
+                if state.over && !state.saw_over {
+                    state.joined = true;
+                }
+            }
+            _ => {
+                if !state.joined && !self.in_mis[v] && !inbox.is_empty() {
+                    state.removed = true;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_sim::{run, SimConfig};
+    use mis_graphs::{generators, props};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn run_iteration(g: &mis_graphs::Graph, delta: f64, rounds: u32, seed: u64) -> Vec<A2State> {
+        let participating = vec![true; g.n()];
+        let proto = Alg2Phase1Iteration::new(&participating, rounds, delta, 0.5, 0.6);
+        run(g, &proto, &SimConfig::seeded(seed)).unwrap().states
+    }
+
+    #[test]
+    fn joined_set_is_independent() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for seed in 0..8 {
+            let g = generators::random_regular(600, 64, &mut rng);
+            let states = run_iteration(&g, 64.0, 40, seed);
+            let joined: Vec<bool> = states.iter().map(|s| s.joined).collect();
+            assert!(
+                props::independence_violation(&g, &joined).is_none(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn degree_drops_on_dense_graph() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let g = generators::random_regular(2048, 512, &mut rng);
+        let states = run_iteration(&g, 512.0, 60, 1);
+        let mut active = vec![true; g.n()];
+        for v in g.nodes() {
+            if states[v as usize].joined {
+                active[v as usize] = false;
+                for &u in g.neighbors(v) {
+                    active[u as usize] = false;
+                }
+            }
+        }
+        let residual = props::masked_max_degree(&g, &active);
+        assert!(
+            residual < 512,
+            "one iteration did not reduce the degree: {residual}"
+        );
+    }
+
+    #[test]
+    fn energy_is_schedule_bounded() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let g = generators::random_regular(1000, 100, &mut rng);
+        let participating = vec![true; g.n()];
+        let proto = Alg2Phase1Iteration::new(&participating, 50, 100.0, 0.5, 0.6);
+        let res = run(&g, &proto, &SimConfig::seeded(4)).unwrap();
+        let bound = congest_sim::schedule::set_size_bound(50) as u64 + 3;
+        assert!(
+            res.metrics.max_awake() <= bound,
+            "max awake {} > {bound}",
+            res.metrics.max_awake()
+        );
+    }
+
+    #[test]
+    fn roles_are_consistent() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let g = generators::gnp(500, 0.1, &mut rng);
+        let states = run_iteration(&g, 50.0, 30, 2);
+        for s in &states {
+            if s.sampled_round.is_some() {
+                assert!(s.tag_role || s.premark_role);
+            } else {
+                assert!(!s.tag_role && !s.premark_role && !s.joined);
+            }
+            if s.joined {
+                assert!(s.premark_role, "joined without pre-marking");
+            }
+        }
+    }
+
+    #[test]
+    fn cleanup_joins_high_degree_independent_nodes() {
+        // Star: hub has huge remaining degree, leaves are low. With a tiny
+        // threshold the hub joins in the cleanup.
+        let g = generators::star(30);
+        let participating = vec![true; 30];
+        let in_mis = vec![false; 30];
+        let spoiled = vec![false; 30];
+        let proto = Alg2Cleanup {
+            participating: &participating,
+            in_mis: &in_mis,
+            spoiled: &spoiled,
+            threshold: 5.0,
+        };
+        let res = run(&g, &proto, &SimConfig::seeded(0)).unwrap();
+        assert!(res.states[0].joined, "hub should join");
+        assert_eq!(res.states[0].remaining_degree, 29);
+        for v in 1..30 {
+            assert!(res.states[v].removed, "leaf {v} should be covered");
+            assert!(!res.states[v].joined);
+        }
+    }
+
+    #[test]
+    fn cleanup_ignores_spoiled_in_degree_count() {
+        let g = generators::star(10);
+        let participating = vec![true; 10];
+        let in_mis = vec![false; 10];
+        let mut spoiled = vec![false; 10];
+        for v in 1..10 {
+            spoiled[v] = true; // all leaves spoiled
+        }
+        let proto = Alg2Cleanup {
+            participating: &participating,
+            in_mis: &in_mis,
+            spoiled: &spoiled,
+            threshold: 5.0,
+        };
+        let res = run(&g, &proto, &SimConfig::seeded(0)).unwrap();
+        assert_eq!(res.states[0].remaining_degree, 0);
+        assert!(!res.states[0].joined);
+    }
+
+    #[test]
+    fn cleanup_respects_existing_mis() {
+        let g = generators::path(3);
+        let participating = vec![true; 3];
+        let in_mis = vec![false, true, false];
+        let spoiled = vec![false; 3];
+        let proto = Alg2Cleanup {
+            participating: &participating,
+            in_mis: &in_mis,
+            spoiled: &spoiled,
+            threshold: 0.5,
+        };
+        let res = run(&g, &proto, &SimConfig::seeded(0)).unwrap();
+        assert!(res.states[0].removed && res.states[2].removed);
+        assert!(!res.states[0].joined && !res.states[2].joined);
+    }
+}

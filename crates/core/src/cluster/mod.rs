@@ -1,0 +1,213 @@
+//! Cluster machinery for Phase III: rooted spanning forests over the
+//! shattered residual graph, energy-efficient tree operations, Linial
+//! coloring, and the deterministic Borůvka merge of Lemma 2.8.
+
+pub mod coloring;
+pub mod merge;
+pub mod tree;
+
+use congest_sim::NodeId;
+use mis_graphs::Graph;
+
+/// A rooted spanning forest over the participating nodes: every
+/// participating node belongs to a cluster identified by its root's node
+/// id, and knows its tree parent and depth — the "Labeled Distance Tree"
+/// structure that makes `O(1)`-energy broadcast/convergecast possible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterForest {
+    /// Which nodes carry cluster structure.
+    pub participating: Vec<bool>,
+    /// Cluster id (root node id) per node; undefined for non-participants.
+    pub cluster: Vec<NodeId>,
+    /// Tree parent; `None` at roots.
+    pub parent: Vec<Option<NodeId>>,
+    /// Distance to the root along the tree.
+    pub depth: Vec<u32>,
+}
+
+impl ClusterForest {
+    /// An empty forest where nobody participates.
+    pub fn new(n: usize) -> ClusterForest {
+        ClusterForest {
+            participating: vec![false; n],
+            cluster: vec![0; n],
+            parent: vec![None; n],
+            depth: vec![0; n],
+        }
+    }
+
+    /// Number of nodes (graph size, not participant count).
+    pub fn n(&self) -> usize {
+        self.participating.len()
+    }
+
+    /// Whether `v` is a cluster root.
+    pub fn is_root(&self, v: NodeId) -> bool {
+        self.participating[v as usize] && self.cluster[v as usize] == v
+    }
+
+    /// Ids of all cluster roots, ascending.
+    pub fn roots(&self) -> Vec<NodeId> {
+        (0..self.n() as u32).filter(|&v| self.is_root(v)).collect()
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.roots().len()
+    }
+
+    /// Maximum tree depth over participants (0 if none).
+    pub fn max_depth(&self) -> u32 {
+        (0..self.n())
+            .filter(|&v| self.participating[v])
+            .map(|v| self.depth[v])
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Members of each cluster, keyed by root id.
+    pub fn members(&self) -> std::collections::BTreeMap<NodeId, Vec<NodeId>> {
+        let mut map: std::collections::BTreeMap<NodeId, Vec<NodeId>> =
+            std::collections::BTreeMap::new();
+        for v in 0..self.n() as u32 {
+            if self.participating[v as usize] {
+                map.entry(self.cluster[v as usize]).or_default().push(v);
+            }
+        }
+        map
+    }
+
+    /// Validates the forest invariants against the graph:
+    /// roots have depth 0 and no parent; every non-root's parent is a
+    /// graph neighbor in the same cluster with depth one less; cluster
+    /// ids equal the root reached by following parents.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self, g: &Graph) -> Result<(), String> {
+        if self.n() != g.n() {
+            return Err(format!(
+                "forest over {} nodes, graph has {}",
+                self.n(),
+                g.n()
+            ));
+        }
+        for v in 0..self.n() as u32 {
+            if !self.participating[v as usize] {
+                continue;
+            }
+            let c = self.cluster[v as usize];
+            if !self.participating[c as usize] {
+                return Err(format!("node {v}: cluster root {c} not participating"));
+            }
+            match self.parent[v as usize] {
+                None => {
+                    if self.depth[v as usize] != 0 {
+                        return Err(format!("root {v} has depth {}", self.depth[v as usize]));
+                    }
+                    if c != v {
+                        return Err(format!("parentless node {v} labeled with cluster {c}"));
+                    }
+                }
+                Some(p) => {
+                    if !g.has_edge(v, p) {
+                        return Err(format!("tree edge {v}-{p} missing from graph"));
+                    }
+                    if !self.participating[p as usize] {
+                        return Err(format!("node {v}: parent {p} not participating"));
+                    }
+                    if self.cluster[p as usize] != c {
+                        return Err(format!(
+                            "node {v} in cluster {c}, parent {p} in {}",
+                            self.cluster[p as usize]
+                        ));
+                    }
+                    if self.depth[p as usize] + 1 != self.depth[v as usize] {
+                        return Err(format!(
+                            "node {v} depth {} but parent {p} depth {}",
+                            self.depth[v as usize], self.depth[p as usize]
+                        ));
+                    }
+                }
+            }
+        }
+        // Depth consistency already rules out cycles (strictly decreasing
+        // along parent links); verify each chain ends at the labeled root.
+        for v in 0..self.n() as u32 {
+            if !self.participating[v as usize] {
+                continue;
+            }
+            let mut cur = v;
+            while let Some(p) = self.parent[cur as usize] {
+                cur = p;
+            }
+            if cur != self.cluster[v as usize] {
+                return Err(format!(
+                    "node {v}: parent chain reaches {cur}, cluster says {}",
+                    self.cluster[v as usize]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graphs::generators;
+
+    fn path_forest() -> (Graph, ClusterForest) {
+        // 0-1-2  3-4 : two clusters rooted at 0 and 3.
+        let g = generators::path(5);
+        let mut f = ClusterForest::new(5);
+        f.participating = vec![true; 5];
+        f.cluster = vec![0, 0, 0, 3, 3];
+        f.parent = vec![None, Some(0), Some(1), None, Some(3)];
+        f.depth = vec![0, 1, 2, 0, 1];
+        (g, f)
+    }
+
+    #[test]
+    fn valid_forest_passes() {
+        let (g, f) = path_forest();
+        f.validate(&g).unwrap();
+        assert_eq!(f.roots(), vec![0, 3]);
+        assert_eq!(f.cluster_count(), 2);
+        assert_eq!(f.max_depth(), 2);
+        let members = f.members();
+        assert_eq!(members[&0], vec![0, 1, 2]);
+        assert_eq!(members[&3], vec![3, 4]);
+    }
+
+    #[test]
+    fn validation_catches_bad_depth() {
+        let (g, mut f) = path_forest();
+        f.depth[2] = 5;
+        assert!(f.validate(&g).unwrap_err().contains("depth"));
+    }
+
+    #[test]
+    fn validation_catches_non_edge_parent() {
+        let (g, mut f) = path_forest();
+        f.parent[4] = Some(0);
+        assert!(f.validate(&g).unwrap_err().contains("missing from graph"));
+    }
+
+    #[test]
+    fn validation_catches_cluster_mismatch() {
+        let (g, mut f) = path_forest();
+        f.cluster[2] = 3;
+        assert!(f.validate(&g).is_err());
+    }
+
+    #[test]
+    fn empty_forest_is_valid() {
+        let g = generators::cycle(4);
+        let f = ClusterForest::new(4);
+        f.validate(&g).unwrap();
+        assert_eq!(f.cluster_count(), 0);
+        assert_eq!(f.max_depth(), 0);
+    }
+}

@@ -1,0 +1,529 @@
+//! Energy-efficient tree operations on a [`ClusterForest`].
+//!
+//! Given rooted trees where every node knows its depth and a global depth
+//! cap `D`, broadcast and convergecast need only `O(1)` awake rounds per
+//! node (the "Labeled Distance Tree" technique the paper borrows from
+//! \[AMP22, BM21a\]): a node at depth `d` is awake exactly when its tree
+//! edge is scheduled to carry the wave.
+//!
+//! * **Convergecast** (leaves → root): node at depth `d` listens in round
+//!   `D - d - 1` and transmits to its parent in round `D - d`.
+//! * **Broadcast** (root → leaves): node at depth `d` listens in round
+//!   `d - 1` and transmits in round `d`.
+//! * **Re-rooting** (up + down passes) transfers a leaf cluster onto a
+//!   center cluster during Borůvka merges (Lemma 2.8), updating parents,
+//!   depths and cluster ids in `O(D)` rounds at `O(1)` energy.
+
+use crate::cluster::ClusterForest;
+use congest_sim::{InitApi, Message, NodeId, Protocol, RecvApi, SendApi};
+
+/// Convergecast: every active node contributes an optional value; each
+/// root ends up with the `combine`-fold of its cluster's contributions.
+#[derive(Debug)]
+pub struct Convergecast<'a, V, F> {
+    /// The forest defining trees, depths, parents.
+    pub forest: &'a ClusterForest,
+    /// Per-node activity mask (inactive nodes sleep; must be
+    /// cluster-closed: a cluster participates fully or not at all).
+    pub active: &'a [bool],
+    /// Depth cap `D`; must exceed every active node's depth.
+    pub depth_cap: u32,
+    /// Per-node contribution.
+    pub input: &'a [Option<V>],
+    /// Associative, commutative combiner.
+    pub combine: F,
+}
+
+/// State of [`Convergecast`]: the fold over the node's subtree.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CvcState<V> {
+    /// Combined value of the subtree rooted here (valid after the run).
+    pub acc: Option<V>,
+}
+
+impl<V, F> Protocol for Convergecast<'_, V, F>
+where
+    V: Message,
+    F: Fn(V, V) -> V,
+{
+    type State = CvcState<V>;
+    type Msg = V;
+
+    fn init(&self, node: NodeId, api: &mut InitApi<'_>) -> CvcState<V> {
+        let v = node as usize;
+        let mut st = CvcState {
+            acc: self.input[v].clone(),
+        };
+        if !self.active[v] || !self.forest.participating[v] {
+            st.acc = None;
+            return st;
+        }
+        let d = self.forest.depth[v];
+        assert!(
+            d < self.depth_cap,
+            "depth {d} exceeds cap {}",
+            self.depth_cap
+        );
+        let listen = u64::from(self.depth_cap - d - 1);
+        api.wake_at(listen);
+        if self.forest.parent[v].is_some() {
+            api.wake_at(listen + 1); // transmit round D - d
+        }
+        st
+    }
+
+    fn send(&self, state: &mut CvcState<V>, api: &mut SendApi<'_, V>) {
+        let v = api.node() as usize;
+        let d = self.forest.depth[v];
+        if api.round() == u64::from(self.depth_cap - d) {
+            if let (Some(p), Some(val)) = (self.forest.parent[v], state.acc.clone()) {
+                api.send(p, val);
+            }
+        }
+    }
+
+    fn recv(&self, state: &mut CvcState<V>, inbox: &[(NodeId, V)], api: &mut RecvApi<'_>) {
+        let v = api.node() as usize;
+        let d = self.forest.depth[v];
+        if api.round() == u64::from(self.depth_cap - d - 1) {
+            for (_, val) in inbox {
+                state.acc = Some(match state.acc.take() {
+                    None => val.clone(),
+                    Some(acc) => (self.combine)(acc, val.clone()),
+                });
+            }
+        }
+    }
+}
+
+/// Broadcast: each root's value is delivered to every node of its cluster.
+#[derive(Debug)]
+pub struct Broadcast<'a, V> {
+    /// The forest defining trees, depths, parents.
+    pub forest: &'a ClusterForest,
+    /// Per-node activity mask (cluster-closed).
+    pub active: &'a [bool],
+    /// Depth cap `D`.
+    pub depth_cap: u32,
+    /// Value per root (ignored at non-roots).
+    pub input: &'a [Option<V>],
+}
+
+/// State of [`Broadcast`]: the value received from the root.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BcState<V> {
+    /// The root's value (valid after the run; `None` if the root had none).
+    pub value: Option<V>,
+}
+
+impl<V: Message> Protocol for Broadcast<'_, V> {
+    type State = BcState<V>;
+    type Msg = V;
+
+    fn init(&self, node: NodeId, api: &mut InitApi<'_>) -> BcState<V> {
+        let v = node as usize;
+        if !self.active[v] || !self.forest.participating[v] {
+            return BcState { value: None };
+        }
+        let d = self.forest.depth[v];
+        assert!(
+            d < self.depth_cap,
+            "depth {d} exceeds cap {}",
+            self.depth_cap
+        );
+        if d > 0 {
+            api.wake_at(u64::from(d) - 1); // listen to parent
+        }
+        api.wake_at(u64::from(d)); // relay to children
+        BcState {
+            value: if self.forest.is_root(node) {
+                self.input[v].clone()
+            } else {
+                None
+            },
+        }
+    }
+
+    fn send(&self, state: &mut BcState<V>, api: &mut SendApi<'_, V>) {
+        let v = api.node() as usize;
+        let d = self.forest.depth[v];
+        if api.round() == u64::from(d) {
+            if let Some(val) = state.value.clone() {
+                // Children filter by sender == parent; other neighbors
+                // are asleep or ignore.
+                api.broadcast(val);
+            }
+        }
+    }
+
+    fn recv(&self, state: &mut BcState<V>, inbox: &[(NodeId, V)], api: &mut RecvApi<'_>) {
+        let v = api.node() as usize;
+        let d = self.forest.depth[v];
+        if d > 0 && api.round() == u64::from(d) - 1 {
+            if let Some(p) = self.forest.parent[v] {
+                for (src, val) in inbox {
+                    if *src == p {
+                        state.value = Some(val.clone());
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Value passed up during re-rooting: `(s, new_cluster)` where
+/// `s = X + depth_old(attach)` is constant along the attach→root path and
+/// `X` is the attach node's new depth.
+pub type RerootVal = (u32, u32);
+
+/// Upward pass of leaf-cluster re-rooting: the attach node injects
+/// `(s, new_cluster)`; ancestors on the attach→root path record it,
+/// remember which child it came from (their future child-ward parent) and
+/// compute their new depth `s - depth_old`.
+#[derive(Debug)]
+pub struct RerootUp<'a> {
+    /// Forest *before* the merge.
+    pub forest: &'a ClusterForest,
+    /// Mask of leaf-cluster members (cluster-closed).
+    pub active: &'a [bool],
+    /// Depth cap `D`.
+    pub depth_cap: u32,
+    /// `(s, new_cluster)` at attach nodes, `None` elsewhere.
+    pub attach: &'a [Option<RerootVal>],
+}
+
+/// State of [`RerootUp`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RerootUpState {
+    /// The path value, if this node lies on the attach→root path.
+    pub path_val: Option<RerootVal>,
+    /// The child that forwarded the value (the node's new parent side).
+    pub from_child: Option<NodeId>,
+}
+
+impl Protocol for RerootUp<'_> {
+    type State = RerootUpState;
+    type Msg = RerootVal;
+
+    fn init(&self, node: NodeId, api: &mut InitApi<'_>) -> RerootUpState {
+        let v = node as usize;
+        let st = RerootUpState {
+            path_val: self.attach[v],
+            from_child: None,
+        };
+        if !self.active[v] || !self.forest.participating[v] {
+            return st;
+        }
+        let d = self.forest.depth[v];
+        assert!(
+            d < self.depth_cap,
+            "depth {d} exceeds cap {}",
+            self.depth_cap
+        );
+        api.wake_at(u64::from(self.depth_cap - d - 1));
+        if self.forest.parent[v].is_some() {
+            api.wake_at(u64::from(self.depth_cap - d));
+        }
+        st
+    }
+
+    fn send(&self, state: &mut RerootUpState, api: &mut SendApi<'_, RerootVal>) {
+        let v = api.node() as usize;
+        let d = self.forest.depth[v];
+        if api.round() == u64::from(self.depth_cap - d) {
+            if let (Some(p), Some(val)) = (self.forest.parent[v], state.path_val) {
+                api.send(p, val);
+            }
+        }
+    }
+
+    fn recv(
+        &self,
+        state: &mut RerootUpState,
+        inbox: &[(NodeId, RerootVal)],
+        api: &mut RecvApi<'_>,
+    ) {
+        let v = api.node() as usize;
+        let d = self.forest.depth[v];
+        if api.round() == u64::from(self.depth_cap - d - 1) {
+            for (src, val) in inbox {
+                assert!(
+                    state.path_val.is_none(),
+                    "two attach paths met at node {v}: a leaf cluster must have one attach point"
+                );
+                state.path_val = Some(*val);
+                state.from_child = Some(*src);
+            }
+        }
+    }
+}
+
+/// Downward pass of re-rooting: the old root (whose new depth the up pass
+/// established) floods `(new_cluster, sender's new depth)` down the old
+/// tree; off-path nodes compute `new depth = parent's + 1` and keep their
+/// parent; on-path nodes already know their values and flip their parent
+/// to `from_child`.
+#[derive(Debug)]
+pub struct RerootDown<'a> {
+    /// Forest *before* the merge (schedules follow old depths).
+    pub forest: &'a ClusterForest,
+    /// Mask of leaf-cluster members.
+    pub active: &'a [bool],
+    /// Depth cap `D`.
+    pub depth_cap: u32,
+    /// Output of the up pass.
+    pub up: &'a [RerootUpState],
+}
+
+/// State of [`RerootDown`]: the node's new coordinates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RerootDownState {
+    /// New cluster id.
+    pub new_cluster: Option<u32>,
+    /// New depth.
+    pub new_depth: u32,
+}
+
+impl Protocol for RerootDown<'_> {
+    type State = RerootDownState;
+    type Msg = (u32, u32); // (new cluster, sender's new depth)
+
+    fn init(&self, node: NodeId, api: &mut InitApi<'_>) -> RerootDownState {
+        let v = node as usize;
+        let mut st = RerootDownState::default();
+        if !self.active[v] || !self.forest.participating[v] {
+            return st;
+        }
+        let d = self.forest.depth[v];
+        // On-path nodes know their new coordinates from the up pass.
+        if let Some((s, c)) = self.up[v].path_val {
+            st.new_cluster = Some(c);
+            st.new_depth = s - d;
+        }
+        if d > 0 {
+            api.wake_at(u64::from(d) - 1);
+        }
+        api.wake_at(u64::from(d));
+        st
+    }
+
+    fn send(&self, state: &mut RerootDownState, api: &mut SendApi<'_, (u32, u32)>) {
+        let v = api.node() as usize;
+        let d = self.forest.depth[v];
+        if api.round() == u64::from(d) {
+            if let Some(c) = state.new_cluster {
+                api.broadcast((c, state.new_depth));
+            }
+        }
+    }
+
+    fn recv(
+        &self,
+        state: &mut RerootDownState,
+        inbox: &[(NodeId, (u32, u32))],
+        api: &mut RecvApi<'_>,
+    ) {
+        let v = api.node() as usize;
+        let d = self.forest.depth[v];
+        if d > 0 && api.round() == u64::from(d) - 1 && state.new_cluster.is_none() {
+            if let Some(p) = self.forest.parent[v] {
+                for (src, (c, pd)) in inbox {
+                    if *src == p {
+                        state.new_cluster = Some(*c);
+                        state.new_depth = pd + 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_sim::{run, SimConfig};
+    use mis_graphs::generators;
+
+    /// Builds a two-cluster forest on a path 0-1-2-3-4-5:
+    /// cluster 0 = {0,1,2} rooted at 0, cluster 3 = {3,4,5} rooted at 3.
+    fn two_cluster_path() -> (mis_graphs::Graph, ClusterForest) {
+        let g = generators::path(6);
+        let mut f = ClusterForest::new(6);
+        f.participating = vec![true; 6];
+        f.cluster = vec![0, 0, 0, 3, 3, 3];
+        f.parent = vec![None, Some(0), Some(1), None, Some(3), Some(4)];
+        f.depth = vec![0, 1, 2, 0, 1, 2];
+        f.validate(&g).unwrap();
+        (g, f)
+    }
+
+    #[test]
+    fn convergecast_sums_per_cluster() {
+        let (g, f) = two_cluster_path();
+        let active = vec![true; 6];
+        let input: Vec<Option<u32>> = (0..6).map(|v| Some(v as u32 + 1)).collect();
+        let proto = Convergecast {
+            forest: &f,
+            active: &active,
+            depth_cap: 4,
+            input: &input,
+            combine: |a: u32, b: u32| a + b,
+        };
+        let res = run(&g, &proto, &SimConfig::seeded(1)).unwrap();
+        assert_eq!(res.states[0].acc, Some(1 + 2 + 3));
+        assert_eq!(res.states[3].acc, Some(4 + 5 + 6));
+        // Each node awake at most 2 rounds.
+        assert!(res.metrics.max_awake() <= 2);
+        assert!(res.metrics.elapsed_rounds <= 5);
+    }
+
+    #[test]
+    fn convergecast_min_with_none_contributions() {
+        let (g, f) = two_cluster_path();
+        let active = vec![true; 6];
+        let mut input: Vec<Option<u32>> = vec![None; 6];
+        input[2] = Some(42);
+        input[4] = Some(7);
+        let proto = Convergecast {
+            forest: &f,
+            active: &active,
+            depth_cap: 4,
+            input: &input,
+            combine: |a: u32, b: u32| a.min(b),
+        };
+        let res = run(&g, &proto, &SimConfig::seeded(1)).unwrap();
+        assert_eq!(res.states[0].acc, Some(42));
+        assert_eq!(res.states[3].acc, Some(7));
+    }
+
+    #[test]
+    fn broadcast_delivers_root_values() {
+        let (g, f) = two_cluster_path();
+        let active = vec![true; 6];
+        let mut input: Vec<Option<u32>> = vec![None; 6];
+        input[0] = Some(100);
+        input[3] = Some(200);
+        let proto = Broadcast {
+            forest: &f,
+            active: &active,
+            depth_cap: 4,
+            input: &input,
+        };
+        let res = run(&g, &proto, &SimConfig::seeded(2)).unwrap();
+        for v in 0..3 {
+            assert_eq!(res.states[v].value, Some(100), "node {v}");
+        }
+        for v in 3..6 {
+            assert_eq!(res.states[v].value, Some(200), "node {v}");
+        }
+        assert!(res.metrics.max_awake() <= 2);
+    }
+
+    #[test]
+    fn broadcast_respects_active_mask() {
+        let (g, f) = two_cluster_path();
+        // Only cluster 0 is active.
+        let active = vec![true, true, true, false, false, false];
+        let mut input: Vec<Option<u32>> = vec![None; 6];
+        input[0] = Some(5);
+        input[3] = Some(6);
+        let proto = Broadcast {
+            forest: &f,
+            active: &active,
+            depth_cap: 4,
+            input: &input,
+        };
+        let res = run(&g, &proto, &SimConfig::seeded(3)).unwrap();
+        assert_eq!(res.states[1].value, Some(5));
+        assert_eq!(res.states[4].value, None);
+        assert_eq!(res.metrics.awake_rounds[4], 0);
+    }
+
+    #[test]
+    fn reroot_transfers_leaf_cluster() {
+        // Merge cluster {3,4,5} (leaf) onto cluster {0,1,2} (center) along
+        // the graph edge 2-3; attach node is 3 with new depth X = 3
+        // (center node 2 has depth 2).
+        let (g, f) = two_cluster_path();
+        let leaf_mask = vec![false, false, false, true, true, true];
+        let mut attach: Vec<Option<RerootVal>> = vec![None; 6];
+        // s = X + depth_old(3) = 3 + 0 = 3; new cluster id 0.
+        attach[3] = Some((3, 0));
+        let up = run(
+            &g,
+            &RerootUp {
+                forest: &f,
+                active: &leaf_mask,
+                depth_cap: 4,
+                attach: &attach,
+            },
+            &SimConfig::seeded(4),
+        )
+        .unwrap();
+        // 3 is the old root; the path is trivial.
+        assert_eq!(up.states[3].path_val, Some((3, 0)));
+        let down = run(
+            &g,
+            &RerootDown {
+                forest: &f,
+                active: &leaf_mask,
+                depth_cap: 4,
+                up: &up.states,
+            },
+            &SimConfig::seeded(5),
+        )
+        .unwrap();
+        assert_eq!(down.states[3].new_cluster, Some(0));
+        assert_eq!(down.states[3].new_depth, 3);
+        assert_eq!(down.states[4].new_depth, 4);
+        assert_eq!(down.states[5].new_depth, 5);
+    }
+
+    #[test]
+    fn reroot_from_deep_attach_node() {
+        // Leaf cluster {3,4,5} rooted at 3, attach node is 5 (depth 2):
+        // the tree must flip: 5 becomes outward-facing with parents
+        // 5 -> 4 -> 3 reversed.
+        let g = generators::path(6);
+        let mut f = ClusterForest::new(6);
+        f.participating = vec![true; 6];
+        f.cluster = vec![0, 0, 0, 3, 3, 3];
+        f.parent = vec![None, Some(0), Some(1), None, Some(3), Some(4)];
+        f.depth = vec![0, 1, 2, 0, 1, 2];
+        let leaf_mask = vec![false, false, false, true, true, true];
+        let mut attach: Vec<Option<RerootVal>> = vec![None; 6];
+        // Say 5 attaches with new depth X = 7: s = 7 + 2 = 9.
+        attach[5] = Some((9, 0));
+        let up = run(
+            &g,
+            &RerootUp {
+                forest: &f,
+                active: &leaf_mask,
+                depth_cap: 4,
+                attach: &attach,
+            },
+            &SimConfig::seeded(6),
+        )
+        .unwrap();
+        assert_eq!(up.states[4].path_val, Some((9, 0)));
+        assert_eq!(up.states[4].from_child, Some(5));
+        assert_eq!(up.states[3].from_child, Some(4));
+        let down = run(
+            &g,
+            &RerootDown {
+                forest: &f,
+                active: &leaf_mask,
+                depth_cap: 4,
+                up: &up.states,
+            },
+            &SimConfig::seeded(7),
+        )
+        .unwrap();
+        assert_eq!(down.states[5].new_depth, 7);
+        assert_eq!(down.states[4].new_depth, 8);
+        assert_eq!(down.states[3].new_depth, 9);
+        for v in 3..6 {
+            assert_eq!(down.states[v].new_cluster, Some(0), "node {v}");
+        }
+    }
+}

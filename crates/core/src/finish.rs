@@ -1,0 +1,378 @@
+//! Lemma 2.7: computing the MIS inside each merged component.
+//!
+//! After the Borůvka merge, every shattered component is one cluster with
+//! an `O(log n)`-depth spanning tree. Since components hold only
+//! `poly(log n)` nodes, a single Ghaffari execution of `O(log log n)`
+//! iterations succeeds only with probability `1 − 1/poly(log n)` — not
+//! enough. The paper's fix: run `Θ(log n)` independent 1-bit executions
+//! *in parallel* (they fit in one CONGEST message), check each execution's
+//! success with a convergecast-AND over the spanning tree, and let the
+//! root pick the first globally successful execution and broadcast its
+//! index.
+
+use crate::cluster::tree::{Broadcast, Convergecast};
+use crate::cluster::ClusterForest;
+use crate::ghaffari::{GhaffariMis, GhaffariState};
+use congest_sim::{InitApi, NodeId, PackedBits, Pipeline, Protocol, RecvApi, SendApi, SimError};
+
+/// Parameters of the finish step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FinishConfig {
+    /// Parallel executions (`Θ(log n)`).
+    pub executions: usize,
+    /// Ghaffari iterations per execution (`Θ(log log n)` on polylog-degree
+    /// components).
+    pub iterations: u32,
+    /// Retries for components where every execution failed.
+    pub retries: u32,
+}
+
+/// Outcome of [`finish_components`].
+#[derive(Debug, Clone)]
+pub struct FinishOutcome {
+    /// Final MIS membership among participating nodes.
+    pub in_mis: Vec<bool>,
+    /// Retries consumed (0 = first attempt succeeded everywhere).
+    pub retries_used: u32,
+    /// Nodes resolved by the centralized fallback after all retries
+    /// failed (0 in any healthy configuration; reported for honesty).
+    pub fallback_nodes: usize,
+}
+
+/// One-round success check: everyone announces its per-execution
+/// membership; each node grades each execution locally (covered or
+/// independent member → success).
+#[derive(Debug)]
+struct SuccessCheck<'a> {
+    participating: &'a [bool],
+    joined: &'a [PackedBits],
+    executions: usize,
+}
+
+impl Protocol for SuccessCheck<'_> {
+    type State = PackedBits;
+    type Msg = PackedBits;
+
+    fn init(&self, node: NodeId, api: &mut InitApi<'_>) -> PackedBits {
+        if self.participating[node as usize] {
+            api.wake_at(0);
+        }
+        PackedBits::new(self.executions)
+    }
+
+    fn send(&self, _state: &mut PackedBits, api: &mut SendApi<'_, PackedBits>) {
+        api.broadcast(self.joined[api.node() as usize].clone());
+    }
+
+    fn recv(&self, state: &mut PackedBits, inbox: &[(NodeId, PackedBits)], api: &mut RecvApi<'_>) {
+        let mut nbr = PackedBits::new(self.executions);
+        for (src, bits) in inbox {
+            if self.participating[*src as usize] {
+                nbr.or_assign(bits);
+            }
+        }
+        let mine = &self.joined[api.node() as usize];
+        for e in 0..self.executions {
+            let ok = if mine.get(e) { !nbr.get(e) } else { nbr.get(e) };
+            state.set(e, ok);
+        }
+    }
+}
+
+/// Runs the Lemma 2.7 finish on the merged `forest`: all participating
+/// nodes obtain a final MIS decision. Communication is charged to `pipe`.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn finish_components(
+    pipe: &mut Pipeline<'_>,
+    forest: &ClusterForest,
+    cfg: &FinishConfig,
+) -> Result<FinishOutcome, SimError> {
+    let n = forest.n();
+    let mut in_mis = vec![false; n];
+    let mut pending: Vec<bool> = forest.participating.clone();
+    let mut retries_used = 0;
+
+    for attempt in 0..=cfg.retries {
+        if pending.iter().all(|&p| !p) {
+            break;
+        }
+        let decided = attempt_finish(pipe, forest, cfg, &pending, &mut in_mis)?;
+        // Clusters whose root picked an execution are done.
+        let mut still = vec![false; n];
+        let mut any = false;
+        for v in 0..n {
+            if pending[v] && !decided[v] {
+                still[v] = true;
+                any = true;
+            }
+        }
+        pending = still;
+        if !any {
+            break;
+        }
+        if attempt < cfg.retries {
+            retries_used += 1;
+        }
+    }
+
+    // Centralized fallback for components that defeated every retry
+    // (probability ~ n^-c; kept for total correctness and reported).
+    let fallback_nodes = pending.iter().filter(|&&p| p).count();
+    if fallback_nodes > 0 {
+        let g = pipe.graph();
+        for v in 0..n as u32 {
+            if pending[v as usize] {
+                let covered = g.neighbors(v).iter().any(|&u| in_mis[u as usize]);
+                if !covered {
+                    in_mis[v as usize] = true;
+                }
+            }
+        }
+    }
+
+    Ok(FinishOutcome {
+        in_mis,
+        retries_used,
+        fallback_nodes,
+    })
+}
+
+/// One attempt: parallel executions + success check + convergecast-AND +
+/// broadcast of the chosen execution. Returns which nodes got a decision.
+fn attempt_finish(
+    pipe: &mut Pipeline<'_>,
+    forest: &ClusterForest,
+    cfg: &FinishConfig,
+    pending: &[bool],
+    in_mis: &mut [bool],
+) -> Result<Vec<bool>, SimError> {
+    let n = forest.n();
+    let ghaffari = pipe.run_phase(
+        "finish:executions",
+        &GhaffariMis {
+            participating: pending,
+            iterations: cfg.iterations,
+            executions: cfg.executions,
+            halt_when_done: false,
+        },
+    )?;
+    let joined: Vec<PackedBits> = ghaffari
+        .iter()
+        .map(|s: &GhaffariState| s.joined.clone())
+        .collect();
+    let success = pipe.run_phase(
+        "finish:check",
+        &SuccessCheck {
+            participating: pending,
+            joined: &joined,
+            executions: cfg.executions,
+        },
+    )?;
+
+    let cap = forest.max_depth() + 1;
+    let success_input: Vec<Option<PackedBits>> = (0..n)
+        .map(|v| pending[v].then(|| success[v].clone()))
+        .collect();
+    let cvc = pipe.run_phase(
+        "finish:and-cvc",
+        &Convergecast {
+            forest,
+            active: pending,
+            depth_cap: cap,
+            input: &success_input,
+            combine: |mut a: PackedBits, b: PackedBits| {
+                a.and_assign(&b);
+                a
+            },
+        },
+    )?;
+    let mut pick_input: Vec<Option<u32>> = vec![None; n];
+    for r in forest.roots() {
+        if pending[r as usize] {
+            if let Some(acc) = &cvc[r as usize].acc {
+                if let Some(e) = acc.first_one() {
+                    pick_input[r as usize] = Some(e as u32);
+                }
+            }
+        }
+    }
+    let bc = pipe.run_phase(
+        "finish:pick-bc",
+        &Broadcast {
+            forest,
+            active: pending,
+            depth_cap: cap,
+            input: &pick_input,
+        },
+    )?;
+
+    let mut decided = vec![false; n];
+    for v in 0..n {
+        if !pending[v] {
+            continue;
+        }
+        if let Some(e) = bc[v].value {
+            decided[v] = true;
+            in_mis[v] = joined[v].get(e as usize);
+        }
+    }
+    Ok(decided)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::merge::{merge_clusters, MergeConfig};
+    use crate::shatter::{forest_from_grow, ClusterGrow};
+    use congest_sim::{run, SimConfig};
+    use mis_graphs::{generators, props};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn merged_forest(
+        g: &mis_graphs::Graph,
+        mask: &[bool],
+        pipe: &mut Pipeline<'_>,
+    ) -> ClusterForest {
+        let proto = ClusterGrow {
+            participating: mask,
+            radius: 3,
+        };
+        let res = run(g, &proto, &SimConfig::seeded(31)).unwrap();
+        let forest = forest_from_grow(mask, &res.states);
+        let cfg = MergeConfig {
+            iterations: 10,
+            ..MergeConfig::default()
+        };
+        let (merged, _) = merge_clusters(pipe, forest, &cfg).unwrap();
+        merged
+    }
+
+    #[test]
+    fn finish_produces_mis_on_components() {
+        let g = generators::disjoint_union(&[
+            &generators::cycle(20),
+            &generators::grid2d(5, 5),
+            &generators::path(13),
+        ]);
+        let mask = vec![true; g.n()];
+        let mut pipe = Pipeline::new(&g, SimConfig::seeded(1));
+        let forest = merged_forest(&g, &mask, &mut pipe);
+        let out = finish_components(
+            &mut pipe,
+            &forest,
+            &FinishConfig {
+                executions: 24,
+                iterations: 30,
+                retries: 4,
+            },
+        )
+        .unwrap();
+        assert!(props::is_mis(&g, &out.in_mis), "finish output not an MIS");
+        assert_eq!(out.fallback_nodes, 0);
+    }
+
+    #[test]
+    fn finish_respects_mask() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let g = generators::gnp(150, 0.02, &mut rng);
+        let mut mask = vec![true; 150];
+        for v in 0..150 {
+            if v % 4 == 0 {
+                mask[v] = false;
+            }
+        }
+        let mut pipe = Pipeline::new(&g, SimConfig::seeded(3));
+        let forest = merged_forest(&g, &mask, &mut pipe);
+        let out = finish_components(
+            &mut pipe,
+            &forest,
+            &FinishConfig {
+                executions: 24,
+                iterations: 40,
+                retries: 4,
+            },
+        )
+        .unwrap();
+        // Within the masked subgraph, the output is an MIS.
+        for v in 0..150u32 {
+            if !mask[v as usize] {
+                assert!(!out.in_mis[v as usize], "masked node {v} joined");
+                continue;
+            }
+            if out.in_mis[v as usize] {
+                for &u in g.neighbors(v) {
+                    assert!(
+                        !(mask[u as usize] && out.in_mis[u as usize]),
+                        "adjacent MIS pair {v},{u}"
+                    );
+                }
+            } else {
+                assert!(
+                    g.neighbors(v)
+                        .iter()
+                        .any(|&u| mask[u as usize] && out.in_mis[u as usize]),
+                    "node {v} uncovered"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn starved_finish_retries_and_falls_back_but_stays_correct() {
+        // 1 execution × 1 iteration is far too little for a cycle: force
+        // the retry path and, if retries run out, the audited fallback.
+        let g = generators::cycle(24);
+        let mask = vec![true; g.n()];
+        let mut pipe = Pipeline::new(&g, SimConfig::seeded(5));
+        let forest = merged_forest(&g, &mask, &mut pipe);
+        let out = finish_components(
+            &mut pipe,
+            &forest,
+            &FinishConfig {
+                executions: 1,
+                iterations: 1,
+                retries: 2,
+            },
+        )
+        .unwrap();
+        assert!(
+            out.retries_used > 0 || out.fallback_nodes > 0,
+            "starved config unexpectedly succeeded first try"
+        );
+        assert!(props::is_mis(&g, &out.in_mis), "output must stay an MIS");
+    }
+
+    #[test]
+    fn success_check_grades_correctly() {
+        // Path 0-1-2: execution 0 = {0, 2} (an MIS), execution 1 = {} (all
+        // fail), execution 2 = {0, 1} (conflict).
+        let g = generators::path(3);
+        let participating = vec![true; 3];
+        let mut joined: Vec<PackedBits> = (0..3).map(|_| PackedBits::new(3)).collect();
+        joined[0].set(0, true);
+        joined[2].set(0, true);
+        joined[0].set(2, true);
+        joined[1].set(2, true);
+        let res = run(
+            &g,
+            &SuccessCheck {
+                participating: &participating,
+                joined: &joined,
+                executions: 3,
+            },
+            &SimConfig::seeded(0),
+        )
+        .unwrap();
+        // Execution 0 succeeds everywhere.
+        assert!((0..3).all(|v| res.states[v].get(0)));
+        // Execution 1 fails everywhere (nobody joined).
+        assert!((0..3).all(|v| !res.states[v].get(1)));
+        // Execution 2: nodes 0 and 1 are adjacent members -> both fail.
+        assert!(!res.states[0].get(2));
+        assert!(!res.states[1].get(2));
+    }
+}

@@ -1,0 +1,55 @@
+//! `energy-mis`: a full reproduction of *"Distributed MIS with Low Energy
+//! and Time Complexities"* (Ghaffari & Portmann, PODC 2023,
+//! arXiv:2305.11639).
+//!
+//! The crate implements both of the paper's algorithms and the Section 4
+//! constant-average-energy extension on a deterministic sleeping-CONGEST
+//! simulator ([`congest_sim`]):
+//!
+//! * [`alg1::run_algorithm1`] — Theorem 1.1: `O(log² n)` rounds,
+//!   `O(log log n)` worst-case energy.
+//! * [`alg2::run_algorithm2`] — Theorem 1.2: `O(log n · log log n ·
+//!   log* n)` rounds, `O(log² log n)` worst-case energy.
+//! * [`avg_energy`] — Section 4: the same bounds with `O(1)`
+//!   node-averaged energy.
+//!
+//! Substrates (each its own module, built from scratch): Ghaffari's
+//! desire-level MIS ([`ghaffari`]), awake schedules (re-exported from
+//! `congest_sim::schedule`), shattering and clustering ([`shatter`]),
+//! tree operations, Linial coloring and Borůvka merging ([`cluster`]),
+//! and the parallel-execution finisher ([`finish`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use energy_mis::{alg1, params::Alg1Params};
+//! use mis_graphs::generators;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+//! let g = generators::gnp(500, 8.0 / 500.0, &mut rng);
+//! let report = alg1::run_algorithm1(&g, &Alg1Params::default(), 42).unwrap();
+//! assert!(report.is_mis());
+//! println!(
+//!     "rounds = {}, worst-case energy = {}",
+//!     report.metrics.elapsed_rounds,
+//!     report.metrics.max_awake()
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alg1;
+pub mod alg2;
+pub mod avg_energy;
+pub mod cluster;
+pub mod finish;
+pub mod ghaffari;
+pub mod params;
+pub mod report;
+pub mod shatter;
+pub mod status;
+pub mod tail;
+
+pub use report::MisReport;

@@ -1,0 +1,104 @@
+//! Unified run reports.
+
+use congest_sim::Metrics;
+use mis_graphs::{props, Graph};
+
+/// Result of running a full MIS pipeline: the computed set, aggregate and
+/// per-phase metrics, verification flags, and measured per-phase
+/// statistics (used by the experiment harness).
+#[derive(Debug, Clone)]
+pub struct MisReport {
+    /// `in_mis[v]` iff node `v` is in the computed set.
+    pub in_mis: Vec<bool>,
+    /// Aggregate time/energy/message metrics over all phases.
+    pub metrics: Metrics,
+    /// Per-phase metrics in execution order.
+    pub phases: Vec<(String, Metrics)>,
+    /// Whether the output is an independent set.
+    pub independent: bool,
+    /// Whether the output is maximal.
+    pub maximal: bool,
+    /// Named measured quantities (residual degrees, component sizes,
+    /// retries, …).
+    pub extras: std::collections::BTreeMap<String, f64>,
+}
+
+impl MisReport {
+    /// Builds the report, verifying the output against the graph.
+    pub fn assemble(
+        g: &Graph,
+        in_mis: Vec<bool>,
+        metrics: Metrics,
+        phases: Vec<(String, Metrics)>,
+        extras: std::collections::BTreeMap<String, f64>,
+    ) -> MisReport {
+        let independent = props::is_independent_set(g, &in_mis);
+        let maximal = props::maximality_violation(g, &in_mis).is_none();
+        MisReport {
+            in_mis,
+            metrics,
+            phases,
+            independent,
+            maximal,
+            extras,
+        }
+    }
+
+    /// Whether the output is a maximal independent set.
+    pub fn is_mis(&self) -> bool {
+        self.independent && self.maximal
+    }
+
+    /// Size of the computed set.
+    pub fn mis_size(&self) -> usize {
+        self.in_mis.iter().filter(|&&b| b).count()
+    }
+
+    /// Sums the metrics of phases whose name starts with `prefix`.
+    pub fn phase_group(&self, prefix: &str) -> Option<Metrics> {
+        let mut acc: Option<Metrics> = None;
+        for (name, m) in &self.phases {
+            if name.starts_with(prefix) {
+                match &mut acc {
+                    None => acc = Some(m.clone()),
+                    Some(a) => a.absorb(m),
+                }
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graphs::generators;
+
+    #[test]
+    fn assemble_verifies() {
+        let g = generators::path(3);
+        let r = MisReport::assemble(
+            &g,
+            vec![true, false, true],
+            Metrics::new(3),
+            vec![
+                ("a".into(), Metrics::new(3)),
+                ("a:sub".into(), Metrics::new(3)),
+            ],
+            Default::default(),
+        );
+        assert!(r.is_mis());
+        assert_eq!(r.mis_size(), 2);
+        assert!(r.phase_group("a").is_some());
+        assert!(r.phase_group("zzz").is_none());
+
+        let bad = MisReport::assemble(
+            &g,
+            vec![true, true, false],
+            Metrics::new(3),
+            vec![],
+            Default::default(),
+        );
+        assert!(!bad.independent);
+    }
+}

@@ -1,0 +1,208 @@
+//! Phase II: shattering and clustering (Lemma 2.6).
+//!
+//! The residual graph after Phase I has maximum degree `∆₂ = poly(log n)`.
+//! Running Ghaffari's MIS for `O(log ∆₂)` iterations with everyone awake
+//! (affordable: that is only `O(log log n)` rounds) decides all but a
+//! shattered remainder whose connected components are small w.h.p.
+//! The surviving nodes are then grouped into clusters of radius
+//! `O(log log n)` with rooted BFS trees — the input Phase III needs.
+//!
+//! The paper cites \[Gha16, Gha19\] for this phase as a black box; our
+//! clustering uses random-delay BFS growth, which preserves the black
+//! box's guarantees (every survivor clustered, cluster diameter
+//! `O(log log n)`, spanning tree with known depths). See DESIGN.md §7.
+
+use crate::cluster::ClusterForest;
+use congest_sim::{InitApi, NodeId, Protocol, RecvApi, SendApi};
+use rand::Rng;
+
+/// Cluster-growing protocol: every participating node draws a random
+/// start delay `δ_v ∈ [0, radius)`; at round `δ_v` an unclustered node
+/// roots a new cluster; clustered nodes propose `(cluster, depth)` to
+/// neighbors, and unclustered nodes adopt the minimum cluster id proposed
+/// to them. Runs for `2·radius + 2` rounds, after which every participant
+/// is clustered with tree radius at most `2·radius + 2`.
+#[derive(Debug)]
+pub struct ClusterGrow<'a> {
+    /// Which nodes participate (the shattered survivors).
+    pub participating: &'a [bool],
+    /// Delay bound / radius scale.
+    pub radius: u32,
+}
+
+impl ClusterGrow<'_> {
+    /// Number of rounds the protocol runs.
+    pub fn rounds(&self) -> u64 {
+        2 * u64::from(self.radius) + 2
+    }
+}
+
+/// Per-node output of [`ClusterGrow`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GrowState {
+    /// Cluster id (root node id) once clustered.
+    pub cluster: Option<NodeId>,
+    /// Tree parent (`None` for roots).
+    pub parent: Option<NodeId>,
+    /// Distance to the root.
+    pub depth: u32,
+    delay: u32,
+    announced: bool,
+}
+
+impl Protocol for ClusterGrow<'_> {
+    type State = GrowState;
+    type Msg = (u32, u32); // (cluster id, depth of sender)
+
+    fn init(&self, node: NodeId, api: &mut InitApi<'_>) -> GrowState {
+        let mut st = GrowState::default();
+        if self.participating[node as usize] {
+            st.delay = api.rng().gen_range(0..self.radius.max(1));
+            api.wake_range(0..self.rounds());
+        }
+        st
+    }
+
+    fn send(&self, state: &mut GrowState, api: &mut SendApi<'_, (u32, u32)>) {
+        if let Some(c) = state.cluster {
+            if !state.announced {
+                state.announced = true;
+                api.broadcast((c, state.depth));
+            }
+        }
+    }
+
+    fn recv(&self, state: &mut GrowState, inbox: &[(NodeId, (u32, u32))], api: &mut RecvApi<'_>) {
+        if state.cluster.is_some() {
+            return;
+        }
+        // Adopt the smallest proposed cluster, if any.
+        let best = inbox
+            .iter()
+            .filter(|(src, _)| self.participating[*src as usize])
+            .min_by_key(|(src, (c, _))| (*c, *src));
+        if let Some(&(src, (c, d))) = best {
+            state.cluster = Some(c);
+            state.parent = Some(src);
+            state.depth = d + 1;
+        } else if api.round() >= u64::from(state.delay) {
+            // Nobody reached us and our delay expired: become a root.
+            state.cluster = Some(api.node());
+            state.parent = None;
+            state.depth = 0;
+        }
+    }
+}
+
+/// Assembles a [`ClusterForest`] from the grow protocol's states.
+///
+/// # Panics
+///
+/// Panics if a participating node ended unclustered (cannot happen when
+/// the protocol ran for its full [`ClusterGrow::rounds`]).
+pub fn forest_from_grow(participating: &[bool], states: &[GrowState]) -> ClusterForest {
+    let n = participating.len();
+    let mut forest = ClusterForest::new(n);
+    forest.participating = participating.to_vec();
+    for v in 0..n {
+        if participating[v] {
+            let st = &states[v];
+            forest.cluster[v] = st.cluster.expect("participant left unclustered");
+            forest.parent[v] = st.parent;
+            forest.depth[v] = st.depth;
+        }
+    }
+    forest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest_sim::{run, SimConfig};
+    use mis_graphs::{generators, props};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn grow(g: &mis_graphs::Graph, mask: &[bool], radius: u32, seed: u64) -> ClusterForest {
+        let proto = ClusterGrow {
+            participating: mask,
+            radius,
+        };
+        let res = run(g, &proto, &SimConfig::seeded(seed)).unwrap();
+        forest_from_grow(mask, &res.states)
+    }
+
+    #[test]
+    fn everyone_clustered_and_valid() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let g = generators::gnp(500, 0.01, &mut rng);
+        let mask = vec![true; 500];
+        let forest = grow(&g, &mask, 4, 1);
+        forest.validate(&g).unwrap();
+        assert!(forest.cluster_count() >= 1);
+    }
+
+    #[test]
+    fn radius_bounds_depth() {
+        let g = generators::path(200);
+        let mask = vec![true; 200];
+        let radius = 5;
+        let forest = grow(&g, &mask, radius, 2);
+        forest.validate(&g).unwrap();
+        assert!(
+            forest.max_depth() <= 2 * radius + 2,
+            "depth {} exceeds growth bound",
+            forest.max_depth()
+        );
+    }
+
+    #[test]
+    fn clusters_respect_mask() {
+        let g = generators::grid2d(10, 10);
+        let mut mask = vec![true; 100];
+        for v in 0..100 {
+            if v % 3 == 0 {
+                mask[v] = false;
+            }
+        }
+        let forest = grow(&g, &mask, 3, 3);
+        forest.validate(&g).unwrap();
+        for v in 0..100u32 {
+            if !mask[v as usize] {
+                assert!(!forest.participating[v as usize]);
+            }
+        }
+        // Every cluster stays within one masked component.
+        let comps = props::masked_components(&g, &mask);
+        for (root, members) in forest.members() {
+            for m in members {
+                assert_eq!(
+                    comps.label[m as usize], comps.label[root as usize],
+                    "cluster {root} crosses components"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_components_become_singleton_clusters() {
+        let g = generators::empty(7);
+        let mask = vec![true; 7];
+        let forest = grow(&g, &mask, 3, 4);
+        forest.validate(&g).unwrap();
+        assert_eq!(forest.cluster_count(), 7);
+        assert_eq!(forest.max_depth(), 0);
+    }
+
+    #[test]
+    fn energy_is_radius_bounded() {
+        let g = generators::cycle(64);
+        let mask = vec![true; 64];
+        let proto = ClusterGrow {
+            participating: &mask,
+            radius: 4,
+        };
+        let res = run(&g, &proto, &SimConfig::seeded(9)).unwrap();
+        assert!(res.metrics.max_awake() <= proto.rounds());
+    }
+}

@@ -1,0 +1,243 @@
+//! Shared per-node status tracking across phases.
+
+use congest_sim::{
+    run, InitApi, Message, NodeId, Protocol, RecvApi, SendApi, SimConfig, SimError, SimResult,
+};
+use mis_graphs::Graph;
+
+/// Tri-state decision of a node with respect to the growing MIS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NodeStatus {
+    /// Still in the residual graph.
+    #[default]
+    Active,
+    /// Member of the independent set.
+    InMis,
+    /// Covered: some neighbor is in the independent set.
+    Covered,
+}
+
+impl NodeStatus {
+    /// Whether the node still participates in later phases.
+    pub fn is_active(self) -> bool {
+        self == NodeStatus::Active
+    }
+}
+
+/// Cross-phase bookkeeping: who is in the MIS, who is covered, who is
+/// still active.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatusBoard {
+    /// Per-node status.
+    pub status: Vec<NodeStatus>,
+}
+
+impl StatusBoard {
+    /// All nodes active.
+    pub fn new(n: usize) -> StatusBoard {
+        StatusBoard {
+            status: vec![NodeStatus::Active; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.status.len()
+    }
+
+    /// Marks `v` as an MIS member.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` was already covered (independence violation upstream).
+    pub fn join(&mut self, v: NodeId) {
+        assert_ne!(
+            self.status[v as usize],
+            NodeStatus::Covered,
+            "node {v} joined the MIS after being covered"
+        );
+        self.status[v as usize] = NodeStatus::InMis;
+    }
+
+    /// Marks `v` as covered (unless it is in the MIS).
+    pub fn cover(&mut self, v: NodeId) {
+        if self.status[v as usize] == NodeStatus::Active {
+            self.status[v as usize] = NodeStatus::Covered;
+        }
+    }
+
+    /// Boolean mask of active nodes.
+    pub fn active_mask(&self) -> Vec<bool> {
+        self.status.iter().map(|s| s.is_active()).collect()
+    }
+
+    /// Boolean mask of MIS members.
+    pub fn mis_mask(&self) -> Vec<bool> {
+        self.status
+            .iter()
+            .map(|&s| s == NodeStatus::InMis)
+            .collect()
+    }
+
+    /// Count of active nodes.
+    pub fn active_count(&self) -> usize {
+        self.status.iter().filter(|s| s.is_active()).count()
+    }
+
+    /// Count of MIS members.
+    pub fn mis_count(&self) -> usize {
+        self.status
+            .iter()
+            .filter(|&&s| s == NodeStatus::InMis)
+            .count()
+    }
+
+    /// Folds a phase's output into the board: `joined[v]` nodes enter the
+    /// MIS and everything adjacent to them becomes covered.
+    pub fn absorb_joins(&mut self, g: &Graph, joined: &[bool]) {
+        assert_eq!(joined.len(), self.n());
+        for v in g.nodes() {
+            if joined[v as usize] {
+                self.join(v);
+            }
+        }
+        for v in g.nodes() {
+            if joined[v as usize] {
+                for &u in g.neighbors(v) {
+                    self.cover(u);
+                }
+            }
+        }
+    }
+}
+
+/// One-round status synchronization: every node listed in `participants`
+/// wakes for a single round; MIS members announce themselves; listeners
+/// learn whether they are covered.
+///
+/// This is the `O(1)`-energy phase boundary used between Phase I and
+/// Phase II (and after cleanups): it converts "my neighbor joined but I
+/// slept through the announcement" into exact knowledge.
+#[derive(Debug)]
+pub struct StatusSync<'a> {
+    /// Who participates (everyone else sleeps).
+    pub participants: &'a [bool],
+    /// Who is currently in the MIS.
+    pub in_mis: &'a [bool],
+}
+
+/// Per-node output of [`StatusSync`]: whether an MIS neighbor was heard.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyncOutcome {
+    /// True iff some neighbor announced MIS membership.
+    pub covered: bool,
+}
+
+impl Protocol for StatusSync<'_> {
+    type State = SyncOutcome;
+    type Msg = bool;
+
+    fn init(&self, node: NodeId, api: &mut InitApi<'_>) -> SyncOutcome {
+        if self.participants[node as usize] {
+            api.wake_at(0);
+        }
+        SyncOutcome::default()
+    }
+
+    fn send(&self, _state: &mut SyncOutcome, api: &mut SendApi<'_, bool>) {
+        if self.in_mis[api.node() as usize] {
+            api.broadcast(true);
+        }
+    }
+
+    fn recv(&self, state: &mut SyncOutcome, inbox: &[(NodeId, bool)], _api: &mut RecvApi<'_>) {
+        state.covered = inbox.iter().any(|&(_, b)| b);
+    }
+}
+
+/// Runs a [`StatusSync`] round and folds the result into `board`.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn sync_status(
+    g: &Graph,
+    board: &mut StatusBoard,
+    cfg: &SimConfig,
+) -> Result<congest_sim::Metrics, SimError> {
+    let participants = vec![true; g.n()];
+    let in_mis = board.mis_mask();
+    let SimResult { states, metrics } = run(
+        g,
+        &StatusSync {
+            participants: &participants,
+            in_mis: &in_mis,
+        },
+        cfg,
+    )?;
+    for v in g.nodes() {
+        if states[v as usize].covered {
+            board.cover(v);
+        }
+    }
+    Ok(metrics)
+}
+
+/// Message with a fixed bit count, for protocol enums that want explicit
+/// CONGEST accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedBits<const B: usize, T: Clone + std::fmt::Debug>(pub T);
+
+impl<const B: usize, T: Clone + std::fmt::Debug> Message for FixedBits<B, T> {
+    fn bits(&self) -> usize {
+        B
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graphs::generators;
+
+    #[test]
+    fn board_transitions() {
+        let g = generators::path(4);
+        let mut b = StatusBoard::new(4);
+        assert_eq!(b.active_count(), 4);
+        b.absorb_joins(&g, &[false, true, false, false]);
+        assert_eq!(b.status[1], NodeStatus::InMis);
+        assert_eq!(b.status[0], NodeStatus::Covered);
+        assert_eq!(b.status[2], NodeStatus::Covered);
+        assert_eq!(b.status[3], NodeStatus::Active);
+        assert_eq!(b.mis_count(), 1);
+        assert_eq!(b.active_count(), 1);
+        assert_eq!(b.active_mask(), vec![false, false, false, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "after being covered")]
+    fn board_rejects_covered_join() {
+        let mut b = StatusBoard::new(2);
+        b.cover(0);
+        b.join(0);
+    }
+
+    #[test]
+    fn sync_round_covers_neighbors() {
+        let g = generators::star(5);
+        let mut board = StatusBoard::new(5);
+        board.join(0); // hub in MIS, but leaves don't know yet
+        let m = sync_status(&g, &mut board, &SimConfig::seeded(1)).unwrap();
+        assert_eq!(board.active_count(), 0);
+        assert_eq!(m.elapsed_rounds, 1);
+        assert_eq!(m.max_awake(), 1);
+    }
+
+    #[test]
+    fn sync_round_noop_without_mis() {
+        let g = generators::cycle(6);
+        let mut board = StatusBoard::new(6);
+        sync_status(&g, &mut board, &SimConfig::seeded(1)).unwrap();
+        assert_eq!(board.active_count(), 6);
+    }
+}

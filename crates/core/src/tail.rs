@@ -1,0 +1,202 @@
+//! The shared tail of both algorithms: Phase II (shattering +
+//! clustering) and Phase III (Borůvka merge + parallel-execution finish).
+//!
+//! Algorithm 1 and Algorithm 2 differ only in Phase I and in the coloring
+//! mode of the merge step (Section 3.2 of the paper), so the tail is
+//! factored out here.
+
+use crate::cluster::merge::{merge_clusters, LinialMode, MergeConfig};
+use crate::finish::{finish_components, FinishConfig};
+use crate::ghaffari::GhaffariMis;
+use crate::params::log2n;
+use crate::shatter::{forest_from_grow, ClusterGrow};
+use crate::status::StatusBoard;
+use congest_sim::{Pipeline, SimError};
+use mis_graphs::{props, Graph};
+
+/// Configuration of the shared tail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TailConfig {
+    /// Shattering iterations = `ceil(shatter_c * log2(∆₂ + 2))`.
+    pub shatter_c: f64,
+    /// Cluster radius = `ceil(radius_c * (log2 log2 n + 2))`.
+    pub radius_c: f64,
+    /// High-indegree threshold of the merge.
+    pub high_indegree: u32,
+    /// Coloring mode of the merge (Rounds(2) for Algorithm 1, fixed point
+    /// for Algorithm 2).
+    pub linial: LinialMode,
+    /// Dense color remapping toggle.
+    pub compact_colors: bool,
+    /// Extra Borůvka iterations beyond the halving bound.
+    pub merge_slack: u32,
+    /// Finish executions = `ceil(finish_execs_c * log2 n)`.
+    pub finish_execs_c: f64,
+    /// Finish iterations = `ceil(finish_rounds_c * (log2 log2 n + 2))`.
+    pub finish_rounds_c: f64,
+    /// Finish retries before the centralized fallback.
+    pub finish_retries: u32,
+}
+
+impl TailConfig {
+    /// Derives the tail config of Algorithm 1.
+    pub fn from_alg1(p: &crate::params::Alg1Params) -> TailConfig {
+        TailConfig {
+            shatter_c: p.shatter_c,
+            radius_c: p.radius_c,
+            high_indegree: p.high_indegree,
+            linial: LinialMode::Rounds(p.linial_rounds),
+            compact_colors: p.compact_colors,
+            merge_slack: p.merge_slack,
+            finish_execs_c: p.finish_execs_c,
+            finish_rounds_c: p.finish_rounds_c,
+            finish_retries: p.finish_retries,
+        }
+    }
+
+    /// Derives the tail config of Algorithm 2 (fixed-point coloring).
+    pub fn from_alg2(p: &crate::params::Alg2Params) -> TailConfig {
+        TailConfig {
+            linial: if p.linial_fixed_point {
+                LinialMode::FixedPoint { kw: p.kw_reduction }
+            } else {
+                LinialMode::Rounds(p.common.linial_rounds)
+            },
+            ..TailConfig::from_alg1(&p.common)
+        }
+    }
+}
+
+/// Runs Phases II and III on the still-active nodes of `board`, joining
+/// the finish output into the board. Returns measured statistics through
+/// `extras`.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn run_tail(
+    pipe: &mut Pipeline<'_>,
+    g: &Graph,
+    board: &mut StatusBoard,
+    cfg: &TailConfig,
+    extras: &mut std::collections::BTreeMap<String, f64>,
+) -> Result<(), SimError> {
+    let n = g.n();
+    let active = board.active_mask();
+    let delta2 = props::masked_max_degree(g, &active);
+    extras.insert("tail_input_degree".into(), delta2 as f64);
+    extras.insert("tail_input_active".into(), board.active_count() as f64);
+
+    // ---- Phase II: shattering. ----
+    let shatter_iters = (cfg.shatter_c * ((delta2 + 2) as f64).log2())
+        .ceil()
+        .max(1.0) as u32;
+    let gh = pipe.run_phase(
+        "phase2:shatter",
+        &GhaffariMis {
+            participating: &active,
+            iterations: shatter_iters,
+            executions: 1,
+            halt_when_done: true,
+        },
+    )?;
+    let joined: Vec<bool> = gh.iter().map(|s| s.joined.get(0)).collect();
+    board.absorb_joins(g, &joined);
+    let remaining = board.active_mask();
+    let comps = props::masked_components(g, &remaining);
+    extras.insert("phase2_remaining".into(), board.active_count() as f64);
+    extras.insert("phase2_max_component".into(), comps.max_size() as f64);
+
+    if board.active_count() == 0 {
+        return Ok(());
+    }
+
+    // ---- Phase II: clustering. ----
+    let radius = (cfg.radius_c * (log2n(n).log2() + 2.0)).ceil().max(2.0) as u32;
+    let grow = pipe.run_phase(
+        "phase2:cluster",
+        &ClusterGrow {
+            participating: &remaining,
+            radius,
+        },
+    )?;
+    let forest = forest_from_grow(&remaining, &grow);
+    extras.insert("phase3_clusters".into(), forest.cluster_count() as f64);
+
+    // ---- Phase III: merge. ----
+    let mut clusters_per_comp = vec![0usize; comps.count];
+    for r in forest.roots() {
+        clusters_per_comp[comps.label[r as usize] as usize] += 1;
+    }
+    let max_clusters = clusters_per_comp.iter().copied().max().unwrap_or(1);
+    let iterations = ((max_clusters.max(2) as f64).log2().ceil() as u32) + cfg.merge_slack;
+    let merge_cfg = MergeConfig {
+        high_indegree: cfg.high_indegree,
+        linial: cfg.linial,
+        compact_colors: cfg.compact_colors,
+        iterations,
+        early_stop: true,
+    };
+    let (forest, merge_stats) = merge_clusters(pipe, forest, &merge_cfg)?;
+    extras.insert(
+        "phase3_merge_iterations".into(),
+        f64::from(merge_stats.iterations_run),
+    );
+    extras.insert(
+        "phase3_tree_depth".into(),
+        f64::from(merge_stats.final_max_depth),
+    );
+
+    // ---- Phase III: finish. ----
+    let executions = (cfg.finish_execs_c * log2n(n)).ceil().max(8.0) as usize;
+    let fin_iters = (cfg.finish_rounds_c * (log2n(n).log2() + 2.0))
+        .ceil()
+        .max(8.0) as u32;
+    let fin = finish_components(
+        pipe,
+        &forest,
+        &FinishConfig {
+            executions,
+            iterations: fin_iters,
+            retries: cfg.finish_retries,
+        },
+    )?;
+    extras.insert("finish_retries".into(), f64::from(fin.retries_used));
+    extras.insert("finish_fallback_nodes".into(), fin.fallback_nodes as f64);
+    board.absorb_joins(g, &fin.in_mis);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{Alg1Params, Alg2Params};
+    use congest_sim::SimConfig;
+    use mis_graphs::generators;
+
+    #[test]
+    fn tail_alone_computes_mis() {
+        let g = generators::grid2d(15, 15);
+        let mut pipe = Pipeline::new(&g, SimConfig::seeded(3));
+        let mut board = StatusBoard::new(g.n());
+        let mut extras = Default::default();
+        run_tail(
+            &mut pipe,
+            &g,
+            &mut board,
+            &TailConfig::from_alg1(&Alg1Params::default()),
+            &mut extras,
+        )
+        .unwrap();
+        assert!(props::is_mis(&g, &board.mis_mask()));
+        assert_eq!(board.active_count(), 0);
+    }
+
+    #[test]
+    fn tail_configs_differ_in_linial_mode() {
+        let a1 = TailConfig::from_alg1(&Alg1Params::default());
+        let a2 = TailConfig::from_alg2(&Alg2Params::default());
+        assert_eq!(a1.linial, LinialMode::Rounds(2));
+        assert!(matches!(a2.linial, LinialMode::FixedPoint { .. }));
+    }
+}

@@ -1,0 +1,134 @@
+//! Incremental graph construction.
+
+use crate::graph::{Graph, GraphError, NodeId};
+
+/// Incremental builder for a [`Graph`].
+///
+/// Collects undirected edges, silently ignores duplicates and — unlike
+/// [`Graph::from_edges`] — also silently ignores self-loops, which makes it
+/// convenient for randomized generators that may propose such edges.
+///
+/// # Example
+///
+/// ```
+/// use mis_graphs::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1);
+/// b.add_edge(1, 1); // ignored self-loop
+/// b.add_edge(1, 0); // ignored duplicate
+/// let g = b.build();
+/// assert_eq!(g.m(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> GraphBuilder {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Creates a builder with pre-allocated capacity for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> GraphBuilder {
+        GraphBuilder {
+            n,
+            edges: Vec::with_capacity(m),
+        }
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges added so far (duplicates not yet merged).
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds the undirected edge `{a, b}`. Self-loops are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> &mut GraphBuilder {
+        assert!((a as usize) < self.n, "endpoint {a} out of range");
+        assert!((b as usize) < self.n, "endpoint {b} out of range");
+        if a != b {
+            self.edges.push((a, b));
+        }
+        self
+    }
+
+    /// Adds every edge from an iterator; see [`GraphBuilder::add_edge`].
+    pub fn add_edges<I: IntoIterator<Item = (NodeId, NodeId)>>(
+        &mut self,
+        edges: I,
+    ) -> &mut GraphBuilder {
+        for (a, b) in edges {
+            self.add_edge(a, b);
+        }
+        self
+    }
+
+    /// Finishes construction, merging duplicate edges.
+    pub fn build(&self) -> Graph {
+        match Graph::from_edges(self.n, &self.edges) {
+            Ok(g) => g,
+            // add_edge validated endpoints and filtered self-loops.
+            Err(e) => unreachable!("builder produced invalid edges: {e}"),
+        }
+    }
+
+    /// Finishes construction, returning the error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GraphError`] from [`Graph::from_edges`]; unreachable for
+    /// edges added through [`GraphBuilder::add_edge`].
+    pub fn try_build(&self) -> Result<Graph, GraphError> {
+        Graph::from_edges(self.n, &self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut b = GraphBuilder::with_capacity(5, 4);
+        b.add_edges([(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let g = b.build();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 4);
+        assert_eq!(b.pending_edges(), 4);
+        assert_eq!(b.n(), 5);
+    }
+
+    #[test]
+    fn builder_ignores_self_loops() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 0).add_edge(0, 1);
+        assert_eq!(b.build().m(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn builder_panics_out_of_range() {
+        GraphBuilder::new(2).add_edge(0, 2);
+    }
+
+    #[test]
+    fn chained_calls() {
+        let g = GraphBuilder::new(3).add_edge(0, 1).add_edge(1, 2).build();
+        assert_eq!(g.m(), 2);
+    }
+}

@@ -1,0 +1,80 @@
+//! Graph composition helpers.
+
+use crate::{Graph, GraphBuilder, NodeId};
+use rand::Rng;
+
+/// Disjoint union of graphs; node ids of the `i`-th input are shifted by
+/// the total size of the previous inputs.
+pub fn disjoint_union(parts: &[&Graph]) -> Graph {
+    let n: usize = parts.iter().map(|g| g.n()).sum();
+    let m: usize = parts.iter().map(|g| g.m()).sum();
+    let mut b = GraphBuilder::with_capacity(n, m);
+    let mut offset = 0u32;
+    for g in parts {
+        for (a, c) in g.edges() {
+            b.add_edge(a + offset, c + offset);
+        }
+        offset += g.n() as u32;
+    }
+    b.build()
+}
+
+/// Returns an isomorphic copy of `g` with node ids permuted uniformly at
+/// random, together with the permutation used (`perm[old] = new`).
+///
+/// Useful for checking that algorithms do not depend on id assignment
+/// beyond the tie-breaking the paper allows.
+pub fn relabel_random<R: Rng>(g: &Graph, rng: &mut R) -> (Graph, Vec<NodeId>) {
+    let n = g.n();
+    let mut perm: Vec<NodeId> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        perm.swap(i, j);
+    }
+    let mut b = GraphBuilder::with_capacity(n, g.m());
+    for (a, c) in g.edges() {
+        b.add_edge(perm[a as usize], perm[c as usize]);
+    }
+    (b.build(), perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{cycle, path, star};
+    use crate::props;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn union_counts() {
+        let a = path(3);
+        let b = cycle(4);
+        let c = star(5);
+        let u = disjoint_union(&[&a, &b, &c]);
+        assert_eq!(u.n(), 12);
+        assert_eq!(u.m(), 2 + 4 + 4);
+        assert_eq!(props::connected_components(&u).count, 3);
+    }
+
+    #[test]
+    fn union_of_nothing() {
+        let u = disjoint_union(&[]);
+        assert_eq!(u.n(), 0);
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let g = cycle(9);
+        let (h, perm) = relabel_random(&g, &mut rng);
+        assert_eq!(h.n(), g.n());
+        assert_eq!(h.m(), g.m());
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), h.degree(perm[v as usize]));
+        }
+        for (a, c) in g.edges() {
+            assert!(h.has_edge(perm[a as usize], perm[c as usize]));
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Graph generators used as workloads in the experiments.
+//!
+//! Random families take a caller-provided RNG so that every experiment is
+//! reproducible from a seed:
+//!
+//! ```
+//! use mis_graphs::generators;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+//! let a = generators::gnp(500, 0.02, &mut rng);
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+//! let b = generators::gnp(500, 0.02, &mut rng);
+//! assert_eq!(a, b); // same seed, same graph
+//! ```
+
+mod compose;
+mod random;
+mod structured;
+
+pub use compose::{disjoint_union, relabel_random};
+pub use random::{barabasi_albert, gnm, gnp, random_bipartite, random_geometric, random_regular};
+pub use structured::{
+    binary_tree, caterpillar, complete, cycle, empty, grid2d, path, star, torus2d,
+};
+
+use crate::Graph;
+use rand::Rng;
+
+/// Named graph family, used by the experiment harness to sweep workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Family {
+    /// Erdős–Rényi `G(n, p)` with expected average degree `deg`.
+    GnpAvgDeg(u32),
+    /// Random `d`-regular graph (configuration model).
+    Regular(u32),
+    /// Random geometric graph with expected average degree `deg`
+    /// (sensor-network style; the paper's motivating application domain).
+    GeometricAvgDeg(u32),
+    /// Barabási–Albert preferential attachment with `m` edges per new node.
+    BarabasiAlbert(u32),
+    /// Two-dimensional grid (near-square).
+    Grid,
+    /// Path graph.
+    Path,
+    /// Cycle graph.
+    Cycle,
+    /// Star graph (one hub).
+    Star,
+    /// Complete graph (only sensible for small `n`).
+    Complete,
+}
+
+impl Family {
+    /// Short stable name for tables and CSV output.
+    pub fn name(&self) -> String {
+        match self {
+            Family::GnpAvgDeg(d) => format!("gnp-d{d}"),
+            Family::Regular(d) => format!("regular-{d}"),
+            Family::GeometricAvgDeg(d) => format!("rgg-d{d}"),
+            Family::BarabasiAlbert(m) => format!("ba-{m}"),
+            Family::Grid => "grid".to_string(),
+            Family::Path => "path".to_string(),
+            Family::Cycle => "cycle".to_string(),
+            Family::Star => "star".to_string(),
+            Family::Complete => "complete".to_string(),
+        }
+    }
+
+    /// Instantiates the family at size `n` with the given RNG.
+    pub fn generate<R: Rng>(&self, n: usize, rng: &mut R) -> Graph {
+        match *self {
+            Family::GnpAvgDeg(d) => {
+                let p = if n <= 1 {
+                    0.0
+                } else {
+                    (d as f64 / (n as f64 - 1.0)).min(1.0)
+                };
+                gnp(n, p, rng)
+            }
+            Family::Regular(d) => random_regular(n, d as usize, rng),
+            Family::GeometricAvgDeg(d) => {
+                // E[deg] = n * pi * r^2 for points in the unit square
+                // (ignoring boundary effects), so r = sqrt(deg / (pi n)).
+                let r = if n == 0 {
+                    0.0
+                } else {
+                    (d as f64 / (std::f64::consts::PI * n as f64)).sqrt()
+                };
+                random_geometric(n, r, rng)
+            }
+            Family::BarabasiAlbert(m) => barabasi_albert(n, m as usize, rng),
+            Family::Grid => {
+                let side = (n as f64).sqrt().round().max(1.0) as usize;
+                grid2d(side, n.div_ceil(side.max(1)))
+            }
+            Family::Path => path(n),
+            Family::Cycle => cycle(n),
+            Family::Star => star(n),
+            Family::Complete => complete(n),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn family_names_are_distinct() {
+        let fams = [
+            Family::GnpAvgDeg(8),
+            Family::Regular(4),
+            Family::GeometricAvgDeg(8),
+            Family::BarabasiAlbert(3),
+            Family::Grid,
+            Family::Path,
+            Family::Cycle,
+            Family::Star,
+            Family::Complete,
+        ];
+        let names: std::collections::HashSet<_> = fams.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), fams.len());
+    }
+
+    #[test]
+    fn family_generate_smoke() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for fam in [
+            Family::GnpAvgDeg(6),
+            Family::Regular(4),
+            Family::GeometricAvgDeg(6),
+            Family::BarabasiAlbert(2),
+            Family::Grid,
+            Family::Path,
+            Family::Cycle,
+            Family::Star,
+        ] {
+            let g = fam.generate(100, &mut rng);
+            assert_eq!(g.n(), 100, "family {}", fam.name());
+        }
+        let g = Family::Complete.generate(20, &mut rng);
+        assert_eq!(g.m(), 20 * 19 / 2);
+    }
+
+    #[test]
+    fn geometric_family_hits_target_degree_roughly() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = Family::GeometricAvgDeg(10).generate(4000, &mut rng);
+        let d = g.avg_degree();
+        assert!(d > 5.0 && d < 15.0, "avg degree {d} far from target 10");
+    }
+}

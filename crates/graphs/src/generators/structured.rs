@@ -1,0 +1,200 @@
+//! Deterministic structured graph families.
+
+use crate::{Graph, GraphBuilder};
+
+/// Graph with `n` nodes and no edges.
+pub fn empty(n: usize) -> Graph {
+    GraphBuilder::new(n).build()
+}
+
+/// Path `0 - 1 - … - (n-1)`.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n as u32 {
+        b.add_edge(v - 1, v);
+    }
+    b.build()
+}
+
+/// Cycle on `n` nodes (a path for `n < 3`).
+pub fn cycle(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n);
+    for v in 1..n as u32 {
+        b.add_edge(v - 1, v);
+    }
+    if n >= 3 {
+        b.add_edge(n as u32 - 1, 0);
+    }
+    b.build()
+}
+
+/// Star with hub `0` and `n - 1` leaves.
+pub fn star(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n as u32 {
+        b.add_edge(0, v);
+    }
+    b.build()
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n * n.saturating_sub(1) / 2);
+    for a in 0..n as u32 {
+        for c in (a + 1)..n as u32 {
+            b.add_edge(a, c);
+        }
+    }
+    b.build()
+}
+
+/// `rows × cols` grid graph with 4-neighbor connectivity.
+pub fn grid2d(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// `rows × cols` torus (grid with wraparound); every node has degree 4
+/// when both sides are `>= 3`.
+pub fn torus2d(rows: usize, cols: usize) -> Graph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    for r in 0..rows {
+        for c in 0..cols {
+            if cols > 1 {
+                b.add_edge(id(r, c), id(r, (c + 1) % cols));
+            }
+            if rows > 1 {
+                b.add_edge(id(r, c), id((r + 1) % rows, c));
+            }
+        }
+    }
+    b.build()
+}
+
+/// Complete binary tree with `n` nodes (heap ordering: children of `v` are
+/// `2v+1` and `2v+2`).
+pub fn binary_tree(n: usize) -> Graph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for v in 1..n {
+        b.add_edge(v as u32, ((v - 1) / 2) as u32);
+    }
+    b.build()
+}
+
+/// Caterpillar: a spine path of `spine` nodes, each with `legs` pendant
+/// leaves. Total nodes `spine * (1 + legs)`.
+pub fn caterpillar(spine: usize, legs: usize) -> Graph {
+    let n = spine * (1 + legs);
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    for s in 1..spine as u32 {
+        b.add_edge(s - 1, s);
+    }
+    let mut next = spine as u32;
+    for s in 0..spine as u32 {
+        for _ in 0..legs {
+            b.add_edge(s, next);
+            next += 1;
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn path_degenerate() {
+        assert_eq!(path(0).n(), 0);
+        assert_eq!(path(1).m(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6);
+        assert_eq!(g.m(), 6);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+        // n = 2 degenerates to a single edge, not a multigraph.
+        assert_eq!(cycle(2).m(), 1);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(10);
+        assert_eq!(g.degree(0), 9);
+        assert_eq!(g.m(), 9);
+        for v in 1..10u32 {
+            assert_eq!(g.degree(v), 1);
+        }
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(7);
+        assert_eq!(g.m(), 21);
+        assert_eq!(g.max_degree(), 6);
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid2d(3, 4);
+        assert_eq!(g.n(), 12);
+        assert_eq!(g.m(), 3 * 3 + 2 * 4); // horizontal + vertical edges
+        assert_eq!(g.degree(0), 2); // corner
+        assert_eq!(props::connected_components(&g).count, 1);
+    }
+
+    #[test]
+    fn torus_is_4_regular() {
+        let g = torus2d(4, 5);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert_eq!(g.m(), 2 * 20);
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(15);
+        assert_eq!(g.m(), 14);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(props::connected_components(&g).count, 1);
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let g = caterpillar(4, 3);
+        assert_eq!(g.n(), 16);
+        assert_eq!(g.m(), 15);
+        assert_eq!(props::connected_components(&g).count, 1);
+        assert_eq!(g.degree(0), 4); // spine end: 1 spine + 3 legs
+        assert_eq!(g.degree(1), 5); // inner spine: 2 spine + 3 legs
+    }
+}

@@ -1,0 +1,335 @@
+//! The immutable CSR graph type.
+
+use std::fmt;
+
+/// Identifier of a node in a [`Graph`]; always in `0..g.n()`.
+pub type NodeId = u32;
+
+/// Error raised when constructing a [`Graph`] from invalid input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint was `>= n`.
+    EndpointOutOfRange {
+        /// The offending endpoint.
+        endpoint: u32,
+        /// The number of nodes the graph was declared with.
+        n: usize,
+    },
+    /// An edge connected a node to itself.
+    SelfLoop(u32),
+    /// The requested node count exceeds `u32` addressing.
+    TooManyNodes(usize),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::EndpointOutOfRange { endpoint, n } => {
+                write!(f, "edge endpoint {endpoint} out of range for {n} nodes")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self-loop at node {v}"),
+            GraphError::TooManyNodes(n) => write!(f, "{n} nodes exceed u32 addressing"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A simple undirected graph in CSR (compressed sparse row) form.
+///
+/// Nodes are `0..n` ([`NodeId`]); adjacency lists are sorted and free of
+/// duplicates and self-loops. The structure is immutable after construction,
+/// which is exactly what a static network topology needs: the CONGEST
+/// simulator hands out `&[NodeId]` neighbor slices with no per-round
+/// allocation.
+///
+/// # Example
+///
+/// ```
+/// use mis_graphs::Graph;
+///
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+/// assert_eq!(g.n(), 4);
+/// assert_eq!(g.m(), 3);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// assert!(g.has_edge(2, 3));
+/// assert!(!g.has_edge(0, 3));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    adj: Vec<NodeId>,
+}
+
+impl Graph {
+    /// Builds a graph with `n` nodes from an undirected edge list.
+    ///
+    /// Duplicate edges (in either orientation) are merged. Edges are given
+    /// as unordered pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError`] if an endpoint is `>= n`, an edge is a
+    /// self-loop, or `n` exceeds `u32` addressing.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Result<Graph, GraphError> {
+        if n > u32::MAX as usize {
+            return Err(GraphError::TooManyNodes(n));
+        }
+        for &(a, b) in edges {
+            if a as usize >= n {
+                return Err(GraphError::EndpointOutOfRange { endpoint: a, n });
+            }
+            if b as usize >= n {
+                return Err(GraphError::EndpointOutOfRange { endpoint: b, n });
+            }
+            if a == b {
+                return Err(GraphError::SelfLoop(a));
+            }
+        }
+        let mut deg = vec![0usize; n];
+        for &(a, b) in edges {
+            deg[a as usize] += 1;
+            deg[b as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for v in 0..n {
+            offsets.push(offsets[v] + deg[v]);
+        }
+        let mut adj = vec![0 as NodeId; offsets[n]];
+        let mut cursor = offsets[..n].to_vec();
+        for &(a, b) in edges {
+            adj[cursor[a as usize]] = b;
+            cursor[a as usize] += 1;
+            adj[cursor[b as usize]] = a;
+            cursor[b as usize] += 1;
+        }
+        // Sort each adjacency list and drop duplicate parallel edges.
+        let mut clean_adj = Vec::with_capacity(adj.len());
+        let mut clean_offsets = Vec::with_capacity(n + 1);
+        clean_offsets.push(0usize);
+        for v in 0..n {
+            let s = offsets[v];
+            let e = offsets[v + 1];
+            let list = &mut adj[s..e];
+            list.sort_unstable();
+            let mut prev: Option<NodeId> = None;
+            for &u in list.iter() {
+                if prev != Some(u) {
+                    clean_adj.push(u);
+                    prev = Some(u);
+                }
+            }
+            clean_offsets.push(clean_adj.len());
+        }
+        Ok(Graph {
+            offsets: clean_offsets,
+            adj: clean_adj,
+        })
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.adj.len() / 2
+    }
+
+    /// Degree of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Sorted neighbor list of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= n`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.adj[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Whether the undirected edge `{a, b}` exists (binary search).
+    pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
+        if a == b {
+            return false;
+        }
+        let (small, other) = if self.degree(a) <= self.degree(b) {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        self.neighbors(small).binary_search(&other).is_ok()
+    }
+
+    /// Maximum degree `Δ` over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n())
+            .map(|v| self.degree(v as NodeId))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average degree `2m / n` (0 for the empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.n() == 0 {
+            0.0
+        } else {
+            (2 * self.m()) as f64 / self.n() as f64
+        }
+    }
+
+    /// Iterator over all node ids `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n() as u32).map(|v| v as NodeId)
+    }
+
+    /// Iterator over each undirected edge once, as `(a, b)` with `a < b`.
+    pub fn edges(&self) -> Edges<'_> {
+        Edges {
+            graph: self,
+            v: 0,
+            i: 0,
+        }
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.n())
+            .field("m", &self.m())
+            .field("max_degree", &self.max_degree())
+            .finish()
+    }
+}
+
+/// Iterator over the undirected edges of a [`Graph`]; see [`Graph::edges`].
+#[derive(Debug, Clone)]
+pub struct Edges<'a> {
+    graph: &'a Graph,
+    v: usize,
+    i: usize,
+}
+
+impl Iterator for Edges<'_> {
+    type Item = (NodeId, NodeId);
+
+    fn next(&mut self) -> Option<(NodeId, NodeId)> {
+        let g = self.graph;
+        while self.v < g.n() {
+            let start = g.offsets[self.v];
+            let end = g.offsets[self.v + 1];
+            while self.i < end - start {
+                let u = g.adj[start + self.i];
+                self.i += 1;
+                if (self.v as u32) < u {
+                    return Some((self.v as u32, u));
+                }
+            }
+            self.v += 1;
+            self.i = 0;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn isolated_nodes() {
+        let g = Graph::from_edges(5, &[]).unwrap();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 0);
+        assert!(g.neighbors(3).is_empty());
+    }
+
+    #[test]
+    fn triangle() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
+        assert_eq!(g.m(), 3);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[0, 1]);
+        assert_eq!(g.max_degree(), 2);
+    }
+
+    #[test]
+    fn duplicate_edges_are_merged() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.degree(1), 1);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        assert_eq!(
+            Graph::from_edges(3, &[(1, 1)]),
+            Err(GraphError::SelfLoop(1))
+        );
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(matches!(
+            Graph::from_edges(3, &[(0, 3)]),
+            Err(GraphError::EndpointOutOfRange { endpoint: 3, n: 3 })
+        ));
+    }
+
+    #[test]
+    fn has_edge_both_orientations() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(g.has_edge(3, 2));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(1, 1));
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn avg_degree_path() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!((g.avg_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn debug_not_empty() {
+        let g = Graph::from_edges(2, &[(0, 1)]).unwrap();
+        let s = format!("{g:?}");
+        assert!(s.contains("Graph"));
+        assert!(s.contains("n"));
+    }
+}

@@ -1,0 +1,41 @@
+//! Graph substrate for the energy-efficient distributed MIS reproduction.
+//!
+//! This crate provides the static network topologies that the CONGEST
+//! simulator ([`congest-sim`]) executes protocols on:
+//!
+//! * [`Graph`] — a compact, immutable CSR (compressed sparse row) adjacency
+//!   structure for simple undirected graphs,
+//! * [`GraphBuilder`] — an incremental edge-list builder that deduplicates
+//!   edges and rejects self-loops,
+//! * [`generators`] — random and structured graph families used as workloads
+//!   (Erdős–Rényi, random regular, random geometric, Barabási–Albert, grids,
+//!   paths, stars, …),
+//! * [`props`] — graph properties needed by the algorithms and the
+//!   experiment harness (connected components, BFS, degree statistics,
+//!   induced subgraphs).
+//!
+//! # Example
+//!
+//! ```
+//! use mis_graphs::{generators, props};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+//! let g = generators::gnp(1_000, 0.01, &mut rng);
+//! assert_eq!(g.n(), 1_000);
+//! let comps = props::connected_components(&g);
+//! assert!(comps.count >= 1);
+//! ```
+//!
+//! [`congest-sim`]: https://example.com/distributed-mis
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+pub mod generators;
+mod graph;
+pub mod props;
+
+pub use builder::GraphBuilder;
+pub use graph::{Graph, GraphError, NodeId};

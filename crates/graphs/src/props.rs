@@ -1,0 +1,362 @@
+//! Graph properties: components, BFS, degree statistics, subgraphs.
+
+use crate::{Graph, GraphBuilder, NodeId};
+
+/// Result of [`connected_components`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Components {
+    /// `label[v]` is the component index of node `v`, in `0..count`.
+    pub label: Vec<u32>,
+    /// Number of connected components.
+    pub count: usize,
+}
+
+impl Components {
+    /// Sizes of each component, indexed by component label. Nodes outside
+    /// the mask (label `u32::MAX` from [`masked_components`]) are skipped.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.label {
+            if l != u32::MAX {
+                sizes[l as usize] += 1;
+            }
+        }
+        sizes
+    }
+
+    /// Size of the largest component (0 for the empty graph).
+    pub fn max_size(&self) -> usize {
+        self.sizes().into_iter().max().unwrap_or(0)
+    }
+
+    /// The members of each component, indexed by component label. Nodes
+    /// outside the mask are skipped.
+    pub fn members(&self) -> Vec<Vec<NodeId>> {
+        let mut members = vec![Vec::new(); self.count];
+        for (v, &l) in self.label.iter().enumerate() {
+            if l != u32::MAX {
+                members[l as usize].push(v as NodeId);
+            }
+        }
+        members
+    }
+}
+
+/// Labels the connected components of `g` with a BFS sweep.
+pub fn connected_components(g: &Graph) -> Components {
+    let n = g.n();
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n {
+        if label[s] != u32::MAX {
+            continue;
+        }
+        label[s] = count;
+        queue.push_back(s as u32);
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v) {
+                if label[u as usize] == u32::MAX {
+                    label[u as usize] = count;
+                    queue.push_back(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components {
+        label,
+        count: count as usize,
+    }
+}
+
+/// Connected components of the subgraph induced by the nodes with
+/// `mask[v] == true`; nodes outside the mask get label `u32::MAX`.
+pub fn masked_components(g: &Graph, mask: &[bool]) -> Components {
+    assert_eq!(mask.len(), g.n());
+    let n = g.n();
+    let mut label = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n {
+        if !mask[s] || label[s] != u32::MAX {
+            continue;
+        }
+        label[s] = count;
+        queue.push_back(s as u32);
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v) {
+                if mask[u as usize] && label[u as usize] == u32::MAX {
+                    label[u as usize] = count;
+                    queue.push_back(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components {
+        label,
+        count: count as usize,
+    }
+}
+
+/// BFS distances from `source`; unreachable nodes get `u32::MAX`.
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.n()];
+    dist[source as usize] = 0;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &u in g.neighbors(v) {
+            if dist[u as usize] == u32::MAX {
+                dist[u as usize] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Lower bound on the diameter via a double BFS sweep from `start`
+/// (exact on trees; a common heuristic elsewhere). Returns 0 for graphs
+/// with no reachable pairs.
+pub fn diameter_estimate(g: &Graph, start: NodeId) -> u32 {
+    if g.n() == 0 {
+        return 0;
+    }
+    let d1 = bfs_distances(g, start);
+    let far = farthest(&d1).unwrap_or(start);
+    let d2 = bfs_distances(g, far);
+    d2.iter()
+        .filter(|&&d| d != u32::MAX)
+        .copied()
+        .max()
+        .unwrap_or(0)
+}
+
+fn farthest(dist: &[u32]) -> Option<NodeId> {
+    dist.iter()
+        .enumerate()
+        .filter(|(_, &d)| d != u32::MAX)
+        .max_by_key(|(_, &d)| d)
+        .map(|(v, _)| v as NodeId)
+}
+
+/// Histogram of node degrees: `hist[d]` = number of nodes with degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.nodes() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Induced subgraph on `nodes`, plus the mapping from new ids to old ids.
+///
+/// # Panics
+///
+/// Panics if `nodes` contains duplicates or out-of-range ids.
+pub fn induced_subgraph(g: &Graph, nodes: &[NodeId]) -> (Graph, Vec<NodeId>) {
+    let mut new_id = vec![u32::MAX; g.n()];
+    for (i, &v) in nodes.iter().enumerate() {
+        assert!(
+            new_id[v as usize] == u32::MAX,
+            "duplicate node {v} in induced_subgraph"
+        );
+        new_id[v as usize] = i as u32;
+    }
+    let mut b = GraphBuilder::new(nodes.len());
+    for &v in nodes {
+        for &u in g.neighbors(v) {
+            let nu = new_id[u as usize];
+            if nu != u32::MAX && new_id[v as usize] < nu {
+                b.add_edge(new_id[v as usize], nu);
+            }
+        }
+    }
+    (b.build(), nodes.to_vec())
+}
+
+/// Maximum degree within the subgraph induced by `mask` (edges with both
+/// endpoints in the mask).
+pub fn masked_max_degree(g: &Graph, mask: &[bool]) -> usize {
+    assert_eq!(mask.len(), g.n());
+    let mut best = 0;
+    for v in g.nodes() {
+        if !mask[v as usize] {
+            continue;
+        }
+        let d = g.neighbors(v).iter().filter(|&&u| mask[u as usize]).count();
+        best = best.max(d);
+    }
+    best
+}
+
+/// First pair of adjacent nodes both in the set, if any — `None` means the
+/// set is independent.
+pub fn independence_violation(g: &Graph, in_set: &[bool]) -> Option<(NodeId, NodeId)> {
+    assert_eq!(in_set.len(), g.n());
+    for v in g.nodes() {
+        if !in_set[v as usize] {
+            continue;
+        }
+        for &u in g.neighbors(v) {
+            if u > v && in_set[u as usize] {
+                return Some((v, u));
+            }
+        }
+    }
+    None
+}
+
+/// First node neither in the set nor adjacent to it, if any — `None`
+/// means the set is dominating (and hence, if independent, maximal).
+pub fn maximality_violation(g: &Graph, in_set: &[bool]) -> Option<NodeId> {
+    assert_eq!(in_set.len(), g.n());
+    for v in g.nodes() {
+        if in_set[v as usize] {
+            continue;
+        }
+        if !g.neighbors(v).iter().any(|&u| in_set[u as usize]) {
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// Whether `in_set` is an independent set of `g`.
+pub fn is_independent_set(g: &Graph, in_set: &[bool]) -> bool {
+    independence_violation(g, in_set).is_none()
+}
+
+/// Whether `in_set` is a *maximal* independent set of `g`.
+pub fn is_mis(g: &Graph, in_set: &[bool]) -> bool {
+    is_independent_set(g, in_set) && maximality_violation(g, in_set).is_none()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{cycle, disjoint_union, grid2d, path, star};
+
+    #[test]
+    fn components_of_union() {
+        let g = disjoint_union(&[&path(3), &cycle(4), &star(2)]);
+        let c = connected_components(&g);
+        assert_eq!(c.count, 3);
+        assert_eq!(c.sizes(), vec![3, 4, 2]);
+        assert_eq!(c.max_size(), 4);
+        let members = c.members();
+        assert_eq!(members[0], vec![0, 1, 2]);
+        assert_eq!(members[2], vec![7, 8]);
+    }
+
+    #[test]
+    fn components_empty_graph() {
+        let g = crate::generators::empty(0);
+        assert_eq!(connected_components(&g).count, 0);
+    }
+
+    #[test]
+    fn components_isolated_nodes() {
+        let g = crate::generators::empty(4);
+        assert_eq!(connected_components(&g).count, 4);
+    }
+
+    #[test]
+    fn masked_components_respect_mask() {
+        let g = path(5); // 0-1-2-3-4
+        let mask = vec![true, true, false, true, true];
+        let c = masked_components(&g, &mask);
+        assert_eq!(c.count, 2);
+        assert_eq!(c.label[2], u32::MAX);
+        assert_eq!(c.label[0], c.label[1]);
+        assert_eq!(c.label[3], c.label[4]);
+        assert_ne!(c.label[0], c.label[3]);
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path(5);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = disjoint_union(&[&path(2), &path(2)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[3], u32::MAX);
+    }
+
+    #[test]
+    fn diameter_of_path_exact() {
+        assert_eq!(diameter_estimate(&path(10), 5), 9);
+    }
+
+    #[test]
+    fn diameter_of_grid() {
+        let d = diameter_estimate(&grid2d(4, 4), 0);
+        assert_eq!(d, 6);
+    }
+
+    #[test]
+    fn histogram_star() {
+        let h = degree_histogram(&star(5));
+        assert_eq!(h[1], 4);
+        assert_eq!(h[4], 1);
+    }
+
+    #[test]
+    fn induced_subgraph_of_cycle() {
+        let g = cycle(6);
+        let (sub, map) = induced_subgraph(&g, &[0, 1, 2, 4]);
+        assert_eq!(sub.n(), 4);
+        assert_eq!(sub.m(), 2); // 0-1, 1-2 survive; 4 is isolated
+        assert_eq!(map, vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn masked_max_degree_star() {
+        let g = star(6);
+        let mut mask = vec![true; 6];
+        assert_eq!(masked_max_degree(&g, &mask), 5);
+        mask[0] = false;
+        assert_eq!(masked_max_degree(&g, &mask), 0);
+    }
+
+    #[test]
+    fn mis_checks_on_path() {
+        let g = path(5); // 0-1-2-3-4
+        let good = vec![true, false, true, false, true];
+        assert!(is_mis(&g, &good));
+        let not_maximal = vec![true, false, false, false, true];
+        assert!(is_independent_set(&g, &not_maximal));
+        assert!(!is_mis(&g, &not_maximal));
+        assert_eq!(maximality_violation(&g, &not_maximal), Some(2));
+        let not_independent = vec![true, true, false, false, false];
+        assert!(!is_independent_set(&g, &not_independent));
+        assert_eq!(independence_violation(&g, &not_independent), Some((0, 1)));
+    }
+
+    #[test]
+    fn mis_checks_degenerate() {
+        let g = crate::generators::empty(3);
+        // On an edgeless graph the only MIS is everything.
+        assert!(is_mis(&g, &[true, true, true]));
+        assert!(!is_mis(&g, &[true, false, true]));
+        let g0 = crate::generators::empty(0);
+        assert!(is_mis(&g0, &[]));
+    }
+
+    #[test]
+    fn mis_checks_star() {
+        let g = star(5);
+        let hub = vec![true, false, false, false, false];
+        let leaves = vec![false, true, true, true, true];
+        assert!(is_mis(&g, &hub));
+        assert!(is_mis(&g, &leaves));
+        assert!(!is_mis(&g, &[false; 5]));
+    }
+}

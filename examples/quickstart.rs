@@ -1,0 +1,74 @@
+//! Quickstart: run both of the paper's algorithms and Luby's baseline on
+//! the same random graph and compare time and energy.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use distributed_mis::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    // A dense-enough graph that Phase I engages: the paper's analysis
+    // targets the regime max degree > log² n.
+    let n = 16_384;
+    let degree = 400;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(2023);
+    let g = generators::random_regular(n, degree, &mut rng);
+    println!(
+        "graph: n = {}, m = {}, max degree = {}",
+        g.n(),
+        g.m(),
+        g.max_degree()
+    );
+
+    let seed = 42;
+    let alg1 = run_algorithm1(&g, &Alg1Params::default(), seed).expect("algorithm 1");
+    let alg2 = run_algorithm2(&g, &Alg2Params::default(), seed).expect("algorithm 2");
+    let base = luby(&g, &SimConfig::seeded(seed)).expect("luby");
+
+    println!(
+        "\n{:<14} {:>9} {:>11} {:>11} {:>9}",
+        "algorithm", "rounds", "max awake", "avg awake", "|MIS|"
+    );
+    for (name, rounds, max_awake, avg_awake, size, ok) in [
+        (
+            "algorithm-1",
+            alg1.metrics.elapsed_rounds,
+            alg1.metrics.max_awake(),
+            alg1.metrics.avg_awake(),
+            alg1.mis_size(),
+            alg1.is_mis(),
+        ),
+        (
+            "algorithm-2",
+            alg2.metrics.elapsed_rounds,
+            alg2.metrics.max_awake(),
+            alg2.metrics.avg_awake(),
+            alg2.mis_size(),
+            alg2.is_mis(),
+        ),
+        (
+            "luby",
+            base.metrics.elapsed_rounds,
+            base.metrics.max_awake(),
+            base.metrics.avg_awake(),
+            base.in_mis.iter().filter(|&&b| b).count(),
+            props::is_mis(&g, &base.in_mis),
+        ),
+    ] {
+        println!(
+            "{name:<14} {rounds:>9} {max_awake:>11} {avg_awake:>11.2} {size:>9}  {}",
+            if ok { "MIS ✓" } else { "NOT AN MIS ✗" }
+        );
+    }
+
+    println!(
+        "\nThe point of the paper: Luby keeps its busiest node awake for \
+         ~all {} rounds, while Algorithm 1 gets away with {} awake rounds \
+         (O(log log n)) and Algorithm 2 with {} (O(log² log n)).",
+        base.metrics.max_awake(),
+        alg1.metrics.max_awake(),
+        alg2.metrics.max_awake()
+    );
+}

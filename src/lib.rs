@@ -1,0 +1,70 @@
+//! `distributed-mis` — reproduction of *"Distributed MIS with Low Energy
+//! and Time Complexities"* (Ghaffari & Portmann, PODC 2023,
+//! arXiv:2305.11639).
+//!
+//! This facade crate re-exports the four building blocks of the
+//! workspace so applications can depend on a single crate:
+//!
+//! * [`algorithms`] ([`energy_mis`]) — the paper's Algorithm 1,
+//!   Algorithm 2, and the Section 4 constant-average-energy extension;
+//! * [`sim`] ([`congest_sim`]) — the sleeping-CONGEST simulator with
+//!   energy accounting;
+//! * [`graphs`] ([`mis_graphs`]) — graph types and workload generators;
+//! * [`baselines`] ([`mis_baselines`]) — Luby and friends.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use distributed_mis::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+//! let g = generators::gnp(400, 8.0 / 400.0, &mut rng);
+//!
+//! let ours = run_algorithm1(&g, &Alg1Params::default(), 7).unwrap();
+//! let theirs = luby(&g, &SimConfig::seeded(7)).unwrap();
+//!
+//! assert!(ours.is_mis());
+//! assert!(props::is_mis(&g, &theirs.in_mis));
+//! // Both are MISes; ours lets nodes sleep.
+//! println!(
+//!     "energy: ours = {}, luby = {}",
+//!     ours.metrics.max_awake(),
+//!     theirs.metrics.max_awake()
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The paper's algorithms (re-export of [`energy_mis`]).
+pub mod algorithms {
+    pub use energy_mis::*;
+}
+
+/// The sleeping-CONGEST simulator (re-export of [`congest_sim`]).
+pub mod sim {
+    pub use congest_sim::*;
+}
+
+/// Graph substrate (re-export of [`mis_graphs`]).
+pub mod graphs {
+    pub use mis_graphs::*;
+}
+
+/// Baseline MIS algorithms (re-export of [`mis_baselines`]).
+pub mod baselines {
+    pub use mis_baselines::*;
+}
+
+/// One-stop imports for applications and examples.
+pub mod prelude {
+    pub use congest_sim::{Metrics, SimConfig};
+    pub use energy_mis::alg1::run_algorithm1;
+    pub use energy_mis::alg2::run_algorithm2;
+    pub use energy_mis::avg_energy::{run_avg_energy, run_avg_energy2};
+    pub use energy_mis::params::{Alg1Params, Alg2Params, AvgEnergyParams};
+    pub use energy_mis::MisReport;
+    pub use mis_baselines::{greedy_mis, luby, permutation, MisRun};
+    pub use mis_graphs::{generators, props, Graph, GraphBuilder};
+}

@@ -1,0 +1,151 @@
+//! The theorems as tests: measured time/energy must respect the paper's
+//! bounds (with generous constants) and the Luby comparison must point
+//! the right way.
+
+use distributed_mis::prelude::*;
+use rand::SeedableRng;
+
+fn loglog(n: usize) -> f64 {
+    (n.max(4) as f64).log2().log2()
+}
+
+fn logn(n: usize) -> f64 {
+    (n.max(2) as f64).log2()
+}
+
+/// Theorem 1.1 energy: Algorithm 1's max awake rounds at O(log log n)
+/// scale (constant calibrated empirically, then fixed).
+#[test]
+fn alg1_energy_is_polyloglog() {
+    for exp in [12u32, 14] {
+        let n = 1usize << exp;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(u64::from(exp));
+        let g = generators::gnp(n, 12.0 / n as f64, &mut rng);
+        let r = run_algorithm1(&g, &Alg1Params::default(), 5).unwrap();
+        assert!(r.is_mis());
+        let bound = 150.0 * loglog(n) * loglog(n);
+        assert!(
+            (r.metrics.max_awake() as f64) < bound,
+            "n = {n}: energy {} above polyloglog scale {bound:.0}",
+            r.metrics.max_awake()
+        );
+    }
+}
+
+/// Theorem 1.1 time: Algorithm 1 runs in O(log² n) rounds.
+#[test]
+fn alg1_time_is_polylog() {
+    for exp in [12u32, 14] {
+        let n = 1usize << exp;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(u64::from(exp) + 1);
+        let g = generators::gnp(n, 12.0 / n as f64, &mut rng);
+        let r = run_algorithm1(&g, &Alg1Params::default(), 3).unwrap();
+        assert!(r.is_mis());
+        let bound = 60.0 * logn(n) * logn(n);
+        assert!(
+            (r.metrics.elapsed_rounds as f64) < bound,
+            "n = {n}: {} rounds above O(log² n) scale {bound:.0}",
+            r.metrics.elapsed_rounds
+        );
+    }
+}
+
+/// The headline gap: on a graph large and dense enough for Phase I to
+/// engage, the paper's algorithms are more energy-frugal than Luby while
+/// Luby is faster — the exact trade-off of Table "time vs energy".
+#[test]
+fn energy_gap_vs_luby_points_the_right_way() {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(44);
+    let g = generators::random_regular(1 << 14, 256, &mut rng);
+    let a1 = run_algorithm1(&g, &Alg1Params::default(), 2).unwrap();
+    let lb = luby(&g, &SimConfig::seeded(2)).unwrap();
+    assert!(a1.is_mis());
+    assert!(props::is_mis(&g, &lb.in_mis));
+    assert!(
+        a1.metrics.max_awake() < lb.metrics.max_awake(),
+        "alg1 energy {} not below luby {}",
+        a1.metrics.max_awake(),
+        lb.metrics.max_awake()
+    );
+    // (Luby's time advantage is asymptotic — log n vs log² n — and does
+    // not reliably show at simulable sizes; experiment E1 reports the
+    // measured curves instead of asserting an ordering here.)
+}
+
+/// CONGEST compliance: no algorithm ever sends more than O(log n) bits
+/// in one message.
+#[test]
+fn all_algorithms_are_congest_compliant() {
+    let n = 4096;
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+    let g = generators::gnp(n, 16.0 / n as f64, &mut rng);
+    let bandwidth = SimConfig::congest_bandwidth(n, 12);
+    let a1 = run_algorithm1(&g, &Alg1Params::default(), 1).unwrap();
+    let a2 = run_algorithm2(&g, &Alg2Params::default(), 1).unwrap();
+    let lb = luby(&g, &SimConfig::seeded(1)).unwrap();
+    for (name, bits) in [
+        ("alg1", a1.metrics.max_message_bits),
+        ("alg2", a2.metrics.max_message_bits),
+        ("luby", lb.metrics.max_message_bits),
+    ] {
+        assert!(
+            bits <= bandwidth,
+            "{name}: message of {bits} bits exceeds B = {bandwidth}"
+        );
+    }
+}
+
+/// Section 4: the average stays flat while n quadruples.
+#[test]
+fn avg_energy_stays_near_constant() {
+    let mut avgs = Vec::new();
+    for exp in [11u32, 13] {
+        let n = 1usize << exp;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(u64::from(exp) + 9);
+        let g = generators::gnp(n, 10.0 / n as f64, &mut rng);
+        let r = run_avg_energy(&g, &Alg1Params::default(), &AvgEnergyParams::default(), 3).unwrap();
+        assert!(r.is_mis());
+        avgs.push(r.metrics.avg_awake());
+    }
+    // Quadrupling n must not double the average (log n would).
+    assert!(
+        avgs[1] < 2.0 * avgs[0] + 4.0,
+        "average energy grows too fast: {avgs:?}"
+    );
+}
+
+/// Luby's energy genuinely grows with log n — the baseline the paper
+/// improves on (sanity check that our measurement can see the effect).
+#[test]
+fn luby_energy_tracks_logn() {
+    let mut energies = Vec::new();
+    for exp in [10u32, 14] {
+        let n = 1usize << exp;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(u64::from(exp) + 21);
+        let g = generators::gnp(n, 10.0 / n as f64, &mut rng);
+        let r = luby(&g, &SimConfig::seeded(4)).unwrap();
+        energies.push(r.metrics.max_awake());
+    }
+    assert!(
+        energies[1] > energies[0],
+        "luby energy should grow with n: {energies:?}"
+    );
+}
+
+/// Per-phase metrics add up exactly to the aggregate (the accounting the
+/// paper's theorem proofs rely on).
+#[test]
+fn phase_metrics_sum_to_total() {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(31);
+    let g = generators::gnp(800, 0.02, &mut rng);
+    let r = run_algorithm1(&g, &Alg1Params::default(), 6).unwrap();
+    let rounds: u64 = r.phases.iter().map(|(_, m)| m.elapsed_rounds).sum();
+    assert_eq!(rounds, r.metrics.elapsed_rounds);
+    let mut awake = vec![0u64; g.n()];
+    for (_, m) in &r.phases {
+        for (a, b) in awake.iter_mut().zip(&m.awake_rounds) {
+            *a += b;
+        }
+    }
+    assert_eq!(awake, r.metrics.awake_rounds);
+}

@@ -1,0 +1,136 @@
+//! Cross-crate correctness: every algorithm on every workload family
+//! must output a maximal independent set.
+
+use distributed_mis::prelude::*;
+use mis_graphs::generators::Family;
+use rand::SeedableRng;
+
+fn families() -> Vec<Family> {
+    vec![
+        Family::GnpAvgDeg(8),
+        Family::GnpAvgDeg(40),
+        Family::Regular(6),
+        Family::GeometricAvgDeg(10),
+        Family::BarabasiAlbert(3),
+        Family::Grid,
+        Family::Path,
+        Family::Cycle,
+        Family::Star,
+    ]
+}
+
+#[test]
+fn algorithm1_on_all_families() {
+    for fam in families() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+        let g = fam.generate(600, &mut rng);
+        let r = run_algorithm1(&g, &Alg1Params::default(), 11).unwrap();
+        assert!(r.is_mis(), "alg1 failed on {}", fam.name());
+    }
+}
+
+#[test]
+fn algorithm2_on_all_families() {
+    for fam in families() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+        let g = fam.generate(600, &mut rng);
+        let r = run_algorithm2(&g, &Alg2Params::default(), 13).unwrap();
+        assert!(r.is_mis(), "alg2 failed on {}", fam.name());
+    }
+}
+
+#[test]
+fn avg_energy_on_all_families() {
+    for fam in families() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let g = fam.generate(600, &mut rng);
+        let r =
+            run_avg_energy(&g, &Alg1Params::default(), &AvgEnergyParams::default(), 17).unwrap();
+        assert!(r.is_mis(), "avg-energy failed on {}", fam.name());
+    }
+}
+
+#[test]
+fn baselines_on_all_families() {
+    for fam in families() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(4);
+        let g = fam.generate(600, &mut rng);
+        let l = luby(&g, &SimConfig::seeded(1)).unwrap();
+        assert!(
+            props::is_mis(&g, &l.in_mis),
+            "luby failed on {}",
+            fam.name()
+        );
+        let p = permutation(&g, &SimConfig::seeded(2)).unwrap();
+        assert!(
+            props::is_mis(&g, &p.in_mis),
+            "permutation failed on {}",
+            fam.name()
+        );
+        assert!(props::is_mis(&g, &greedy_mis(&g)), "greedy failed");
+    }
+}
+
+#[test]
+fn many_seeds_never_break_independence() {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+    let g = generators::gnp(400, 0.03, &mut rng);
+    for seed in 0..12 {
+        let r = run_algorithm1(&g, &Alg1Params::default(), seed).unwrap();
+        assert!(r.independent, "alg1 independence broken at seed {seed}");
+        assert!(r.maximal, "alg1 maximality broken at seed {seed}");
+        let r = run_algorithm2(&g, &Alg2Params::default(), seed).unwrap();
+        assert!(r.independent, "alg2 independence broken at seed {seed}");
+        assert!(r.maximal, "alg2 maximality broken at seed {seed}");
+    }
+}
+
+#[test]
+fn relabeling_nodes_does_not_break_anything() {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(6);
+    let g = generators::grid2d(18, 18);
+    let (h, _) = generators::relabel_random(&g, &mut rng);
+    let r = run_algorithm1(&h, &Alg1Params::default(), 9).unwrap();
+    assert!(r.is_mis());
+}
+
+#[test]
+fn disconnected_graphs_are_fine() {
+    let parts = [
+        generators::cycle(30),
+        generators::star(20),
+        generators::complete(12),
+        generators::path(25),
+        generators::empty(10),
+    ];
+    let refs: Vec<&Graph> = parts.iter().collect();
+    let g = generators::disjoint_union(&refs);
+    for seed in 0..4 {
+        let r = run_algorithm1(&g, &Alg1Params::default(), seed).unwrap();
+        assert!(r.is_mis(), "seed {seed}");
+        let r = run_algorithm2(&g, &Alg2Params::default(), seed).unwrap();
+        assert!(r.is_mis(), "seed {seed}");
+    }
+}
+
+#[test]
+fn mis_sizes_are_plausible() {
+    // All MISes of the same graph have sizes within a small factor.
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(8);
+    let g = generators::gnp(1000, 0.01, &mut rng);
+    let a = run_algorithm1(&g, &Alg1Params::default(), 1)
+        .unwrap()
+        .mis_size();
+    let b = run_algorithm2(&g, &Alg2Params::default(), 1)
+        .unwrap()
+        .mis_size();
+    let c = luby(&g, &SimConfig::seeded(1))
+        .unwrap()
+        .in_mis
+        .iter()
+        .filter(|&&x| x)
+        .count();
+    let lo = a.min(b).min(c) as f64;
+    let hi = a.max(b).max(c) as f64;
+    assert!(hi / lo < 1.5, "MIS sizes wildly inconsistent: {a} {b} {c}");
+}

@@ -1,0 +1,93 @@
+//! Property-based invariants of the shared substrates, checked across
+//! crates: awake schedules, graph generators, and determinism of whole
+//! pipelines.
+
+use congest_sim::schedule::{set_size_bound, AwakeSchedule};
+use distributed_mis::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Lemma 2.5 strictness on arbitrary lengths: the operational
+    /// property Phase I's deterministic independence rests on.
+    #[test]
+    fn schedule_strict_everywhere(t in 1usize..700) {
+        let s = AwakeSchedule::build(t);
+        prop_assert!(s.max_set_size() <= set_size_bound(t));
+        for i in 0..t {
+            // Sample j rather than all pairs to keep runtime sane.
+            for j in [i, i + 1, i + t / 3 + 1, t - 1] {
+                if j < t && i <= j {
+                    let l = s.strict_common(i, j);
+                    prop_assert!(l.is_some(), "uncovered pair ({}, {})", i, j);
+                    let l = l.unwrap() as usize;
+                    prop_assert!(i <= l && (i == j || l < j));
+                }
+            }
+        }
+    }
+
+    /// Generators produce simple graphs: no self-loops (by construction),
+    /// symmetric sorted adjacency.
+    #[test]
+    fn generated_graphs_are_simple(n in 2usize..300, seed in any::<u64>()) {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let g = generators::gnp(n, (6.0 / n as f64).min(1.0), &mut rng);
+        for v in g.nodes() {
+            let nb = g.neighbors(v);
+            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]), "unsorted/duplicated");
+            for &u in nb {
+                prop_assert!(u != v, "self loop at {}", v);
+                prop_assert!(g.has_edge(u, v), "asymmetric edge {}-{}", v, u);
+            }
+        }
+    }
+
+    /// Greedy MIS on a random order is an MIS (oracle self-check).
+    #[test]
+    fn greedy_random_graph_mis(n in 1usize..200, seed in any::<u64>()) {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let g = generators::gnp(n, (4.0 / n.max(2) as f64).min(1.0), &mut rng);
+        let set = greedy_mis(&g);
+        prop_assert!(props::is_mis(&g, &set));
+    }
+
+    /// Whole-pipeline determinism under arbitrary seeds.
+    #[test]
+    fn alg1_is_a_pure_function_of_seed(seed in any::<u64>()) {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let g = generators::gnp(120, 0.05, &mut rng);
+        let a = run_algorithm1(&g, &Alg1Params::default(), seed).unwrap();
+        let b = run_algorithm1(&g, &Alg1Params::default(), seed).unwrap();
+        prop_assert_eq!(a.in_mis, b.in_mis);
+        prop_assert_eq!(a.metrics.elapsed_rounds, b.metrics.elapsed_rounds);
+        prop_assert_eq!(a.metrics.awake_rounds, b.metrics.awake_rounds);
+    }
+
+    /// Luby on arbitrary small random graphs (fuzz the engine paths).
+    #[test]
+    fn luby_fuzz(n in 1usize..150, seed in any::<u64>(), avg_deg in 0.5f64..12.0) {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let g = generators::gnp(n, (avg_deg / n.max(2) as f64).min(1.0), &mut rng);
+        let r = luby(&g, &SimConfig::seeded(seed)).unwrap();
+        prop_assert!(props::is_mis(&g, &r.in_mis));
+    }
+}
+
+#[test]
+fn alg1_fuzz_small_graphs() {
+    // Deterministic mini-fuzz over many (n, density, seed) triples —
+    // small graphs hit the phase-skipping edge cases.
+    for n in [1usize, 2, 3, 5, 9, 17, 33] {
+        for seed in 0..3u64 {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed * 31 + n as u64);
+            let g = generators::gnp(n, 0.3, &mut rng);
+            let r = run_algorithm1(&g, &Alg1Params::default(), seed).unwrap();
+            assert!(r.is_mis(), "n = {n}, seed = {seed}");
+            let r = run_algorithm2(&g, &Alg2Params::default(), seed).unwrap();
+            assert!(r.is_mis(), "alg2 n = {n}, seed = {seed}");
+        }
+    }
+}

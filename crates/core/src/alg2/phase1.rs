@@ -103,7 +103,7 @@ impl<'a> Alg2Phase1Iteration<'a> {
         }
         let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
         let skip = (u.ln() / lq).floor();
-        (skip < self.rounds as f64).then(|| skip as u32)
+        (skip < self.rounds as f64).then_some(skip as u32)
     }
 }
 
@@ -445,9 +445,7 @@ mod tests {
         let participating = vec![true; 10];
         let in_mis = vec![false; 10];
         let mut spoiled = vec![false; 10];
-        for v in 1..10 {
-            spoiled[v] = true; // all leaves spoiled
-        }
+        spoiled[1..].fill(true); // all leaves spoiled
         let proto = Alg2Cleanup {
             participating: &participating,
             in_mis: &in_mis,

@@ -97,10 +97,8 @@ impl Protocol for FailureCheck<'_> {
     fn recv(&self, state: &mut FailState, inbox: &[(NodeId, bool)], api: &mut RecvApi<'_>) {
         let v = api.node() as usize;
         match api.round() {
-            0 => {
-                if !self.in_mis[v] && !inbox.is_empty() {
-                    state.removed = true;
-                }
+            0 if !self.in_mis[v] && !inbox.is_empty() => {
+                state.removed = true;
             }
             1 => {
                 state.spoiled_neighbors = inbox.iter().filter(|&&(_, s)| s).count() as u32;
@@ -519,9 +517,7 @@ mod tests {
         let participating = vec![true; 12];
         let in_mis = vec![false; 12];
         let mut spoiled = vec![false; 12];
-        for v in 1..12 {
-            spoiled[v] = true;
-        }
+        spoiled[1..].fill(true);
         let failed_in = vec![false; 12];
         let res = run(
             &g,

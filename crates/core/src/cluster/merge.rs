@@ -90,7 +90,7 @@ pub struct U32List(pub Vec<u32>);
 
 impl Message for U32List {
     fn bits(&self) -> usize {
-        8 + self.0.iter().map(|v| Message::bits(v)).sum::<usize>()
+        8 + self.0.iter().map(Message::bits).sum::<usize>()
     }
 }
 
@@ -297,10 +297,7 @@ fn merge_iteration(
     )?;
 
     // Reciprocal (set M) detection + per-node incoming lists.
-    let mut incoming: Vec<Vec<(NodeId, u32)>> = vec![Vec::new(); n];
-    for v in 0..n {
-        incoming[v] = heard_a[v].clone();
-    }
+    let incoming: Vec<Vec<(NodeId, u32)>> = heard_a;
     let mut reciprocal: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
     for (&c, &(t, key)) in chosen_by_cluster.iter() {
         if let Some(&(t2, key2)) = chosen_by_cluster.get(&t) {
@@ -445,7 +442,7 @@ fn merge_iteration(
         let ins: Vec<u32> = incoming[v]
             .iter()
             .filter(|(_, sc)| {
-                !is_high[sc] && !(reciprocal.contains(sc) && reciprocal.contains(&mine))
+                !(is_high[sc] || (reciprocal.contains(sc) && reciprocal.contains(&mine)))
             })
             .map(|(_, sc)| *sc)
             .collect();
@@ -916,8 +913,8 @@ mod tests {
         let comps = props::masked_components(g, mask);
         let mut cluster_of_comp: std::collections::HashMap<u32, u32> =
             std::collections::HashMap::new();
-        for v in 0..g.n() {
-            if mask[v] {
+        for (v, &in_mask) in mask.iter().enumerate() {
+            if in_mask {
                 let comp = comps.label[v];
                 let c = f.cluster[v];
                 let e = cluster_of_comp.entry(comp).or_insert(c);
@@ -968,9 +965,9 @@ mod tests {
     fn merges_respect_participation_mask() {
         let g = generators::grid2d(8, 8);
         let mut mask = vec![true; 64];
-        for v in 0..64 {
+        for (v, m) in mask.iter_mut().enumerate() {
             if v % 5 == 0 {
-                mask[v] = false;
+                *m = false;
             }
         }
         let forest = grown_forest(&g, &mask, 5);
@@ -982,8 +979,8 @@ mod tests {
         let (merged, _) = merge_clusters(&mut pipe, forest, &cfg).unwrap();
         merged.validate(&g).unwrap();
         assert_one_cluster_per_component(&g, &mask, &merged);
-        for v in 0..64 {
-            if !mask[v] {
+        for (v, &in_mask) in mask.iter().enumerate() {
+            if !in_mask {
                 assert_eq!(pipe.metrics().awake_rounds[v], 0, "masked node {v} woke");
             }
         }

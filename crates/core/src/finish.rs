@@ -280,9 +280,9 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(17);
         let g = generators::gnp(150, 0.02, &mut rng);
         let mut mask = vec![true; 150];
-        for v in 0..150 {
+        for (v, m) in mask.iter_mut().enumerate() {
             if v % 4 == 0 {
-                mask[v] = false;
+                *m = false;
             }
         }
         let mut pipe = Pipeline::new(&g, SimConfig::seeded(3));

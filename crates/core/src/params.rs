@@ -99,13 +99,19 @@ impl Default for Alg1Params {
 
 impl Alg1Params {
     /// Number of Phase I iterations for maximum degree `delta`:
-    /// `max(0, ceil(log2 ∆) − iter_cut * log2 log2 n)`.
+    /// `max(0, ceil(ceil(log2 ∆) − iter_cut * log2 log2 n))`.
+    ///
+    /// The outer ceiling matters: Phase I must leave the residual degree at
+    /// `∆ / 2^it ≤ log² n`, which needs `it ≥ log2 ∆ − 2 log2 log2 n`.
+    /// Truncating instead would skip Phase I entirely in the marginal
+    /// regime `log² n < ∆ < 2 log² n` and hand Phase II a graph dense
+    /// enough that shattering costs more energy than Luby.
     pub fn phase1_iterations(&self, n: usize, delta: usize) -> u32 {
         if delta < 2 {
             return 0;
         }
         let it = (delta as f64).log2().ceil() - self.iter_cut * loglog2n(n);
-        it.max(0.0) as u32
+        it.max(0.0).ceil() as u32
     }
 
     /// Rounds per Phase I iteration.

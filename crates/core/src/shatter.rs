@@ -160,9 +160,9 @@ mod tests {
     fn clusters_respect_mask() {
         let g = generators::grid2d(10, 10);
         let mut mask = vec![true; 100];
-        for v in 0..100 {
+        for (v, m) in mask.iter_mut().enumerate() {
             if v % 3 == 0 {
-                mask[v] = false;
+                *m = false;
             }
         }
         let forest = grow(&g, &mask, 3, 3);

@@ -3,19 +3,26 @@
 //! one table — the headline comparison of the paper, runnable in seconds.
 //!
 //! ```sh
-//! cargo run --release --example energy_budget
+//! cargo run --release --example energy_budget           # full size
+//! cargo run --release --example energy_budget -- --tiny # CI smoke size
 //! ```
 
 use distributed_mis::prelude::*;
 use rand::SeedableRng;
 
+/// `--tiny` shrinks the workload so CI can execute the example in seconds.
+fn tiny() -> bool {
+    std::env::args().any(|a| a == "--tiny")
+}
+
 fn main() {
+    let exps: &[u32] = if tiny() { &[8, 10] } else { &[10, 12, 14, 16] };
     println!(
         "{:<9} {:>10} {:>10} {:>10} | {:>9} {:>9} {:>9}",
         "n", "alg1⚡", "alg2⚡", "luby⚡", "alg1 t", "alg2 t", "luby t"
     );
     println!("{}", "-".repeat(78));
-    for exp in [10u32, 12, 14, 16] {
+    for &exp in exps {
         let n = 1usize << exp;
         let mut rng = rand::rngs::SmallRng::seed_from_u64(u64::from(exp));
         let g = generators::gnp(n, 10.0 / n as f64, &mut rng);
@@ -46,7 +53,8 @@ fn main() {
     // Section 4: node-averaged energy stays O(1)-flat.
     println!("\nSection 4 (constant node-averaged energy):");
     println!("{:<9} {:>12} {:>12}", "n", "avg awake", "max awake");
-    for exp in [10u32, 12, 14] {
+    let exps: &[u32] = if tiny() { &[8, 10] } else { &[10, 12, 14] };
+    for &exp in exps {
         let n = 1usize << exp;
         let mut rng = rand::rngs::SmallRng::seed_from_u64(u64::from(exp) + 77);
         let g = generators::gnp(n, 10.0 / n as f64, &mut rng);

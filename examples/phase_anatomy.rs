@@ -3,16 +3,23 @@
 //! paper's proof of Theorem 1.1.
 //!
 //! ```sh
-//! cargo run --release --example phase_anatomy
+//! cargo run --release --example phase_anatomy           # full size
+//! cargo run --release --example phase_anatomy -- --tiny # CI smoke size
 //! ```
 
 use distributed_mis::prelude::*;
 use rand::SeedableRng;
 
+/// `--tiny` shrinks the workload so CI can execute the example in seconds.
+fn tiny() -> bool {
+    std::env::args().any(|a| a == "--tiny")
+}
+
 fn main() {
     // A dense-ish regular graph so that Phase I has real work to do.
+    let (n, d) = if tiny() { (2_048, 256) } else { (16_384, 512) };
     let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
-    let g = generators::random_regular(16_384, 512, &mut rng).clone();
+    let g = generators::random_regular(n, d, &mut rng).clone();
     println!(
         "graph: n = {}, d-regular with d = {}, m = {}",
         g.n(),

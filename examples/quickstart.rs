@@ -2,17 +2,22 @@
 //! the same random graph and compare time and energy.
 //!
 //! ```sh
-//! cargo run --release --example quickstart
+//! cargo run --release --example quickstart           # full size
+//! cargo run --release --example quickstart -- --tiny # CI smoke size
 //! ```
 
 use distributed_mis::prelude::*;
 use rand::SeedableRng;
 
+/// `--tiny` shrinks the workload so CI can execute the example in seconds.
+fn tiny() -> bool {
+    std::env::args().any(|a| a == "--tiny")
+}
+
 fn main() {
     // A dense-enough graph that Phase I engages: the paper's analysis
     // targets the regime max degree > log² n.
-    let n = 16_384;
-    let degree = 400;
+    let (n, degree) = if tiny() { (1_024, 128) } else { (16_384, 400) };
     let mut rng = rand::rngs::SmallRng::seed_from_u64(2023);
     let g = generators::random_regular(n, degree, &mut rng);
     println!(

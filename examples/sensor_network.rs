@@ -9,7 +9,8 @@
 //! battery model and report the network lifetime under each algorithm.
 //!
 //! ```sh
-//! cargo run --release --example sensor_network
+//! cargo run --release --example sensor_network           # full size
+//! cargo run --release --example sensor_network -- --tiny # CI smoke size
 //! ```
 
 use distributed_mis::prelude::*;
@@ -18,8 +19,13 @@ use rand::SeedableRng;
 /// Battery budget: how many awake rounds a sensor survives.
 const BATTERY_ROUNDS: u64 = 120;
 
+/// `--tiny` shrinks the workload so CI can execute the example in seconds.
+fn tiny() -> bool {
+    std::env::args().any(|a| a == "--tiny")
+}
+
 fn main() {
-    let n = 30_000;
+    let n = if tiny() { 2_000 } else { 30_000 };
     let target_degree = 12.0;
     let radius = (target_degree / (std::f64::consts::PI * n as f64)).sqrt();
     let mut rng = rand::rngs::SmallRng::seed_from_u64(99);

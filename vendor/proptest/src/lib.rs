@@ -1,0 +1,222 @@
+//! Offline stand-in for the subset of `proptest` 1.x used by this
+//! workspace.
+//!
+//! Supports the shape the tests are written in:
+//!
+//! ```
+//! use proptest::prelude::*;
+//!
+//! proptest! {
+//!     #![proptest_config(ProptestConfig::with_cases(16))]
+//!
+//!     // In a real test module this carries `#[test]` too.
+//!     fn addition_commutes(a in 0u64..1000, b in any::<u32>()) {
+//!         prop_assert_eq!(a + u64::from(b), u64::from(b) + a);
+//!     }
+//! }
+//! # addition_commutes();
+//! ```
+//!
+//! Differences from the real crate, deliberately accepted for a test-only
+//! stand-in: no shrinking (the failing inputs are printed instead, and
+//! every run is deterministic, so a failure reproduces exactly), and
+//! strategies are plain samplers rather than value trees. Each generated
+//! test derives its RNG seed from the test name, so adding or reordering
+//! tests does not reshuffle the inputs of the others.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+
+/// Per-block configuration, set via `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test executes.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 64 cases — lighter than upstream's 256, chosen so the tier-1 suite
+    /// stays fast; blocks that need more ask for it explicitly.
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// A source of random test inputs.
+///
+/// The real crate builds shrinkable value trees; this stand-in only ever
+/// samples, which is all the workspace's property tests consume.
+pub trait Strategy {
+    /// The type of values produced.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: Copy + std::fmt::Debug,
+    std::ops::Range<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        use rand::Rng;
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    T: Copy + std::fmt::Debug,
+    std::ops::RangeInclusive<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        use rand::Rng;
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: rand::Standard + std::fmt::Debug> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        use rand::Rng;
+        rng.gen()
+    }
+}
+
+/// The strategy for "any value of `T`" (uniform over the whole domain).
+#[must_use]
+pub fn any<T: rand::Standard + std::fmt::Debug>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Seeds the per-test RNG from the test's name, so each test draws a
+/// stable input stream independent of its siblings.
+#[must_use]
+pub fn rng_for_test(name: &str) -> SmallRng {
+    use rand::SeedableRng;
+    // FNV-1a over the name; any stable spread works.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    SmallRng::seed_from_u64(h)
+}
+
+/// Asserts a condition inside a property test.
+///
+/// The stand-in maps to [`assert!`]; the surrounding harness prints the
+/// case's inputs before propagating the panic.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test; see [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Declares property tests: `fn name(binding in strategy, ...) { body }`.
+///
+/// An optional leading `#![proptest_config(expr)]` applies to every test
+/// in the block. Each test runs `config.cases` sampled cases; on panic the
+/// failing inputs are printed, and reruns are deterministic.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     )*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::rng_for_test(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut rng);)+
+                let label = ::std::format!(
+                    concat!("case {}/{}: ", $(stringify!($arg), " = {:?} "),+),
+                    case + 1, config.cases, $(&$arg),+
+                );
+                let outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| $body),
+                );
+                if let ::std::result::Result::Err(cause) = outcome {
+                    ::std::eprintln!("proptest {} failed at {}", stringify!($name), label);
+                    ::std::panic::resume_unwind(cause);
+                }
+            }
+        }
+    )*};
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 5usize..25, y in 0.0f64..1.0) {
+            prop_assert!((5..25).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y), "y = {}", y);
+        }
+
+        #[test]
+        fn any_u64_hits_both_halves(x in any::<u64>()) {
+            // Not a statistical test — just proves the strategy compiles
+            // and produces the full-width type.
+            prop_assert_eq!(x, x);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = super::rng_for_test("t");
+        let mut b = super::rng_for_test("t");
+        let sa = super::Strategy::sample(&(0u64..1_000_000), &mut a);
+        let sb = super::Strategy::sample(&(0u64..1_000_000), &mut b);
+        assert_eq!(sa, sb);
+    }
+}

@@ -93,8 +93,7 @@ impl Protocol for LubyProtocol {
                         let deg = state.active_degree;
                         for i in 0..api.degree() {
                             if state.nbr_active[i] {
-                                let dst = api.neighbors()[i];
-                                api.send(dst, LubyMsg::Mark(deg));
+                                api.send_to_rank(i, LubyMsg::Mark(deg));
                             }
                         }
                     }
@@ -107,8 +106,7 @@ impl Protocol for LubyProtocol {
                         state.decision = Decision::InMis;
                         for i in 0..api.degree() {
                             if state.nbr_active[i] {
-                                let dst = api.neighbors()[i];
-                                api.send(dst, LubyMsg::Join);
+                                api.send_to_rank(i, LubyMsg::Join);
                             }
                         }
                     }
@@ -119,8 +117,7 @@ impl Protocol for LubyProtocol {
                     state.announced = true;
                     for i in 0..api.degree() {
                         if state.nbr_active[i] {
-                            let dst = api.neighbors()[i];
-                            api.send(dst, LubyMsg::Inactive);
+                            api.send_to_rank(i, LubyMsg::Inactive);
                         }
                     }
                 }

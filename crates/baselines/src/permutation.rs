@@ -73,8 +73,7 @@ impl Protocol for PermutationProtocol {
                     let p = state.priority;
                     for i in 0..api.degree() {
                         if state.nbr_active[i] {
-                            let dst = api.neighbors()[i];
-                            api.send(dst, PermMsg::Priority(p));
+                            api.send_to_rank(i, PermMsg::Priority(p));
                         }
                     }
                 }
@@ -84,8 +83,7 @@ impl Protocol for PermutationProtocol {
                     state.decision = Decision::InMis;
                     for i in 0..api.degree() {
                         if state.nbr_active[i] {
-                            let dst = api.neighbors()[i];
-                            api.send(dst, PermMsg::Join);
+                            api.send_to_rank(i, PermMsg::Join);
                         }
                     }
                 }
@@ -95,8 +93,7 @@ impl Protocol for PermutationProtocol {
                     state.announced = true;
                     for i in 0..api.degree() {
                         if state.nbr_active[i] {
-                            let dst = api.neighbors()[i];
-                            api.send(dst, PermMsg::Inactive);
+                            api.send_to_rank(i, PermMsg::Inactive);
                         }
                     }
                 }

@@ -1,0 +1,168 @@
+//! Engine throughput measurement: emits `BENCH_engine.json`.
+//!
+//! Drives a chatty all-awake protocol (every node broadcasts a small
+//! payload every round) through `congest_sim::run` on the standard G(n,p)
+//! and d-regular workloads and records rounds/sec and messages/sec, next
+//! to the pre-rearchitecture baseline numbers recorded on the same
+//! workloads (see `baseline::ROWS`). This is the perf trajectory artifact
+//! CI uploads on every push.
+//!
+//! Usage: `engine_throughput [--tiny] [--out PATH]`
+//!
+//! * `--tiny` shrinks the sweep to CI scale (n ∈ {2^10, 2^12}).
+//! * default sweep: n ∈ {2^14, 2^16, 2^18}.
+
+use congest_sim::{run, InitApi, NodeId, Protocol, RecvApi, SendApi, SimConfig};
+use mis_bench::{workload_gnp, workload_regular};
+use mis_graphs::Graph;
+use std::time::Instant;
+
+/// All-awake chatter: every node broadcasts its running counter each
+/// round for `rounds` rounds. This maximises engine work per unit of
+/// protocol logic, so it measures scheduler + delivery overhead, not the
+/// protocol.
+struct Chatter {
+    rounds: u64,
+}
+
+impl Protocol for Chatter {
+    type State = u32;
+    type Msg = u32;
+
+    fn init(&self, node: NodeId, api: &mut InitApi<'_>) -> u32 {
+        api.wake_range(0..self.rounds);
+        node
+    }
+
+    fn send(&self, state: &mut u32, api: &mut SendApi<'_, u32>) {
+        api.broadcast(*state & 0xffff);
+    }
+
+    fn recv(&self, state: &mut u32, inbox: &[(NodeId, u32)], _api: &mut RecvApi<'_>) {
+        for (src, v) in inbox {
+            *state = state.wrapping_add(src.wrapping_add(*v));
+        }
+    }
+}
+
+/// Baseline rounds/sec and messages/sec of the pre-rearchitecture engine
+/// (BTreeMap wakeup queue + global sorted outbox), recorded with this
+/// same binary at the commit before the bucketed-scheduler/edge-slot
+/// rewrite. `None` where the baseline was not measured (tiny CI sizes).
+mod baseline {
+    /// `(family, n, rounds_per_sec, messages_per_sec)`.
+    pub const ROWS: &[(&str, usize, f64, f64)] = &[
+        ("gnp", 1 << 14, 187.8, 30840677.0),
+        ("gnp", 1 << 16, 35.9, 23508429.0),
+        ("gnp", 1 << 18, 5.3, 13895294.0),
+        ("regular", 1 << 14, 327.8, 42953163.0),
+        ("regular", 1 << 16, 67.0, 35131047.0),
+        ("regular", 1 << 18, 9.1, 19175679.0),
+    ];
+
+    pub fn lookup(family: &str, n: usize) -> Option<(f64, f64)> {
+        ROWS.iter()
+            .find(|(f, bn, _, _)| *f == family && *bn == n)
+            .map(|&(_, _, r, m)| (r, m))
+    }
+}
+
+struct Row {
+    family: &'static str,
+    n: usize,
+    rounds: u64,
+    messages: u64,
+    secs: f64,
+}
+
+fn measure(family: &'static str, n: usize, g: &Graph) -> Row {
+    // Keep total traffic roughly constant across n so the big sizes stay
+    // tractable: ~2^22 node-rounds per run, at least 8 rounds.
+    let rounds = ((1u64 << 22) / n as u64).max(8);
+    let proto = Chatter { rounds };
+    let cfg = SimConfig::seeded(1);
+    // One warmup at an eighth of the rounds to fault in caches.
+    run(
+        g,
+        &Chatter {
+            rounds: (rounds / 8).max(1),
+        },
+        &cfg,
+    )
+    .expect("warmup");
+    let start = Instant::now();
+    let res = run(g, &proto, &cfg).expect("measured run");
+    let secs = start.elapsed().as_secs_f64();
+    Row {
+        family,
+        n,
+        rounds: res.metrics.busy_rounds,
+        messages: res.metrics.messages_sent,
+        secs,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("BENCH_engine.json")
+        .to_string();
+
+    let sizes: &[usize] = if tiny {
+        &[1 << 10, 1 << 12]
+    } else {
+        &[1 << 14, 1 << 16, 1 << 18]
+    };
+
+    let mut rows = Vec::new();
+    for &n in sizes {
+        rows.push(measure("gnp", n, &workload_gnp(n, 5)));
+        rows.push(measure("regular", n, &workload_regular(n, 8, 5)));
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"schema\": \"bench-engine-v1\",\n");
+    json.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if tiny { "tiny" } else { "full" }
+    ));
+    json.push_str("  \"protocol\": \"chatter-broadcast-all-awake\",\n");
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let rps = r.rounds as f64 / r.secs;
+        let mps = r.messages as f64 / r.secs;
+        let base = baseline::lookup(r.family, r.n);
+        println!(
+            "{:>8} n={:<8} {:>10.1} rounds/s {:>14.0} msgs/s{}",
+            r.family,
+            r.n,
+            rps,
+            mps,
+            match base {
+                Some((br, _)) => format!("  ({:.2}x baseline)", rps / br),
+                None => String::new(),
+            }
+        );
+        json.push_str("    {");
+        json.push_str(&format!(
+            "\"family\": \"{}\", \"n\": {}, \"rounds\": {}, \"messages\": {}, \"secs\": {:.6}, \"rounds_per_sec\": {:.1}, \"messages_per_sec\": {:.0}",
+            r.family, r.n, r.rounds, r.messages, r.secs, rps, mps
+        ));
+        if let Some((br, bm)) = base {
+            json.push_str(&format!(
+                ", \"baseline_rounds_per_sec\": {br:.1}, \"baseline_messages_per_sec\": {bm:.0}, \"speedup_rounds\": {:.3}, \"speedup_messages\": {:.3}",
+                rps / br,
+                mps / bm
+            ));
+        }
+        json.push_str(if i + 1 == rows.len() { "}\n" } else { "},\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
+    println!("wrote {out_path}");
+}

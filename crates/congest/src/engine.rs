@@ -1,13 +1,33 @@
 //! The round-by-round simulation engine.
+//!
+//! # Hot-loop architecture
+//!
+//! The engine is built around two data structures chosen so that the
+//! steady-state round loop performs **no sorting, no searching, and no
+//! heap allocation**:
+//!
+//! * a bucketed calendar queue ([`crate::sched`]) replaces an ordered
+//!   map as the wakeup queue — popping the next busy round is an O(1)
+//!   amortized bitmap scan, and duplicate wakeups are filtered with a
+//!   per-round stamp instead of `sort + dedup`;
+//! * messages are delivered into **per-directed-edge inbox slots**
+//!   (indexed by [`mis_graphs::EdgeId`]) instead of a global outbox —
+//!   a send addressed by neighbor rank is an O(1) write through the
+//!   precomputed reverse-edge table, duplicate-destination detection is
+//!   an O(1) stamp compare, and a receiver drains its slot range already
+//!   in ascending sender order.
+//!
+//! All reusable buffers live in an [`EngineScratch`], allocated once per
+//! run (or once across many runs via [`run_with_scratch`]).
 
 use crate::error::SimError;
 use crate::message::Message;
 use crate::metrics::Metrics;
 use crate::rng;
+use crate::sched::BucketScheduler;
 use crate::{NodeId, Round};
 use mis_graphs::Graph;
 use rand::rngs::SmallRng;
-use std::collections::BTreeMap;
 
 /// A distributed protocol in the sleeping CONGEST model.
 ///
@@ -134,6 +154,13 @@ impl InitApi<'_> {
         self.graph.neighbors(self.node)
     }
 
+    /// The rank of `u` in this node's neighbor list, if adjacent. Useful
+    /// to precompute a rank once here and use the O(1)
+    /// [`SendApi::send_to_rank`] fast path in every later round.
+    pub fn neighbor_rank(&self, u: NodeId) -> Option<usize> {
+        self.graph.neighbor_rank(self.node, u)
+    }
+
     /// The node's deterministic RNG.
     pub fn rng(&mut self) -> &mut SmallRng {
         self.rng
@@ -145,9 +172,41 @@ impl InitApi<'_> {
     }
 
     /// Schedules this node to be awake in every round of `rounds`.
+    ///
+    /// Debug builds reject an empty range: a protocol asking for zero
+    /// awake rounds is almost always a bug silently disabling the node.
     pub fn wake_range(&mut self, rounds: std::ops::Range<Round>) {
+        debug_assert!(
+            rounds.start < rounds.end,
+            "node {} requested empty wake_range {rounds:?} (silent no-op)",
+            self.node
+        );
+        if rounds.start >= rounds.end {
+            return;
+        }
+        self.wakes.reserve((rounds.end - rounds.start) as usize);
         for r in rounds {
             self.wakes.push(r);
+        }
+    }
+}
+
+/// One per-directed-edge delivery slot: the payload and the round stamp
+/// claiming it. Kept in a single struct so the send fast path touches one
+/// cache location per destination.
+#[derive(Debug)]
+struct EdgeSlot<M> {
+    /// Matches the engine tick of the round the slot was last written.
+    stamp: u64,
+    /// The in-flight message, taken by the receiver.
+    msg: Option<M>,
+}
+
+impl<M> EdgeSlot<M> {
+    fn vacant() -> EdgeSlot<M> {
+        EdgeSlot {
+            stamp: 0,
+            msg: None,
         }
     }
 }
@@ -159,7 +218,25 @@ pub struct SendApi<'a, M: Message> {
     round: Round,
     graph: &'a Graph,
     rng: &'a mut SmallRng,
-    out: &'a mut Vec<(NodeId, M)>,
+    /// Stamp of the current round; a slot with this stamp already holds a
+    /// message sent this round.
+    tick: u64,
+    /// Per-directed-edge delivery slots, indexed by the *receiver-side*
+    /// [`EdgeId`] (`mis_graphs::EdgeId`), i.e. the slot `dst → src`.
+    slots: &'a mut [EdgeSlot<M>],
+    /// `awake_stamp[v] == tick` marks `v` awake this round; payloads for
+    /// sleeping receivers are dropped at send time (the model loses them
+    /// anyway), so slots never retain undelivered messages.
+    awake_stamp: &'a [u64],
+    /// Every node is awake this round: skip the per-message receiver
+    /// check entirely (the dense-workload fast path).
+    all_awake: bool,
+    metrics: &'a mut Metrics,
+    bandwidth_bits: Option<usize>,
+    strict_bandwidth: bool,
+    /// First CONGEST violation observed during this node's send half;
+    /// checked by the engine after the protocol returns.
+    error: &'a mut Option<SimError>,
 }
 
 impl<M: Message> SendApi<'_, M> {
@@ -188,23 +265,148 @@ impl<M: Message> SendApi<'_, M> {
         self.graph.neighbors(self.node)
     }
 
+    /// The rank of `u` in this node's neighbor list, if adjacent.
+    pub fn neighbor_rank(&self, u: NodeId) -> Option<usize> {
+        self.graph.neighbor_rank(self.node, u)
+    }
+
     /// The node's deterministic RNG.
     pub fn rng(&mut self) -> &mut SmallRng {
         self.rng
     }
 
-    /// Sends `msg` to neighbor `dst` (delivered at the end of this round
-    /// if `dst` is awake, silently lost otherwise).
-    pub fn send(&mut self, dst: NodeId, msg: M) {
-        self.out.push((dst, msg));
+    /// Sends `msg` to the neighbor at position `rank` of this node's
+    /// sorted neighbor list (delivered at the end of this round if that
+    /// neighbor is awake, silently lost otherwise).
+    ///
+    /// This is the engine's O(1) fast path: the destination slot is found
+    /// through the precomputed reverse-edge table, with no neighbor
+    /// search. Protocols that already iterate their adjacency list (or
+    /// that precompute a rank via [`InitApi::neighbor_rank`]) should
+    /// prefer it over the id-addressed [`SendApi::send`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= degree()` (debug builds panic with a rank
+    /// message; release builds via index bounds).
+    pub fn send_to_rank(&mut self, rank: usize, msg: M) {
+        if self.error.is_some() {
+            return; // a violation already aborts this round
+        }
+        let eid = self.graph.edge_id(self.node, rank);
+        let Some(dest) = self.stamp_slot(eid) else {
+            return; // duplicate destination recorded
+        };
+        let bits = msg.bits();
+        self.metrics.messages_sent += 1;
+        self.metrics.bits_sent += bits as u64;
+        self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
+        if let Some(limit) = self.bandwidth_bits {
+            if bits > limit {
+                if self.strict_bandwidth {
+                    *self.error = Some(SimError::BandwidthExceeded {
+                        node: self.node,
+                        round: self.round,
+                        bits,
+                        limit,
+                    });
+                    return;
+                }
+                self.metrics.bandwidth_violations += 1;
+            }
+        }
+        if let Some(rid) = dest {
+            self.slots[rid].msg = Some(msg);
+        }
     }
 
-    /// Sends a copy of `msg` to every neighbor.
-    pub fn broadcast(&mut self, msg: M) {
-        for i in 0..self.graph.degree(self.node) {
-            let dst = self.graph.neighbors(self.node)[i];
-            self.out.push((dst, msg.clone()));
+    /// Sends `msg` to neighbor `dst` (delivered at the end of this round
+    /// if `dst` is awake, silently lost otherwise).
+    ///
+    /// Id-addressed legacy path: costs a binary search over the neighbor
+    /// list to validate adjacency and resolve the rank. Hot protocols
+    /// should address by rank ([`SendApi::send_to_rank`]) instead.
+    pub fn send(&mut self, dst: NodeId, msg: M) {
+        match self.graph.neighbor_rank(self.node, dst) {
+            Some(rank) => self.send_to_rank(rank, msg),
+            None => {
+                if self.error.is_none() {
+                    *self.error = Some(SimError::NotANeighbor {
+                        src: self.node,
+                        dst,
+                    });
+                }
+            }
         }
+    }
+
+    /// Sends a copy of `msg` to every neighbor; the last neighbor
+    /// receives the original without a clone.
+    ///
+    /// Every copy has the same size, so the CONGEST bit accounting and
+    /// bandwidth check are hoisted out of the per-neighbor loop; each
+    /// copy costs one reverse-edge lookup, one stamp compare, and one
+    /// slot write.
+    pub fn broadcast(&mut self, msg: M) {
+        if self.error.is_some() {
+            return;
+        }
+        let range = self.graph.edge_range(self.node);
+        let deg = range.len();
+        if deg == 0 {
+            return;
+        }
+        let bits = msg.bits();
+        self.metrics.messages_sent += deg as u64;
+        self.metrics.bits_sent += (bits * deg) as u64;
+        self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
+        if let Some(limit) = self.bandwidth_bits {
+            if bits > limit {
+                if self.strict_bandwidth {
+                    *self.error = Some(SimError::BandwidthExceeded {
+                        node: self.node,
+                        round: self.round,
+                        bits,
+                        limit,
+                    });
+                    return;
+                }
+                self.metrics.bandwidth_violations += deg as u64;
+            }
+        }
+        let last = range.end - 1;
+        for eid in range.start..last {
+            match self.stamp_slot(eid) {
+                Some(Some(rid)) => self.slots[rid].msg = Some(msg.clone()),
+                Some(None) => {} // receiver asleep: the copy is lost
+                None => return,
+            }
+        }
+        if let Some(Some(rid)) = self.stamp_slot(last) {
+            self.slots[rid].msg = Some(msg); // final copy moves, no clone
+        }
+    }
+
+    /// Claims the delivery slot behind outgoing edge `eid` for this
+    /// round: `Some(Some(rid))` to store a payload (receiver awake),
+    /// `Some(None)` when the receiver sleeps (payload is lost), `None`
+    /// after recording a duplicate-destination violation.
+    #[inline]
+    fn stamp_slot(&mut self, eid: mis_graphs::EdgeId) -> Option<Option<mis_graphs::EdgeId>> {
+        let rid = self.graph.reverse_edge(eid);
+        let slot = &mut self.slots[rid];
+        if slot.stamp == self.tick {
+            *self.error = Some(SimError::DuplicateDestination {
+                src: self.node,
+                dst: self.graph.edge_target(eid),
+                round: self.round,
+            });
+            return None;
+        }
+        slot.stamp = self.tick;
+        let awake =
+            self.all_awake || self.awake_stamp[self.graph.edge_target(eid) as usize] == self.tick;
+        Some(awake.then_some(rid))
     }
 }
 
@@ -245,6 +447,11 @@ impl RecvApi<'_> {
         self.graph.neighbors(self.node)
     }
 
+    /// The rank of `u` in this node's neighbor list, if adjacent.
+    pub fn neighbor_rank(&self, u: NodeId) -> Option<usize> {
+        self.graph.neighbor_rank(self.node, u)
+    }
+
     /// The node's deterministic RNG.
     pub fn rng(&mut self) -> &mut SmallRng {
         self.rng
@@ -268,7 +475,19 @@ impl RecvApi<'_> {
 
     /// Schedules this node to be awake in every round of `rounds` (all in
     /// the future).
+    ///
+    /// Debug builds reject an empty range: a protocol asking for zero
+    /// awake rounds is almost always a bug silently stalling the node.
     pub fn wake_range(&mut self, rounds: std::ops::Range<Round>) {
+        debug_assert!(
+            rounds.start < rounds.end,
+            "node {} requested empty wake_range {rounds:?} (silent no-op)",
+            self.node
+        );
+        if rounds.start >= rounds.end {
+            return;
+        }
+        self.wakes.reserve((rounds.end - rounds.start) as usize);
         for r in rounds {
             self.wake_at(r);
         }
@@ -279,6 +498,108 @@ impl RecvApi<'_> {
     /// terminated (e.g. it joined the MIS or was removed).
     pub fn halt(&mut self) {
         *self.halt = true;
+    }
+}
+
+/// Reusable buffers of the engine hot loop, sized for one graph.
+///
+/// The steady-state round loop allocates nothing: wake buckets, the awake
+/// list, per-edge message slots and stamps, and the per-node inbox buffer
+/// all live here and are recycled round over round (and run over run with
+/// [`run_with_scratch`]). Stamps are compared against a monotonically
+/// increasing tick, so reuse never requires clearing the O(m) slot
+/// arrays.
+#[derive(Debug)]
+pub struct EngineScratch<M> {
+    sched: BucketScheduler,
+    /// Per-node RNGs, re-derived in place from `(seed, salt, node)` at
+    /// the start of every run.
+    rngs: Vec<SmallRng>,
+    /// Monotone busy-round counter; never reset, so stale stamps from
+    /// earlier rounds (or earlier runs) can never collide.
+    tick: u64,
+    halted: Vec<bool>,
+    /// `awake_stamp[v] == tick` marks v awake in the current round (also
+    /// the duplicate-wakeup filter when draining a bucket).
+    awake_stamp: Vec<u64>,
+    /// Awake, non-halted nodes of the current round.
+    active: Vec<NodeId>,
+    /// Wakeups requested by the node currently in `init`/`recv`.
+    wakes: Vec<Round>,
+    /// Inbox assembled for the node currently in `recv`.
+    inbox: Vec<(NodeId, M)>,
+    /// Per-directed-edge delivery slots, indexed by receiver-side
+    /// [`mis_graphs::EdgeId`]; `slots[e].stamp == tick` marks a message
+    /// sent this round. Stamp and payload share one struct so a send
+    /// touches a single cache line per destination.
+    slots: Vec<EdgeSlot<M>>,
+}
+
+impl<M: Message> EngineScratch<M> {
+    /// Scratch sized for `graph`.
+    pub fn new(graph: &Graph) -> EngineScratch<M> {
+        let mut s = EngineScratch::empty();
+        s.fit_to(graph);
+        s
+    }
+
+    /// Unsized scratch; [`run`] starts here and lets `run_with_scratch`'s
+    /// `fit_to` do the single sizing pass.
+    fn empty() -> EngineScratch<M> {
+        EngineScratch {
+            sched: BucketScheduler::new(),
+            rngs: Vec::new(),
+            tick: 0,
+            halted: Vec::new(),
+            awake_stamp: Vec::new(),
+            active: Vec::new(),
+            wakes: Vec::new(),
+            inbox: Vec::new(),
+            slots: Vec::new(),
+        }
+    }
+
+    /// Resizes for `graph` and resets per-run state (halts, queue). The
+    /// tick — and therefore all stamp arrays — carries over untouched.
+    fn fit_to(&mut self, graph: &Graph) {
+        let n = graph.n();
+        let dm = graph.directed_m();
+        self.halted.clear();
+        self.halted.resize(n, false);
+        // Growth fills with stamp 0, which is always < tick + 1: safe.
+        self.awake_stamp.resize(n, 0);
+        self.slots.resize_with(dm, EdgeSlot::vacant);
+        // A run that ended in an error can leave in-flight payloads; a
+        // completed run cannot (awake receivers drain their slots, and
+        // payloads for sleeping receivers are never stored).
+        for slot in &mut self.slots {
+            slot.msg = None;
+        }
+        self.sched.clear();
+        self.active.clear();
+        self.inbox.clear();
+        self.wakes.clear();
+    }
+
+    /// Capacities of every growable buffer, in a fixed order. Two runs of
+    /// the same workload must produce identical signatures — `Vec` growth
+    /// strictly increases capacity, so an unchanged signature proves the
+    /// second run performed zero scratch allocations. This is the
+    /// allocation oracle for the no-steady-state-allocation test (the
+    /// workspace forbids `unsafe`, so a counting `GlobalAlloc` is not an
+    /// option).
+    pub fn capacity_signature(&self) -> Vec<usize> {
+        let mut out = vec![
+            self.rngs.capacity(),
+            self.halted.capacity(),
+            self.awake_stamp.capacity(),
+            self.active.capacity(),
+            self.wakes.capacity(),
+            self.inbox.capacity(),
+            self.slots.capacity(),
+        ];
+        self.sched.capacity_signature(&mut out);
+        out
     }
 }
 
@@ -295,16 +616,45 @@ pub fn run<P: Protocol>(
     protocol: &P,
     cfg: &SimConfig,
 ) -> Result<SimResult<P::State>, SimError> {
+    let mut scratch = EngineScratch::empty();
+    run_with_scratch(graph, protocol, cfg, &mut scratch)
+}
+
+/// [`run`], reusing caller-owned scratch buffers across runs.
+///
+/// Repeated executions on the same graph (parameter sweeps, benchmark
+/// loops, repeated phases with one message type) skip all per-run buffer
+/// allocation except the result itself.
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_with_scratch<P: Protocol>(
+    graph: &Graph,
+    protocol: &P,
+    cfg: &SimConfig,
+    scratch: &mut EngineScratch<P::Msg>,
+) -> Result<SimResult<P::State>, SimError> {
     let n = graph.n();
+    scratch.fit_to(graph);
+    scratch.rngs.clear();
+    scratch
+        .rngs
+        .extend((0..n as u32).map(|v| rng::derive(cfg.seed, cfg.salt, v)));
     let mut metrics = Metrics::new(n);
-    let mut rngs: Vec<SmallRng> = (0..n as u32)
-        .map(|v| rng::derive(cfg.seed, cfg.salt, v))
-        .collect();
-    let mut halted = vec![false; n];
-    let mut queue: BTreeMap<Round, Vec<NodeId>> = BTreeMap::new();
+    let EngineScratch {
+        sched,
+        rngs,
+        tick,
+        halted,
+        awake_stamp,
+        active,
+        wakes,
+        inbox,
+        slots,
+    } = scratch;
 
     // Initialization: free local pre-computation, may request wakeups.
-    let mut wakes: Vec<Round> = Vec::new();
     let mut states: Vec<P::State> = Vec::with_capacity(n);
     for v in 0..n as u32 {
         wakes.clear();
@@ -312,128 +662,103 @@ pub fn run<P: Protocol>(
             node: v,
             graph,
             rng: &mut rngs[v as usize],
-            wakes: &mut wakes,
+            wakes: &mut *wakes,
         };
         states.push(protocol.init(v, &mut api));
         for &r in wakes.iter() {
-            queue.entry(r).or_default().push(v);
+            sched.schedule(r, v);
         }
     }
 
-    let mut inboxes: Vec<Vec<(NodeId, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
-    let mut outbox: Vec<(NodeId, NodeId, P::Msg)> = Vec::new();
-    // awake_stamp[v] == current round key marks v awake this round.
-    let mut awake_stamp: Vec<u64> = vec![u64::MAX; n];
     let mut last_round: Option<Round> = None;
 
-    while let Some((&round, _)) = queue.iter().next() {
+    while let Some(round) = sched.pop_round() {
         if round >= cfg.max_rounds {
             return Err(SimError::ExceededMaxRounds {
                 max_rounds: cfg.max_rounds,
             });
         }
-        let mut nodes = queue.remove(&round).expect("key just observed");
-        nodes.sort_unstable();
-        nodes.dedup();
-        nodes.retain(|&v| !halted[v as usize]);
-        if nodes.is_empty() {
+        *tick += 1;
+        let stamp = *tick;
+
+        // Drain the wake bucket: the stamp dedups repeated wakeups and
+        // drops halted nodes; no sort needed (processing order within a
+        // round is unobservable — per-node RNGs, slot-indexed delivery).
+        let bucket = sched.take_bucket(round);
+        active.clear();
+        for &v in &bucket {
+            let vi = v as usize;
+            if halted[vi] || awake_stamp[vi] == stamp {
+                continue;
+            }
+            awake_stamp[vi] = stamp;
+            active.push(v);
+        }
+        sched.restore_bucket(round, bucket);
+        if active.is_empty() {
             continue;
         }
         last_round = Some(round);
         metrics.busy_rounds += 1;
-        for &v in &nodes {
-            awake_stamp[v as usize] = round;
+        for &v in active.iter() {
             metrics.awake_rounds[v as usize] += 1;
-            inboxes[v as usize].clear();
         }
 
-        // Send half.
-        outbox.clear();
-        let mut per_node_out: Vec<(NodeId, P::Msg)> = Vec::new();
-        for &v in &nodes {
-            per_node_out.clear();
+        // Send half: messages go straight into per-edge slots.
+        let all_awake = active.len() == n;
+        let mut error: Option<SimError> = None;
+        for &v in active.iter() {
             let mut api = SendApi {
                 node: v,
                 round,
                 graph,
                 rng: &mut rngs[v as usize],
-                out: &mut per_node_out,
+                tick: stamp,
+                slots: &mut slots[..],
+                awake_stamp: &awake_stamp[..],
+                all_awake,
+                metrics: &mut metrics,
+                bandwidth_bits: cfg.bandwidth_bits,
+                strict_bandwidth: cfg.strict_bandwidth,
+                error: &mut error,
             };
             protocol.send(&mut states[v as usize], &mut api);
-            // CONGEST checks: neighbor addressing, one message per edge
-            // per round, bandwidth.
-            per_node_out.sort_by_key(|(dst, _)| *dst);
-            for w in per_node_out.windows(2) {
-                if w[0].0 == w[1].0 {
-                    return Err(SimError::DuplicateDestination {
-                        src: v,
-                        dst: w[0].0,
-                        round,
-                    });
-                }
-            }
-            for (dst, msg) in per_node_out.drain(..) {
-                if !graph.has_edge(v, dst) {
-                    return Err(SimError::NotANeighbor { src: v, dst });
-                }
-                let bits = msg.bits();
-                metrics.messages_sent += 1;
-                metrics.bits_sent += bits as u64;
-                metrics.max_message_bits = metrics.max_message_bits.max(bits);
-                if let Some(limit) = cfg.bandwidth_bits {
-                    if bits > limit {
-                        if cfg.strict_bandwidth {
-                            return Err(SimError::BandwidthExceeded {
-                                node: v,
-                                round,
-                                bits,
-                                limit,
-                            });
-                        }
-                        metrics.bandwidth_violations += 1;
-                    }
-                }
-                outbox.push((v, dst, msg));
+            if let Some(e) = error.take() {
+                return Err(e);
             }
         }
 
-        // Delivery: only awake, non-halted receivers get the message.
-        for (src, dst, msg) in outbox.drain(..) {
-            if awake_stamp[dst as usize] == round && !halted[dst as usize] {
-                metrics.messages_delivered += 1;
-                inboxes[dst as usize].push((src, msg));
+        // Receive half: drain each awake node's slot range (ascending
+        // sender order by CSR construction), then let it react.
+        for &v in active.iter() {
+            inbox.clear();
+            let range = graph.edge_range(v);
+            let nbrs = graph.neighbors(v);
+            for (k, slot) in slots[range].iter_mut().enumerate() {
+                if slot.stamp == stamp {
+                    metrics.messages_delivered += 1;
+                    let msg = slot.msg.take().expect("stamped slot holds a message");
+                    inbox.push((nbrs[k], msg));
+                }
             }
-        }
-        for &v in &nodes {
-            inboxes[v as usize].sort_by_key(|(src, _)| *src);
-        }
-
-        // Receive half.
-        let mut new_wakes: Vec<(Round, NodeId)> = Vec::new();
-        for &v in &nodes {
             wakes.clear();
             let mut halt = false;
-            let inbox = std::mem::take(&mut inboxes[v as usize]);
             let mut api = RecvApi {
                 node: v,
                 round,
                 graph,
                 rng: &mut rngs[v as usize],
-                wakes: &mut wakes,
+                wakes: &mut *wakes,
                 halt: &mut halt,
             };
-            protocol.recv(&mut states[v as usize], &inbox, &mut api);
-            inboxes[v as usize] = inbox;
+            protocol.recv(&mut states[v as usize], inbox, &mut api);
             if halt {
                 halted[v as usize] = true;
             } else {
                 for &r in wakes.iter() {
-                    new_wakes.push((r, v));
+                    sched.schedule(r, v);
                 }
             }
-        }
-        for (r, v) in new_wakes {
-            queue.entry(r).or_default().push(v);
         }
     }
 
@@ -639,6 +964,65 @@ mod tests {
         ));
     }
 
+    /// Mixing the rank-addressed fast path with the id-addressed legacy
+    /// path still trips the one-message-per-edge check.
+    struct MixedDoubleSend;
+    impl Protocol for MixedDoubleSend {
+        type State = ();
+        type Msg = ();
+        fn init(&self, _node: NodeId, api: &mut InitApi<'_>) {
+            api.wake_at(0);
+        }
+        fn send(&self, _state: &mut (), api: &mut SendApi<'_, ()>) {
+            if api.node() == 0 {
+                api.send_to_rank(0, ());
+                api.send(1, ()); // same neighbor, by id
+            }
+        }
+        fn recv(&self, _state: &mut (), _inbox: &[(NodeId, ())], _api: &mut RecvApi<'_>) {}
+    }
+
+    #[test]
+    fn rank_and_id_sends_share_duplicate_detection() {
+        let g = generators::path(2);
+        assert!(matches!(
+            run(&g, &MixedDoubleSend, &SimConfig::default()).unwrap_err(),
+            SimError::DuplicateDestination { src: 0, dst: 1, .. }
+        ));
+    }
+
+    /// Rank-addressed sends land on the rank-th neighbor, in order.
+    struct RankSender;
+    impl Protocol for RankSender {
+        type State = Vec<(NodeId, u32)>;
+        type Msg = u32;
+        fn init(&self, _node: NodeId, api: &mut InitApi<'_>) -> Self::State {
+            api.wake_at(0);
+            Vec::new()
+        }
+        fn send(&self, _state: &mut Self::State, api: &mut SendApi<'_, u32>) {
+            if api.node() == 0 {
+                // Send each neighbor its own rank, highest rank first: the
+                // receiver order must still come out ascending by sender.
+                for rank in (0..api.degree()).rev() {
+                    api.send_to_rank(rank, rank as u32);
+                }
+            }
+        }
+        fn recv(&self, state: &mut Self::State, inbox: &[(NodeId, u32)], _api: &mut RecvApi<'_>) {
+            state.extend(inbox.iter().copied());
+        }
+    }
+
+    #[test]
+    fn send_to_rank_addresses_sorted_neighbors() {
+        let g = generators::star(5); // center 0, leaves 1..=4
+        let res = run(&g, &RankSender, &SimConfig::default()).unwrap();
+        for leaf in 1..5u32 {
+            assert_eq!(res.states[leaf as usize], vec![(0, leaf - 1)]);
+        }
+    }
+
     /// Oversized messages: counted, or fatal in strict mode.
     struct BigTalker;
     impl Protocol for BigTalker {
@@ -729,5 +1113,178 @@ mod tests {
         assert_eq!(res.metrics.elapsed_rounds, 42);
         assert_eq!(res.metrics.busy_rounds, 2);
         assert_eq!(res.metrics.awake_rounds[0], 2);
+    }
+
+    /// Duplicate `wake_at` calls for one round cost one awake round.
+    struct DoubleWake;
+    impl Protocol for DoubleWake {
+        type State = ();
+        type Msg = ();
+        fn init(&self, _node: NodeId, api: &mut InitApi<'_>) {
+            api.wake_at(3);
+            api.wake_at(3);
+            api.wake_at(3);
+        }
+        fn send(&self, _state: &mut (), _api: &mut SendApi<'_, ()>) {}
+        fn recv(&self, _state: &mut (), _inbox: &[(NodeId, ())], _api: &mut RecvApi<'_>) {}
+    }
+
+    #[test]
+    fn duplicate_wakeups_are_idempotent_in_energy() {
+        let g = generators::path(2);
+        let res = run(&g, &DoubleWake, &SimConfig::default()).unwrap();
+        assert_eq!(res.metrics.awake_rounds, vec![1, 1]);
+        assert_eq!(res.metrics.busy_rounds, 1);
+        assert_eq!(res.metrics.elapsed_rounds, 4);
+    }
+
+    /// Far-future wakeups (past the scheduler's dense ring window) fire,
+    /// fire in order, and count gap rounds in elapsed time.
+    struct FarFuture;
+    impl Protocol for FarFuture {
+        type State = Vec<Round>;
+        type Msg = ();
+        fn init(&self, node: NodeId, api: &mut InitApi<'_>) -> Vec<Round> {
+            match node {
+                0 => {
+                    // Scheduled out of order, spanning several ring laps.
+                    api.wake_at(100_000);
+                    api.wake_at(0);
+                    api.wake_at(700);
+                    api.wake_at(99_000);
+                }
+                _ => api.wake_at(5),
+            }
+            Vec::new()
+        }
+        fn send(&self, _state: &mut Vec<Round>, _api: &mut SendApi<'_, ()>) {}
+        fn recv(&self, state: &mut Vec<Round>, _inbox: &[(NodeId, ())], api: &mut RecvApi<'_>) {
+            state.push(api.round());
+        }
+    }
+
+    #[test]
+    fn far_future_wakeups_fire_in_order() {
+        let g = generators::path(2);
+        let res = run(&g, &FarFuture, &SimConfig::default()).unwrap();
+        assert_eq!(res.states[0], vec![0, 700, 99_000, 100_000]);
+        assert_eq!(res.states[1], vec![5]);
+        assert_eq!(res.metrics.busy_rounds, 5);
+        assert_eq!(res.metrics.elapsed_rounds, 100_001);
+    }
+
+    /// Halting cancels wakeups that were already queued for the future,
+    /// including far-future (overflow) ones.
+    struct EagerThenHalt;
+    impl Protocol for EagerThenHalt {
+        type State = u64;
+        type Msg = ();
+        fn init(&self, _node: NodeId, api: &mut InitApi<'_>) -> u64 {
+            api.wake_at(0);
+            api.wake_at(5);
+            api.wake_at(10_000); // far future: lands in the overflow spill
+            0
+        }
+        fn send(&self, _state: &mut u64, _api: &mut SendApi<'_, ()>) {}
+        fn recv(&self, state: &mut u64, _inbox: &[(NodeId, ())], api: &mut RecvApi<'_>) {
+            *state += 1;
+            api.halt();
+        }
+    }
+
+    #[test]
+    fn halt_cancels_queued_future_wakeups() {
+        let g = generators::path(2);
+        let res = run(&g, &EagerThenHalt, &SimConfig::default()).unwrap();
+        // Both nodes halt in round 0; the queued rounds 5 and 10_000 fire
+        // nothing and cost nothing.
+        assert_eq!(res.states, vec![1, 1]);
+        assert_eq!(res.metrics.awake_rounds, vec![1, 1]);
+        assert_eq!(res.metrics.busy_rounds, 1);
+        assert_eq!(res.metrics.elapsed_rounds, 1);
+    }
+
+    /// Scratch reuse: identical results, and the second run performs zero
+    /// scratch allocations (capacities are unchanged — `Vec` growth
+    /// strictly increases capacity, so equality proves no reallocation on
+    /// the steady-state path).
+    #[test]
+    fn scratch_reuse_is_deterministic_and_allocation_free() {
+        let g = generators::grid2d(8, 8);
+        let cfg = SimConfig::seeded(3);
+        let baseline = run(&g, &Flood { rounds_cap: 30 }, &cfg).unwrap();
+
+        let mut scratch = EngineScratch::new(&g);
+        let first = run_with_scratch(&g, &Flood { rounds_cap: 30 }, &cfg, &mut scratch).unwrap();
+        let warm = scratch.capacity_signature();
+        let second = run_with_scratch(&g, &Flood { rounds_cap: 30 }, &cfg, &mut scratch).unwrap();
+        assert_eq!(
+            warm,
+            scratch.capacity_signature(),
+            "steady-state allocation"
+        );
+
+        for res in [&first, &second] {
+            assert_eq!(res.metrics, baseline.metrics);
+            for (a, b) in res.states.iter().zip(baseline.states.iter()) {
+                assert_eq!(a.infected_at, b.infected_at);
+            }
+        }
+    }
+
+    /// Payloads addressed to sleeping receivers are dropped at send
+    /// time, not parked in delivery slots until the edge is next used.
+    #[test]
+    fn undelivered_payloads_are_dropped_at_send_time() {
+        use std::rc::Rc;
+        #[derive(Clone, Debug)]
+        struct Tracked(#[allow(dead_code, reason = "held only to track drops")] Rc<()>);
+        impl crate::Message for Tracked {
+            fn bits(&self) -> usize {
+                1
+            }
+        }
+        struct SendToSleepers(Rc<()>);
+        impl Protocol for SendToSleepers {
+            type State = ();
+            type Msg = Tracked;
+            fn init(&self, node: NodeId, api: &mut InitApi<'_>) {
+                if node == 0 {
+                    api.wake_at(0);
+                }
+            }
+            fn send(&self, _state: &mut (), api: &mut SendApi<'_, Tracked>) {
+                api.broadcast(Tracked(self.0.clone()));
+            }
+            fn recv(&self, _state: &mut (), _inbox: &[(NodeId, Tracked)], _api: &mut RecvApi<'_>) {}
+        }
+        let g = generators::star(5);
+        let handle = Rc::new(());
+        let proto = SendToSleepers(handle.clone());
+        let mut scratch = EngineScratch::new(&g);
+        let res = run_with_scratch(&g, &proto, &SimConfig::default(), &mut scratch).unwrap();
+        assert_eq!(res.metrics.messages_sent, 4);
+        assert_eq!(res.metrics.messages_delivered, 0);
+        // Scratch is still alive, yet no broadcast copy survives: only the
+        // local handle and the protocol's own copy remain.
+        assert_eq!(Rc::strong_count(&handle), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty wake_range")]
+    #[cfg(debug_assertions)]
+    fn empty_wake_range_panics_in_debug() {
+        struct EmptyRange;
+        impl Protocol for EmptyRange {
+            type State = ();
+            type Msg = ();
+            fn init(&self, _node: NodeId, api: &mut InitApi<'_>) {
+                api.wake_range(7..7);
+            }
+            fn send(&self, _state: &mut (), _api: &mut SendApi<'_, ()>) {}
+            fn recv(&self, _state: &mut (), _inbox: &[(NodeId, ())], _api: &mut RecvApi<'_>) {}
+        }
+        let g = generators::path(2);
+        let _ = run(&g, &EmptyRange, &SimConfig::default());
     }
 }

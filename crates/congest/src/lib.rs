@@ -66,9 +66,12 @@ mod message;
 mod metrics;
 mod pipeline;
 pub mod rng;
+mod sched;
 pub mod schedule;
 
-pub use engine::{run, InitApi, Protocol, RecvApi, SendApi, SimConfig, SimResult};
+pub use engine::{
+    run, run_with_scratch, EngineScratch, InitApi, Protocol, RecvApi, SendApi, SimConfig, SimResult,
+};
 pub use error::SimError;
 pub use message::{Message, PackedBits};
 pub use metrics::{EnergySummary, Metrics};

@@ -39,6 +39,9 @@ pub struct Convergecast<'a, V, F> {
 pub struct CvcState<V> {
     /// Combined value of the subtree rooted here (valid after the run).
     pub acc: Option<V>,
+    /// Rank of the tree parent in the adjacency list, resolved once at
+    /// init so the transmit round uses the O(1) rank-addressed send.
+    parent_rank: Option<usize>,
 }
 
 impl<V, F> Protocol for Convergecast<'_, V, F>
@@ -53,6 +56,7 @@ where
         let v = node as usize;
         let mut st = CvcState {
             acc: self.input[v].clone(),
+            parent_rank: None,
         };
         if !self.active[v] || !self.forest.participating[v] {
             st.acc = None;
@@ -66,7 +70,11 @@ where
         );
         let listen = u64::from(self.depth_cap - d - 1);
         api.wake_at(listen);
-        if self.forest.parent[v].is_some() {
+        if let Some(p) = self.forest.parent[v] {
+            let rank = api
+                .neighbor_rank(p)
+                .expect("tree parent must be a graph neighbor");
+            st.parent_rank = Some(rank);
             api.wake_at(listen + 1); // transmit round D - d
         }
         st
@@ -76,8 +84,8 @@ where
         let v = api.node() as usize;
         let d = self.forest.depth[v];
         if api.round() == u64::from(self.depth_cap - d) {
-            if let (Some(p), Some(val)) = (self.forest.parent[v], state.acc.clone()) {
-                api.send(p, val);
+            if let (Some(pr), Some(val)) = (state.parent_rank, state.acc.clone()) {
+                api.send_to_rank(pr, val);
             }
         }
     }
@@ -199,6 +207,9 @@ pub struct RerootUpState {
     pub path_val: Option<RerootVal>,
     /// The child that forwarded the value (the node's new parent side).
     pub from_child: Option<NodeId>,
+    /// Rank of the tree parent in the adjacency list, resolved once at
+    /// init so the transmit round uses the O(1) rank-addressed send.
+    parent_rank: Option<usize>,
 }
 
 impl Protocol for RerootUp<'_> {
@@ -207,9 +218,10 @@ impl Protocol for RerootUp<'_> {
 
     fn init(&self, node: NodeId, api: &mut InitApi<'_>) -> RerootUpState {
         let v = node as usize;
-        let st = RerootUpState {
+        let mut st = RerootUpState {
             path_val: self.attach[v],
             from_child: None,
+            parent_rank: None,
         };
         if !self.active[v] || !self.forest.participating[v] {
             return st;
@@ -221,7 +233,11 @@ impl Protocol for RerootUp<'_> {
             self.depth_cap
         );
         api.wake_at(u64::from(self.depth_cap - d - 1));
-        if self.forest.parent[v].is_some() {
+        if let Some(p) = self.forest.parent[v] {
+            let rank = api
+                .neighbor_rank(p)
+                .expect("tree parent must be a graph neighbor");
+            st.parent_rank = Some(rank);
             api.wake_at(u64::from(self.depth_cap - d));
         }
         st
@@ -231,8 +247,8 @@ impl Protocol for RerootUp<'_> {
         let v = api.node() as usize;
         let d = self.forest.depth[v];
         if api.round() == u64::from(self.depth_cap - d) {
-            if let (Some(p), Some(val)) = (self.forest.parent[v], state.path_val) {
-                api.send(p, val);
+            if let (Some(pr), Some(val)) = (state.parent_rank, state.path_val) {
+                api.send_to_rank(pr, val);
             }
         }
     }

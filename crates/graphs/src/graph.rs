@@ -5,6 +5,18 @@ use std::fmt;
 /// Identifier of a node in a [`Graph`]; always in `0..g.n()`.
 pub type NodeId = u32;
 
+/// Identifier of a *directed* edge slot in a [`Graph`]'s CSR adjacency
+/// array; always in `0..g.directed_m()`.
+///
+/// Every undirected edge `{v, u}` owns two directed slots: `v → u` (the
+/// slot holding `u` inside `v`'s adjacency list) and `u → v`. The id of
+/// `v`'s `k`-th slot is [`Graph::edge_id`]`(v, k)`; the opposite slot is
+/// [`Graph::reverse_edge`]. Because adjacency lists are sorted, iterating
+/// a node's slot range visits neighbors in ascending id order — which is
+/// what lets the CONGEST engine deliver messages into per-edge slots and
+/// read them back already ordered by sender.
+pub type EdgeId = usize;
+
 /// Error raised when constructing a [`Graph`] from invalid input.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum GraphError {
@@ -59,6 +71,10 @@ impl std::error::Error for GraphError {}
 pub struct Graph {
     offsets: Vec<usize>,
     adj: Vec<NodeId>,
+    /// `rev[e]` is the directed slot opposite to `e`: if `e` is the slot
+    /// `v → u`, then `rev[e]` is `u → v`. Precomputed once so the
+    /// simulator's per-message reverse lookup is a single array read.
+    rev: Vec<EdgeId>,
 }
 
 impl Graph {
@@ -122,9 +138,24 @@ impl Graph {
             }
             clean_offsets.push(clean_adj.len());
         }
+        // Reverse-edge table. Sweeping targets in ascending source order
+        // visits each node's adjacency list front to back, so a running
+        // per-node cursor yields the position of the opposite slot in
+        // O(m) total.
+        let mut rev = vec![0 as EdgeId; clean_adj.len()];
+        let mut seen = vec![0usize; n];
+        for u in 0..n {
+            for j in clean_offsets[u]..clean_offsets[u + 1] {
+                let v = clean_adj[j] as usize;
+                rev[j] = clean_offsets[v] + seen[v];
+                seen[v] += 1;
+            }
+        }
+        debug_assert!((0..rev.len()).all(|e| rev[rev[e]] == e));
         Ok(Graph {
             offsets: clean_offsets,
             adj: clean_adj,
+            rev,
         })
     }
 
@@ -160,6 +191,92 @@ impl Graph {
     pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
         let v = v as usize;
         &self.adj[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Total number of *directed* edge slots, `2 * m`; [`EdgeId`]s are
+    /// `0..directed_m()`.
+    #[inline]
+    pub fn directed_m(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// The directed slot `v → neighbors(v)[rank]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= degree(v)`. The check is unconditional: an
+    /// out-of-range rank would otherwise alias a *different node's* slot
+    /// (CSR slots are contiguous), which must never fail silently.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mis_graphs::Graph;
+    ///
+    /// let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+    /// // Node 1's neighbors are [0, 2]; its slots are consecutive.
+    /// assert_eq!(g.edge_id(1, 1), g.edge_id(1, 0) + 1);
+    /// assert_eq!(g.edge_target(g.edge_id(1, 1)), 2);
+    /// ```
+    #[inline]
+    pub fn edge_id(&self, v: NodeId, rank: usize) -> EdgeId {
+        assert!(
+            rank < self.degree(v),
+            "rank {rank} out of range for node {v} of degree {}",
+            self.degree(v)
+        );
+        self.offsets[v as usize] + rank
+    }
+
+    /// The contiguous [`EdgeId`] range of all slots out of `v`
+    /// (`edge_id(v, 0)..edge_id(v, degree(v))`); iterating it visits
+    /// neighbors in ascending id order.
+    #[inline]
+    pub fn edge_range(&self, v: NodeId) -> std::ops::Range<EdgeId> {
+        let v = v as usize;
+        self.offsets[v]..self.offsets[v + 1]
+    }
+
+    /// The head (target node) of directed slot `e`.
+    #[inline]
+    pub fn edge_target(&self, e: EdgeId) -> NodeId {
+        self.adj[e]
+    }
+
+    /// The opposite directed slot: for `e = v → u`, returns `u → v`
+    /// (precomputed, O(1)).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mis_graphs::Graph;
+    ///
+    /// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+    /// let e = g.edge_id(1, g.neighbor_rank(1, 2).unwrap()); // 1 → 2
+    /// let r = g.reverse_edge(e); // 2 → 1
+    /// assert_eq!(g.edge_target(r), 1);
+    /// assert_eq!(g.reverse_edge(r), e);
+    /// ```
+    #[inline]
+    pub fn reverse_edge(&self, e: EdgeId) -> EdgeId {
+        self.rev[e]
+    }
+
+    /// The rank of `u` within `v`'s sorted neighbor list (binary search),
+    /// or `None` if `{v, u}` is not an edge.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mis_graphs::Graph;
+    ///
+    /// let g = Graph::from_edges(4, &[(0, 1), (0, 3)]).unwrap();
+    /// assert_eq!(g.neighbor_rank(0, 3), Some(1));
+    /// assert_eq!(g.neighbor_rank(0, 2), None);
+    /// assert_eq!(g.neighbor_rank(0, 0), None); // no self-loops
+    /// ```
+    pub fn neighbor_rank(&self, v: NodeId, u: NodeId) -> Option<usize> {
+        self.neighbors(v).binary_search(&u).ok()
     }
 
     /// Whether the undirected edge `{a, b}` exists (binary search).
@@ -323,6 +440,50 @@ mod tests {
     fn avg_degree_path() {
         let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
         assert!((g.avg_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_ids_are_contiguous_per_node() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        for v in 0..4u32 {
+            let r = g.edge_range(v);
+            assert_eq!(r.len(), g.degree(v));
+            for (k, e) in r.enumerate() {
+                assert_eq!(e, g.edge_id(v, k));
+                assert_eq!(g.edge_target(e), g.neighbors(v)[k]);
+            }
+        }
+        assert_eq!(g.directed_m(), 2 * g.m());
+    }
+
+    #[test]
+    fn reverse_edge_is_an_involution() {
+        let mut edges = Vec::new();
+        // A deliberately irregular graph: star + path + chords.
+        for i in 1..8 {
+            edges.push((0, i));
+        }
+        edges.extend([(1, 2), (2, 3), (3, 7), (5, 6)]);
+        let g = Graph::from_edges(8, &edges).unwrap();
+        for v in 0..8u32 {
+            for e in g.edge_range(v) {
+                let u = g.edge_target(e);
+                let r = g.reverse_edge(e);
+                assert_eq!(g.reverse_edge(r), e);
+                assert_eq!(g.edge_target(r), v);
+                assert!(g.edge_range(u).contains(&r));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_rank_matches_neighbor_list() {
+        let g = Graph::from_edges(5, &[(0, 2), (0, 4), (1, 2)]).unwrap();
+        assert_eq!(g.neighbor_rank(0, 2), Some(0));
+        assert_eq!(g.neighbor_rank(0, 4), Some(1));
+        assert_eq!(g.neighbor_rank(0, 1), None);
+        assert_eq!(g.neighbor_rank(4, 0), Some(0));
+        assert_eq!(g.neighbor_rank(3, 3), None);
     }
 
     #[test]

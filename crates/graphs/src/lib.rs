@@ -38,4 +38,4 @@ mod graph;
 pub mod props;
 
 pub use builder::GraphBuilder;
-pub use graph::{Graph, GraphError, NodeId};
+pub use graph::{EdgeId, Graph, GraphError, NodeId};

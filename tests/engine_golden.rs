@@ -1,0 +1,300 @@
+//! Determinism golden test for the engine rearchitecture.
+//!
+//! The bucketed-scheduler + edge-slot engine must be *bit-for-bit*
+//! equivalent to the original `BTreeMap`-queue / global-outbox engine:
+//! same `(seed, salt)` ⇒ identical metrics and final protocol states.
+//! The constants below were recorded by running the pre-change engine
+//! (commit `2f01567`) on these exact workloads; any divergence in round
+//! accounting, message accounting, per-node energy, or the computed MIS
+//! fails this test.
+
+use congest_sim::{Metrics, SimConfig};
+use energy_mis::params::{Alg1Params, Alg2Params};
+use energy_mis::{alg1, alg2};
+use mis_baselines::luby;
+use mis_graphs::{generators, Graph};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Condensed fingerprint of one run, matching the pre-change recording.
+#[derive(Debug, PartialEq, Eq)]
+struct Golden {
+    elapsed_rounds: u64,
+    busy_rounds: u64,
+    messages_sent: u64,
+    messages_delivered: u64,
+    bits_sent: u64,
+    max_message_bits: usize,
+    max_awake: u64,
+    total_awake: u64,
+    /// FNV-1a over the per-node awake-round vector.
+    awake_hash: u64,
+    /// FNV-1a over the per-node MIS membership bits.
+    mis_hash: u64,
+    mis_size: usize,
+}
+
+fn fnv(values: impl Iterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for v in values {
+        h ^= v;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn fingerprint(m: &Metrics, in_mis: &[bool]) -> Golden {
+    Golden {
+        elapsed_rounds: m.elapsed_rounds,
+        busy_rounds: m.busy_rounds,
+        messages_sent: m.messages_sent,
+        messages_delivered: m.messages_delivered,
+        bits_sent: m.bits_sent,
+        max_message_bits: m.max_message_bits,
+        max_awake: m.max_awake(),
+        total_awake: m.total_awake(),
+        awake_hash: fnv(m.awake_rounds.iter().copied()),
+        mis_hash: fnv(in_mis.iter().map(|&b| b as u64)),
+        mis_size: in_mis.iter().filter(|&&b| b).count(),
+    }
+}
+
+/// The four workload graphs, reproduced exactly as recorded (same
+/// generator seeds).
+fn graphs() -> Vec<(&'static str, Graph)> {
+    let mut r1 = SmallRng::seed_from_u64(7);
+    let mut r2 = SmallRng::seed_from_u64(11);
+    vec![
+        ("path129", generators::path(129)),
+        ("cycle200", generators::cycle(200)),
+        ("gnp512", generators::gnp(512, 10.0 / 512.0, &mut r1)),
+        ("reg512", generators::random_regular(512, 8, &mut r2)),
+    ]
+}
+
+#[test]
+fn luby_matches_pre_change_engine() {
+    let expected = [
+        (
+            "luby/path129",
+            Golden {
+                elapsed_rounds: 24,
+                busy_rounds: 24,
+                messages_sent: 376,
+                messages_delivered: 376,
+                bits_sent: 905,
+                max_message_bits: 4,
+                max_awake: 24,
+                total_awake: 927,
+                awake_hash: 0xa755ba901d99fdc6,
+                mis_hash: 0x7e6f6c99bde4ba0b,
+                mis_size: 56,
+            },
+        ),
+        (
+            "luby/cycle200",
+            Golden {
+                elapsed_rounds: 24,
+                busy_rounds: 24,
+                messages_sent: 597,
+                messages_delivered: 597,
+                bits_sent: 1443,
+                max_message_bits: 4,
+                max_awake: 24,
+                total_awake: 1341,
+                awake_hash: 0x67d4c2b76b526298,
+                mis_hash: 0x110166943bcaeacb,
+                mis_size: 86,
+            },
+        ),
+        (
+            "luby/gnp512",
+            Golden {
+                elapsed_rounds: 36,
+                busy_rounds: 36,
+                messages_sent: 4364,
+                messages_delivered: 4364,
+                bits_sent: 10430,
+                max_message_bits: 6,
+                max_awake: 36,
+                total_awake: 3747,
+                awake_hash: 0x036fc869a8d5509a,
+                mis_hash: 0xba74373abebabdd7,
+                mis_size: 120,
+            },
+        ),
+        (
+            "luby/reg512",
+            Golden {
+                elapsed_rounds: 27,
+                busy_rounds: 27,
+                messages_sent: 3800,
+                messages_delivered: 3800,
+                bits_sent: 9292,
+                max_message_bits: 6,
+                max_awake: 27,
+                total_awake: 3774,
+                awake_hash: 0xd244187d47115061,
+                mis_hash: 0xa09550e9f9216727,
+                mis_size: 122,
+            },
+        ),
+    ];
+    for ((name, g), (ename, want)) in graphs().into_iter().zip(expected) {
+        let r = luby(&g, &SimConfig::seeded(9)).unwrap();
+        assert_eq!(format!("luby/{name}"), ename);
+        assert_eq!(fingerprint(&r.metrics, &r.in_mis), want, "{ename}");
+    }
+}
+
+#[test]
+fn algorithm1_matches_pre_change_engine() {
+    let expected = [
+        (
+            "alg1/path129",
+            Golden {
+                elapsed_rounds: 16,
+                busy_rounds: 16,
+                messages_sent: 377,
+                messages_delivered: 295,
+                bits_sent: 377,
+                max_message_bits: 1,
+                max_awake: 16,
+                total_awake: 628,
+                awake_hash: 0x8341d3d4f4a2301f,
+                mis_hash: 0xdf9bcd36d686b824,
+                mis_size: 55,
+            },
+        ),
+        (
+            "alg1/cycle200",
+            Golden {
+                elapsed_rounds: 16,
+                busy_rounds: 16,
+                messages_sent: 568,
+                messages_delivered: 455,
+                bits_sent: 568,
+                max_message_bits: 1,
+                max_awake: 16,
+                total_awake: 934,
+                awake_hash: 0xc471984ef9424b07,
+                mis_hash: 0x7d7d98e126aae68c,
+                mis_size: 85,
+            },
+        ),
+        (
+            "alg1/gnp512",
+            Golden {
+                elapsed_rounds: 28,
+                busy_rounds: 28,
+                messages_sent: 6534,
+                messages_delivered: 4795,
+                bits_sent: 6534,
+                max_message_bits: 1,
+                max_awake: 28,
+                total_awake: 4262,
+                awake_hash: 0xafff2a519218df37,
+                mis_hash: 0xda277e551cb0fefe,
+                mis_size: 133,
+            },
+        ),
+        (
+            "alg1/reg512",
+            Golden {
+                elapsed_rounds: 26,
+                busy_rounds: 26,
+                messages_sent: 5851,
+                messages_delivered: 4328,
+                bits_sent: 5851,
+                max_message_bits: 1,
+                max_awake: 26,
+                total_awake: 4540,
+                awake_hash: 0x5cfd0d9ced4c70cd,
+                mis_hash: 0xf4f3e903667e64d8,
+                mis_size: 129,
+            },
+        ),
+    ];
+    for ((name, g), (ename, want)) in graphs().into_iter().zip(expected) {
+        let r = alg1::run_algorithm1(&g, &Alg1Params::default(), 11).unwrap();
+        assert!(r.is_mis(), "{name}");
+        assert_eq!(format!("alg1/{name}"), ename);
+        assert_eq!(fingerprint(&r.metrics, &r.in_mis), want, "{ename}");
+    }
+}
+
+#[test]
+fn algorithm2_matches_pre_change_engine() {
+    let expected = [
+        (
+            "alg2/path129",
+            Golden {
+                elapsed_rounds: 16,
+                busy_rounds: 16,
+                messages_sent: 349,
+                messages_delivered: 285,
+                bits_sent: 349,
+                max_message_bits: 1,
+                max_awake: 16,
+                total_awake: 574,
+                awake_hash: 0x24004e362a066cf9,
+                mis_hash: 0x88eb3bc1f948eb4d,
+                mis_size: 56,
+            },
+        ),
+        (
+            "alg2/cycle200",
+            Golden {
+                elapsed_rounds: 18,
+                busy_rounds: 18,
+                messages_sent: 578,
+                messages_delivered: 476,
+                bits_sent: 578,
+                max_message_bits: 1,
+                max_awake: 18,
+                total_awake: 936,
+                awake_hash: 0x84cbf5a58bdb9191,
+                mis_hash: 0x85366a2392333619,
+                mis_size: 86,
+            },
+        ),
+        (
+            "alg2/gnp512",
+            Golden {
+                elapsed_rounds: 30,
+                busy_rounds: 30,
+                messages_sent: 6794,
+                messages_delivered: 5085,
+                bits_sent: 6794,
+                max_message_bits: 1,
+                max_awake: 30,
+                total_awake: 4420,
+                awake_hash: 0x201bbc3344b5b79d,
+                mis_hash: 0x6b97f0186e74ffb0,
+                mis_size: 131,
+            },
+        ),
+        (
+            "alg2/reg512",
+            Golden {
+                elapsed_rounds: 24,
+                busy_rounds: 24,
+                messages_sent: 5809,
+                messages_delivered: 4339,
+                bits_sent: 5809,
+                max_message_bits: 1,
+                max_awake: 24,
+                total_awake: 4228,
+                awake_hash: 0x05ab6b4d70c21dc1,
+                mis_hash: 0xcee9071358f9c11c,
+                mis_size: 125,
+            },
+        ),
+    ];
+    for ((name, g), (ename, want)) in graphs().into_iter().zip(expected) {
+        let r = alg2::run_algorithm2(&g, &Alg2Params::default(), 13).unwrap();
+        assert!(r.is_mis(), "{name}");
+        assert_eq!(format!("alg2/{name}"), ename);
+        assert_eq!(fingerprint(&r.metrics, &r.in_mis), want, "{ename}");
+    }
+}

@@ -1,7 +1,7 @@
 //! Classic Luby MIS: `O(log n)` time, `O(log n)` energy.
 
 use crate::{Decision, MisRun};
-use congest_sim::{run, InitApi, NodeId, Protocol, RecvApi, SendApi, SimConfig, SimError};
+use congest_sim::{run_auto, InitApi, NodeId, Protocol, RecvApi, SendApi, SimConfig, SimError};
 use mis_graphs::Graph;
 use rand::Rng;
 
@@ -171,14 +171,15 @@ impl Protocol for LubyProtocol {
 }
 
 /// Runs classic Luby MIS on `graph` and returns the computed set plus
-/// metrics.
+/// metrics. Executes on the engine selected by [`SimConfig::threads`]
+/// (bit-identical results at any setting).
 ///
 /// # Errors
 ///
 /// Propagates [`SimError`] from the engine (notably the round cap if the
 /// protocol were to stall, which does not happen with high probability).
 pub fn luby(graph: &Graph, cfg: &SimConfig) -> Result<MisRun, SimError> {
-    let result = run(graph, &LubyProtocol, cfg)?;
+    let result = run_auto(graph, &LubyProtocol, cfg)?;
     Ok(MisRun {
         in_mis: result
             .states

@@ -1,7 +1,7 @@
 //! The Alon–Babai–Itai / random-priority MIS variant.
 
 use crate::{Decision, MisRun};
-use congest_sim::{run, InitApi, NodeId, Protocol, RecvApi, SendApi, SimConfig, SimError};
+use congest_sim::{run_auto, InitApi, NodeId, Protocol, RecvApi, SendApi, SimConfig, SimError};
 use mis_graphs::Graph;
 use rand::Rng;
 
@@ -153,7 +153,7 @@ impl Protocol for PermutationProtocol {
 ///
 /// Propagates [`SimError`] from the engine.
 pub fn permutation(graph: &Graph, cfg: &SimConfig) -> Result<MisRun, SimError> {
-    let result = run(graph, &PermutationProtocol, cfg)?;
+    let result = run_auto(graph, &PermutationProtocol, cfg)?;
     Ok(MisRun {
         in_mis: result
             .states

@@ -7,12 +7,21 @@
 //! workloads (see `baseline::ROWS`). This is the perf trajectory artifact
 //! CI uploads on every push.
 //!
+//! Since the sharded parallel engine landed, the emitter also runs a
+//! **thread sweep**: the same workload through `run_parallel` at 1/2/4/8
+//! workers, recording each count's rounds/sec and its speedup over the
+//! sequential engine (the `thread_sweep` JSON section). The sweep also
+//! records `available_parallelism`, because a speedup curve measured on
+//! fewer cores than workers says more about the host than the engine.
+//!
 //! Usage: `engine_throughput [--tiny] [--out PATH]`
 //!
-//! * `--tiny` shrinks the sweep to CI scale (n ∈ {2^10, 2^12}).
-//! * default sweep: n ∈ {2^14, 2^16, 2^18}.
+//! * `--tiny` shrinks the sweep to CI scale (n ∈ {2^10, 2^12}; thread
+//!   sweep at 2^12 with 1/2 workers).
+//! * default sweep: n ∈ {2^14, 2^16, 2^18}; thread sweep on G(n,p) at
+//!   every size with 1/2/4/8 workers.
 
-use congest_sim::{run, InitApi, NodeId, Protocol, RecvApi, SendApi, SimConfig};
+use congest_sim::{run, run_auto, InitApi, NodeId, Protocol, RecvApi, SendApi, SimConfig};
 use mis_bench::{workload_gnp, workload_regular};
 use mis_graphs::Graph;
 use std::time::Instant;
@@ -49,6 +58,11 @@ impl Protocol for Chatter {
 /// (BTreeMap wakeup queue + global sorted outbox), recorded with this
 /// same binary at the commit before the bucketed-scheduler/edge-slot
 /// rewrite. `None` where the baseline was not measured (tiny CI sizes).
+///
+/// These are absolute numbers from the *recording host*; on a different
+/// (or contended) machine the `speedup_*` ratios mix host speed with
+/// engine speed — compare them only against runs from the same host, and
+/// check the emitted `available_parallelism` for context.
 mod baseline {
     /// `(family, n, rounds_per_sec, messages_per_sec)`.
     pub const ROWS: &[(&str, usize, f64, f64)] = &[
@@ -67,6 +81,7 @@ mod baseline {
     }
 }
 
+#[derive(Clone)]
 struct Row {
     family: &'static str,
     n: usize,
@@ -76,13 +91,18 @@ struct Row {
 }
 
 fn measure(family: &'static str, n: usize, g: &Graph) -> Row {
+    measure_threads(family, n, g, 0)
+}
+
+/// Times one run at the given worker count (`0` = sequential engine).
+fn measure_threads(family: &'static str, n: usize, g: &Graph, threads: usize) -> Row {
     // Keep total traffic roughly constant across n so the big sizes stay
     // tractable: ~2^22 node-rounds per run, at least 8 rounds.
     let rounds = ((1u64 << 22) / n as u64).max(8);
     let proto = Chatter { rounds };
-    let cfg = SimConfig::seeded(1);
+    let cfg = SimConfig::seeded(1).with_threads(threads);
     // One warmup at an eighth of the rounds to fault in caches.
-    run(
+    run_auto(
         g,
         &Chatter {
             rounds: (rounds / 8).max(1),
@@ -91,8 +111,17 @@ fn measure(family: &'static str, n: usize, g: &Graph) -> Row {
     )
     .expect("warmup");
     let start = Instant::now();
-    let res = run(g, &proto, &cfg).expect("measured run");
+    let res = run_auto(g, &proto, &cfg).expect("measured run");
     let secs = start.elapsed().as_secs_f64();
+    // The determinism contract, spot-checked where it is cheapest: the
+    // parallel engine's metrics must equal the sequential engine's.
+    if threads > 1 && n <= 1 << 12 {
+        let seq = run(g, &proto, &SimConfig::seeded(1)).expect("sequential check");
+        assert_eq!(
+            res.metrics, seq.metrics,
+            "parallel metrics diverged at {threads} threads"
+        );
+    }
     Row {
         family,
         n,
@@ -118,11 +147,46 @@ fn main() {
     } else {
         &[1 << 14, 1 << 16, 1 << 18]
     };
+    let sweep_sizes: &[usize] = if tiny {
+        &[1 << 12]
+    } else {
+        &[1 << 14, 1 << 16, 1 << 18]
+    };
+    let sweep_threads: &[usize] = if tiny { &[1, 2] } else { &[1, 2, 4, 8] };
 
     let mut rows = Vec::new();
+    let mut gnp_graphs: Vec<(usize, Graph)> = Vec::new();
     for &n in sizes {
-        rows.push(measure("gnp", n, &workload_gnp(n, 5)));
+        let g = workload_gnp(n, 5);
+        rows.push(measure("gnp", n, &g));
+        gnp_graphs.push((n, g));
         rows.push(measure("regular", n, &workload_regular(n, 8, 5)));
+    }
+
+    // Thread sweep: run_parallel at each worker count on the G(n,p)
+    // workload, against the sequential row measured above (the sweep
+    // sizes are a subset of the main sizes, so graph and reference are
+    // reused, not re-measured).
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut sweep: Vec<(Row, usize, f64)> = Vec::new(); // (row, threads, speedup)
+    for &n in sweep_sizes {
+        let g = &gnp_graphs
+            .iter()
+            .find(|(gn, _)| *gn == n)
+            .expect("sweep sizes are a subset of the main sizes")
+            .1;
+        let seq = rows
+            .iter()
+            .find(|r| r.family == "gnp" && r.n == n)
+            .expect("sequential gnp row measured above")
+            .clone();
+        let seq_rps = seq.rounds as f64 / seq.secs;
+        sweep.push((seq, 0, 1.0));
+        for &t in sweep_threads {
+            let row = measure_threads("gnp", n, g, t);
+            let speedup = (row.rounds as f64 / row.secs) / seq_rps;
+            sweep.push((row, t, speedup));
+        }
     }
 
     let mut json = String::from("{\n");
@@ -132,6 +196,11 @@ fn main() {
         if tiny { "tiny" } else { "full" }
     ));
     json.push_str("  \"protocol\": \"chatter-broadcast-all-awake\",\n");
+    // Host context: baseline_* ratios compare against numbers recorded
+    // on a *different* host (see `baseline::ROWS`), so a reader needs to
+    // know how parallel this machine was before reading them as a
+    // same-host trajectory.
+    json.push_str(&format!("  \"available_parallelism\": {cores},\n"));
     json.push_str("  \"workloads\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let rps = r.rounds as f64 / r.secs;
@@ -162,7 +231,31 @@ fn main() {
         }
         json.push_str(if i + 1 == rows.len() { "}\n" } else { "},\n" });
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("  ],\n");
+
+    json.push_str("  \"thread_sweep\": {\n");
+    json.push_str("    \"family\": \"gnp\",\n");
+    json.push_str(&format!("    \"available_parallelism\": {cores},\n"));
+    json.push_str("    \"entries\": [\n");
+    for (i, (r, t, speedup)) in sweep.iter().enumerate() {
+        let rps = r.rounds as f64 / r.secs;
+        println!(
+            "{:>8} n={:<8} threads={:<2} {:>10.1} rounds/s  ({:.2}x sequential)",
+            "sweep", r.n, t, rps, speedup
+        );
+        json.push_str(&format!(
+            "      {{\"n\": {}, \"threads\": {}, \"engine\": \"{}\", \"rounds\": {}, \"secs\": {:.6}, \"rounds_per_sec\": {:.1}, \"speedup_vs_sequential\": {:.3}}}{}\n",
+            r.n,
+            t,
+            if *t == 0 { "sequential" } else { "parallel" },
+            r.rounds,
+            r.secs,
+            rps,
+            speedup,
+            if i + 1 == sweep.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("    ]\n  }\n}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_engine.json");
     println!("wrote {out_path}");
 }

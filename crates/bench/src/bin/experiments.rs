@@ -5,17 +5,25 @@
 //! cargo run --release -p mis-bench --bin experiments            # all, full sizes
 //! cargo run --release -p mis-bench --bin experiments -- --quick # all, small sizes
 //! cargo run --release -p mis-bench --bin experiments -- e2 e13  # a subset
+//! cargo run --release -p mis-bench --bin experiments -- --threads 4 # sharded engine
 //! ```
+//!
+//! `--threads N` (default 1; 0 = the sequential engine) runs every
+//! simulation on the sharded parallel engine with `N` workers; tables
+//! are bit-identical for any `N`.
 
 use mis_bench::experiments as exp;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    mis_bench::set_threads(congest_sim::SimConfig::threads_from_args(1));
+    let threads_value_at = args.iter().position(|a| a == "--threads").map(|i| i + 1);
     let selected: Vec<String> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.to_lowercase())
+        .enumerate()
+        .filter(|(i, a)| !a.starts_with("--") && Some(*i) != threads_value_at)
+        .map(|(_, a)| a.to_lowercase())
         .collect();
     let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
 

@@ -7,18 +7,25 @@
 use crate::table::{f2, Table};
 use crate::{size_sweep, workload_gnp, workload_regular};
 use congest_sim::schedule::{set_size_bound, AwakeSchedule};
-use congest_sim::{run, SimConfig};
+use congest_sim::{run_auto, SimConfig};
 use energy_mis::alg1::phase1::Phase1Protocol;
-use energy_mis::alg1::run_algorithm1;
+use energy_mis::alg1::run_algorithm1_with;
 use energy_mis::alg2::phase1::Alg2Phase1Iteration;
-use energy_mis::alg2::run_algorithm2;
-use energy_mis::avg_energy::run_avg_energy;
+use energy_mis::alg2::run_algorithm2_with;
+use energy_mis::avg_energy::run_avg_energy_with;
 use energy_mis::params::{log2n, Alg1Params, Alg2Params, AvgEnergyParams};
 use mis_baselines::luby;
 use mis_graphs::generators::Family;
 use mis_graphs::props;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+/// Engine config every experiment runs under: the given seed plus the
+/// suite-wide worker-thread setting ([`crate::set_threads`]). Results are
+/// bit-identical for every thread count, so the tables never depend on it.
+fn cfg(seed: u64) -> SimConfig {
+    SimConfig::seeded(seed).with_threads(crate::threads())
+}
 
 /// One row of the scaling sweep (E1–E4).
 #[derive(Debug, Clone)]
@@ -39,9 +46,9 @@ pub fn scaling(quick: bool) -> Vec<ScalingRow> {
     let mut rows = Vec::new();
     for n in size_sweep(quick) {
         let g = workload_gnp(n, n as u64);
-        let a1 = run_algorithm1(&g, &Alg1Params::default(), 1).expect("alg1");
-        let a2 = run_algorithm2(&g, &Alg2Params::default(), 1).expect("alg2");
-        let lb = luby(&g, &SimConfig::seeded(1)).expect("luby");
+        let a1 = run_algorithm1_with(&g, &Alg1Params::default(), &cfg(1)).expect("alg1");
+        let a2 = run_algorithm2_with(&g, &Alg2Params::default(), &cfg(1)).expect("alg2");
+        let lb = luby(&g, &cfg(1)).expect("luby");
         assert!(a1.is_mis() && a2.is_mis());
         assert!(props::is_mis(&g, &lb.in_mis));
         rows.push(ScalingRow {
@@ -105,9 +112,9 @@ pub fn scaling(quick: bool) -> Vec<ScalingRow> {
         }
         let d = d.min(n / 4);
         let g = workload_regular(n, d, n as u64);
-        let a1 = run_algorithm1(&g, &Alg1Params::default(), 1).expect("alg1");
-        let a2 = run_algorithm2(&g, &Alg2Params::default(), 1).expect("alg2");
-        let lb = luby(&g, &SimConfig::seeded(1)).expect("luby");
+        let a1 = run_algorithm1_with(&g, &Alg1Params::default(), &cfg(1)).expect("alg1");
+        let a2 = run_algorithm2_with(&g, &Alg2Params::default(), &cfg(1)).expect("alg2");
+        let lb = luby(&g, &cfg(1)).expect("luby");
         assert!(a1.is_mis() && a2.is_mis());
         dtime.row([
             n.to_string(),
@@ -151,10 +158,14 @@ pub fn correctness(quick: bool) -> (usize, usize) {
         for seed in 0..seeds {
             let mut rng = SmallRng::seed_from_u64(seed);
             let g = fam.generate(n, &mut rng);
-            if run_algorithm1(&g, &Alg1Params::default(), seed).map(|r| r.is_mis()) == Ok(true) {
+            if run_algorithm1_with(&g, &Alg1Params::default(), &cfg(seed)).map(|r| r.is_mis())
+                == Ok(true)
+            {
                 ok1 += 1;
             }
-            if run_algorithm2(&g, &Alg2Params::default(), seed).map(|r| r.is_mis()) == Ok(true) {
+            if run_algorithm2_with(&g, &Alg2Params::default(), &cfg(seed)).map(|r| r.is_mis())
+                == Ok(true)
+            {
                 ok2 += 1;
             }
         }
@@ -183,7 +194,7 @@ pub fn phase_breakdown(quick: bool) -> Vec<(String, u64, u64)> {
         shatter_c: 2.0,
         ..Alg1Params::default()
     };
-    let r = run_algorithm1(&g, &params, 3).expect("alg1");
+    let r = run_algorithm1_with(&g, &params, &cfg(3)).expect("alg1");
     assert!(r.is_mis());
     let groups = [
         ("phase1", "Phase I (degree reduction)"),
@@ -224,9 +235,7 @@ pub fn degree_trajectory(quick: bool) -> Vec<(u32, usize, f64)> {
     let rounds = params.phase1_rounds_per_iter(n);
     let participating = vec![true; n];
     let proto = Phase1Protocol::new(&participating, iters, rounds, d, params.mark_base);
-    let states = run(&g, &proto, &SimConfig::seeded(9))
-        .expect("phase1")
-        .states;
+    let states = run_auto(&g, &proto, &cfg(9)).expect("phase1").states;
 
     // Offline reconstruction: a node is inactive from the round its
     // neighborhood (or itself) joined; spoiled from its sample round.
@@ -283,9 +292,7 @@ pub fn alg2_shrink(quick: bool) -> f64 {
     let participating = vec![true; n];
     let rounds = (3.0 * log2n(n)).ceil() as u32;
     let proto = Alg2Phase1Iteration::new(&participating, rounds, d as f64, 0.5, 0.6);
-    let states = run(&g, &proto, &SimConfig::seeded(2))
-        .expect("iteration")
-        .states;
+    let states = run_auto(&g, &proto, &cfg(2)).expect("iteration").states;
     let mut active = vec![true; n];
     for v in g.nodes() {
         if states[v as usize].joined {
@@ -349,8 +356,8 @@ pub fn families(quick: bool) -> Vec<(String, u64, u64, u64)> {
     for fam in fams {
         let mut rng = SmallRng::seed_from_u64(31);
         let g = fam.generate(n, &mut rng);
-        let a1 = run_algorithm1(&g, &Alg1Params::default(), 1).expect("alg1");
-        let lb = luby(&g, &SimConfig::seeded(1)).expect("luby");
+        let a1 = run_algorithm1_with(&g, &Alg1Params::default(), &cfg(1)).expect("alg1");
+        let lb = luby(&g, &cfg(1)).expect("luby");
         assert!(a1.is_mis(), "family {}", fam.name());
         t.row([
             fam.name(),
@@ -376,8 +383,8 @@ pub fn congest_compliance(quick: bool) -> Vec<(usize, usize, usize)> {
     let mut out = Vec::new();
     for n in size_sweep(quick) {
         let g = workload_gnp(n, 7);
-        let a1 = run_algorithm1(&g, &Alg1Params::default(), 1).expect("alg1");
-        let a2 = run_algorithm2(&g, &Alg2Params::default(), 1).expect("alg2");
+        let a1 = run_algorithm1_with(&g, &Alg1Params::default(), &cfg(1)).expect("alg1");
+        let a2 = run_algorithm2_with(&g, &Alg2Params::default(), &cfg(1)).expect("alg2");
         let budget = congest_sim::SimConfig::congest_bandwidth(n, 12);
         t.row([
             n.to_string(),
@@ -401,7 +408,7 @@ pub fn shattering(quick: bool) -> Vec<(usize, f64)> {
     };
     for n in size_sweep(quick) {
         let g = workload_gnp(n, 13);
-        let r = run_algorithm1(&g, &params, 5).expect("alg1");
+        let r = run_algorithm1_with(&g, &params, &cfg(5)).expect("alg1");
         assert!(r.is_mis());
         let comp = r.extras.get("phase2_max_component").copied().unwrap_or(0.0);
         let l = log2n(n);
@@ -423,10 +430,15 @@ pub fn avg_energy(quick: bool) -> Vec<(usize, f64, f64)> {
     let mut out = Vec::new();
     for n in size_sweep(quick) {
         let g = workload_gnp(n, 23);
-        let ae = run_avg_energy(&g, &Alg1Params::default(), &AvgEnergyParams::default(), 1)
-            .expect("avg energy");
-        let a1 = run_algorithm1(&g, &Alg1Params::default(), 1).expect("alg1");
-        let lb = luby(&g, &SimConfig::seeded(1)).expect("luby");
+        let ae = run_avg_energy_with(
+            &g,
+            &Alg1Params::default(),
+            &AvgEnergyParams::default(),
+            &cfg(1),
+        )
+        .expect("avg energy");
+        let a1 = run_algorithm1_with(&g, &Alg1Params::default(), &cfg(1)).expect("alg1");
+        let lb = luby(&g, &cfg(1)).expect("luby");
         assert!(ae.is_mis());
         t.row([
             n.to_string(),
@@ -458,7 +470,7 @@ pub fn ablations(quick: bool) -> Vec<(String, u64, u64)> {
         ("alg1: early-stopped Phase I (paper)", &cut),
         ("alg1: full Luby ladder", &full),
     ] {
-        let r = run_algorithm1(&g, p, 3).expect("alg1");
+        let r = run_algorithm1_with(&g, p, &cfg(3)).expect("alg1");
         t.row([
             label.to_string(),
             r.metrics.elapsed_rounds.to_string(),
@@ -482,7 +494,7 @@ pub fn ablations(quick: bool) -> Vec<(String, u64, u64)> {
         ("alg2: Linial fixed point (paper)", &no_kw),
         ("alg2: + KW reduction to ∆+1 colors", &kw),
     ] {
-        let r = run_algorithm2(&g, p, 3).expect("alg2");
+        let r = run_algorithm2_with(&g, p, &cfg(3)).expect("alg2");
         t.row([
             label.to_string(),
             r.metrics.elapsed_rounds.to_string(),

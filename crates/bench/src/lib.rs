@@ -16,6 +16,26 @@ pub mod table;
 use mis_graphs::Graph;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker-thread count every experiment's engine runs use; see
+/// [`set_threads`].
+static THREADS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the parallel worker count for the whole experiment suite (the
+/// `--threads N` flag of the `experiments` binary): `0` selects the
+/// sequential engine, `N >= 1` the sharded parallel engine with `N`
+/// workers (matching `SimConfig::threads` and the examples). Every value
+/// produces bit-identical tables (the engine's determinism contract), so
+/// this is purely a wall-clock knob.
+pub fn set_threads(n: usize) {
+    THREADS.store(n, Ordering::Relaxed);
+}
+
+/// The current suite-wide worker-thread count.
+pub fn threads() -> usize {
+    THREADS.load(Ordering::Relaxed)
+}
 
 /// Standard workload: `G(n, p)` with average degree 10.
 pub fn workload_gnp(n: usize, seed: u64) -> Graph {

@@ -26,7 +26,7 @@ use crate::metrics::Metrics;
 use crate::rng;
 use crate::sched::BucketScheduler;
 use crate::{NodeId, Round};
-use mis_graphs::Graph;
+use mis_graphs::{EdgeId, Graph};
 use rand::rngs::SmallRng;
 
 /// A distributed protocol in the sleeping CONGEST model.
@@ -76,6 +76,10 @@ pub struct SimConfig {
     pub bandwidth_bits: Option<usize>,
     /// Whether a bandwidth violation aborts the run.
     pub strict_bandwidth: bool,
+    /// Worker shards for the parallel engine ([`crate::run_parallel`]);
+    /// `0` (the default) runs the sequential engine on the caller thread.
+    /// Both engines produce bit-identical results — see [`crate::par`].
+    pub threads: usize,
 }
 
 impl Default for SimConfig {
@@ -86,6 +90,7 @@ impl Default for SimConfig {
             max_rounds: 50_000_000,
             bandwidth_bits: None,
             strict_bandwidth: false,
+            threads: 0,
         }
     }
 }
@@ -105,6 +110,36 @@ impl SimConfig {
             salt,
             ..self.clone()
         }
+    }
+
+    /// Returns a copy with the given parallel worker count (`0` =
+    /// sequential). Results are bit-identical for every value.
+    pub fn with_threads(&self, threads: usize) -> SimConfig {
+        SimConfig {
+            threads,
+            ..self.clone()
+        }
+    }
+
+    /// Parses the conventional `--threads N` flag from this process's
+    /// arguments (the value for [`SimConfig::threads`]): `0` selects the
+    /// sequential engine, `N >= 1` the sharded parallel engine with `N`
+    /// workers; `default` when the flag is absent. One shared parser so
+    /// every example and binary exposes identical semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flag is present without a parseable value.
+    pub fn threads_from_args(default: usize) -> usize {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--threads")
+            .map(|i| {
+                args.get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads requires an integer value")
+            })
+            .unwrap_or(default)
     }
 
     /// The standard CONGEST bandwidth for an `n`-node graph:
@@ -133,7 +168,22 @@ pub struct InitApi<'a> {
     wakes: &'a mut Vec<Round>,
 }
 
-impl InitApi<'_> {
+impl<'a> InitApi<'a> {
+    /// Assembles an init API (engine internal).
+    pub(crate) fn new(
+        node: NodeId,
+        graph: &'a Graph,
+        rng: &'a mut SmallRng,
+        wakes: &'a mut Vec<Round>,
+    ) -> InitApi<'a> {
+        InitApi {
+            node,
+            graph,
+            rng,
+            wakes,
+        }
+    }
+
     /// This node's id.
     pub fn node(&self) -> NodeId {
         self.node
@@ -195,20 +245,86 @@ impl InitApi<'_> {
 /// claiming it. Kept in a single struct so the send fast path touches one
 /// cache location per destination.
 #[derive(Debug)]
-struct EdgeSlot<M> {
+pub(crate) struct EdgeSlot<M> {
     /// Matches the engine tick of the round the slot was last written.
-    stamp: u64,
+    pub(crate) stamp: u64,
     /// The in-flight message, taken by the receiver.
-    msg: Option<M>,
+    pub(crate) msg: Option<M>,
 }
 
 impl<M> EdgeSlot<M> {
-    fn vacant() -> EdgeSlot<M> {
+    pub(crate) fn vacant() -> EdgeSlot<M> {
         EdgeSlot {
             stamp: 0,
             msg: None,
         }
     }
+}
+
+/// Where a send's payload lands: the delivery backend behind a
+/// [`SendApi`].
+///
+/// The sequential engine owns the whole slot array ([`Sink::Direct`]); a
+/// parallel shard owns only its contiguous slot range and stages
+/// cross-shard payloads in per-destination buffers ([`Sink::Sharded`]).
+/// Keeping both behind one enum lets the *same* [`Protocol`] trait (and
+/// the same protocol code) drive either engine; the per-message cost is
+/// one perfectly predicted branch.
+#[derive(Debug)]
+pub(crate) enum Sink<'a, M> {
+    /// The whole graph's slots, as in the sequential engine.
+    Direct {
+        /// Per-directed-edge delivery slots, indexed by the
+        /// *receiver-side* [`mis_graphs::EdgeId`], i.e. the slot
+        /// `dst → src`. The slot stamp doubles as the
+        /// duplicate-destination filter.
+        slots: &'a mut [EdgeSlot<M>],
+        /// `awake_stamp[v] == tick` marks `v` awake this round; payloads
+        /// for sleeping receivers are dropped at send time (the model
+        /// loses them anyway), so slots never retain undelivered
+        /// messages.
+        awake_stamp: &'a [u64],
+    },
+    /// One shard's view: local slots plus cross-shard staging buffers.
+    Sharded(ShardSink<'a, M>),
+}
+
+/// The sharded delivery backend of one parallel worker; see
+/// [`Sink::Sharded`].
+#[derive(Debug)]
+pub(crate) struct ShardSink<'a, M> {
+    /// Delivery slots of this shard's slot range only; index
+    /// `global EdgeId - slot_base`.
+    pub(crate) slots: &'a mut [EdgeSlot<M>],
+    /// Duplicate-destination stamps over this shard's *outgoing* slots
+    /// (same index space as `slots`). The receiver-side stamp cannot be
+    /// used here because the receiver may live on another shard.
+    pub(crate) out_stamp: &'a mut [u64],
+    /// Awake stamps of this shard's nodes; index `NodeId - node_base`.
+    pub(crate) awake_stamp: &'a [u64],
+    /// First node owned by this shard.
+    pub(crate) node_base: NodeId,
+    /// One past this shard's last node.
+    pub(crate) node_end: NodeId,
+    /// First slot owned by this shard.
+    pub(crate) slot_base: EdgeId,
+    /// Slot boundaries of all shards (`k + 1` entries), for O(log k)
+    /// destination-shard classification of cross-shard payloads.
+    pub(crate) slot_starts: &'a [EdgeId],
+    /// Cross-shard staging buffers, one per destination shard; entry
+    /// `(rid, msg)` is the receiver-side slot the destination shard
+    /// writes on this shard's behalf during the exchange step.
+    pub(crate) out: &'a mut [Vec<(EdgeId, M)>],
+}
+
+/// Resolved placement of one payload; computed by [`SendApi::claim`].
+enum Place {
+    /// Store in the sink's slot slice at this (sink-local) index.
+    Slot(usize),
+    /// Stage for the exchange step: `(destination shard, receiver slot)`.
+    Stage(usize, EdgeId),
+    /// Receiver is asleep: the payload is dropped (but still counted).
+    Lost,
 }
 
 /// API available during [`Protocol::send`].
@@ -221,13 +337,7 @@ pub struct SendApi<'a, M: Message> {
     /// Stamp of the current round; a slot with this stamp already holds a
     /// message sent this round.
     tick: u64,
-    /// Per-directed-edge delivery slots, indexed by the *receiver-side*
-    /// [`EdgeId`] (`mis_graphs::EdgeId`), i.e. the slot `dst → src`.
-    slots: &'a mut [EdgeSlot<M>],
-    /// `awake_stamp[v] == tick` marks `v` awake this round; payloads for
-    /// sleeping receivers are dropped at send time (the model loses them
-    /// anyway), so slots never retain undelivered messages.
-    awake_stamp: &'a [u64],
+    sink: Sink<'a, M>,
     /// Every node is awake this round: skip the per-message receiver
     /// check entirely (the dense-workload fast path).
     all_awake: bool,
@@ -239,7 +349,38 @@ pub struct SendApi<'a, M: Message> {
     error: &'a mut Option<SimError>,
 }
 
-impl<M: Message> SendApi<'_, M> {
+impl<'a, M: Message> SendApi<'a, M> {
+    /// Assembles a send API over the given delivery sink (engine
+    /// internal; both the sequential loop and the parallel shard workers
+    /// construct one per awake node per round).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        node: NodeId,
+        round: Round,
+        graph: &'a Graph,
+        rng: &'a mut SmallRng,
+        tick: u64,
+        sink: Sink<'a, M>,
+        all_awake: bool,
+        metrics: &'a mut Metrics,
+        cfg: &SimConfig,
+        error: &'a mut Option<SimError>,
+    ) -> SendApi<'a, M> {
+        SendApi {
+            node,
+            round,
+            graph,
+            rng,
+            tick,
+            sink,
+            all_awake,
+            metrics,
+            bandwidth_bits: cfg.bandwidth_bits,
+            strict_bandwidth: cfg.strict_bandwidth,
+            error,
+        }
+    }
+
     /// This node's id.
     pub fn node(&self) -> NodeId {
         self.node
@@ -294,7 +435,7 @@ impl<M: Message> SendApi<'_, M> {
             return; // a violation already aborts this round
         }
         let eid = self.graph.edge_id(self.node, rank);
-        let Some(dest) = self.stamp_slot(eid) else {
+        let Some(place) = self.claim(eid) else {
             return; // duplicate destination recorded
         };
         let bits = msg.bits();
@@ -315,9 +456,7 @@ impl<M: Message> SendApi<'_, M> {
                 self.metrics.bandwidth_violations += 1;
             }
         }
-        if let Some(rid) = dest {
-            self.slots[rid].msg = Some(msg);
-        }
+        self.place(place, msg);
     }
 
     /// Sends `msg` to neighbor `dst` (delivered at the end of this round
@@ -376,37 +515,97 @@ impl<M: Message> SendApi<'_, M> {
         }
         let last = range.end - 1;
         for eid in range.start..last {
-            match self.stamp_slot(eid) {
-                Some(Some(rid)) => self.slots[rid].msg = Some(msg.clone()),
-                Some(None) => {} // receiver asleep: the copy is lost
+            match self.claim(eid) {
+                Some(Place::Lost) => {} // receiver asleep: skip the clone
+                Some(place) => self.place(place, msg.clone()),
                 None => return,
             }
         }
-        if let Some(Some(rid)) = self.stamp_slot(last) {
-            self.slots[rid].msg = Some(msg); // final copy moves, no clone
+        if let Some(place) = self.claim(last) {
+            self.place(place, msg); // final copy moves, no clone
         }
     }
 
-    /// Claims the delivery slot behind outgoing edge `eid` for this
-    /// round: `Some(Some(rid))` to store a payload (receiver awake),
-    /// `Some(None)` when the receiver sleeps (payload is lost), `None`
-    /// after recording a duplicate-destination violation.
+    /// Claims the outgoing edge `eid` for this round and resolves where
+    /// its payload goes, or returns `None` after recording a
+    /// duplicate-destination violation.
+    ///
+    /// Duplicate detection differs by sink: the sequential engine stamps
+    /// the receiver-side slot (one touch claims and delivers), while a
+    /// shard stamps its sender-side `out_stamp` — the receiver slot may
+    /// belong to another shard, but the *outgoing* slot always belongs to
+    /// the sender, so the check stays lock-free and thread-local.
     #[inline]
-    fn stamp_slot(&mut self, eid: mis_graphs::EdgeId) -> Option<Option<mis_graphs::EdgeId>> {
-        let rid = self.graph.reverse_edge(eid);
-        let slot = &mut self.slots[rid];
-        if slot.stamp == self.tick {
-            *self.error = Some(SimError::DuplicateDestination {
-                src: self.node,
-                dst: self.graph.edge_target(eid),
-                round: self.round,
-            });
-            return None;
+    fn claim(&mut self, eid: mis_graphs::EdgeId) -> Option<Place> {
+        match &mut self.sink {
+            Sink::Direct { slots, awake_stamp } => {
+                let rid = self.graph.reverse_edge(eid);
+                let slot = &mut slots[rid];
+                if slot.stamp == self.tick {
+                    *self.error = Some(SimError::DuplicateDestination {
+                        src: self.node,
+                        dst: self.graph.edge_target(eid),
+                        round: self.round,
+                    });
+                    return None;
+                }
+                slot.stamp = self.tick;
+                let awake = self.all_awake
+                    || awake_stamp[self.graph.edge_target(eid) as usize] == self.tick;
+                Some(if awake { Place::Slot(rid) } else { Place::Lost })
+            }
+            Sink::Sharded(s) => {
+                let out = &mut s.out_stamp[eid - s.slot_base];
+                if *out == self.tick {
+                    *self.error = Some(SimError::DuplicateDestination {
+                        src: self.node,
+                        dst: self.graph.edge_target(eid),
+                        round: self.round,
+                    });
+                    return None;
+                }
+                *out = self.tick;
+                let dst = self.graph.edge_target(eid);
+                let rid = self.graph.reverse_edge(eid);
+                if dst >= s.node_base && dst < s.node_end {
+                    // Local receiver: deliver straight into our slots.
+                    let awake =
+                        self.all_awake || s.awake_stamp[(dst - s.node_base) as usize] == self.tick;
+                    Some(if awake {
+                        Place::Slot(rid - s.slot_base)
+                    } else {
+                        Place::Lost
+                    })
+                } else {
+                    // Cross-shard: stage for the exchange step; the
+                    // owning shard performs the awake check on apply.
+                    let shard = s.slot_starts.partition_point(|&b| b <= rid) - 1;
+                    Some(Place::Stage(shard, rid))
+                }
+            }
         }
-        slot.stamp = self.tick;
-        let awake =
-            self.all_awake || self.awake_stamp[self.graph.edge_target(eid) as usize] == self.tick;
-        Some(awake.then_some(rid))
+    }
+
+    /// Stores a claimed payload: write the slot (stamping it so the
+    /// receiver's drain sees it), stage it for the cross-shard exchange,
+    /// or drop it (sleeping receiver).
+    #[inline]
+    fn place(&mut self, place: Place, msg: M) {
+        match place {
+            Place::Slot(i) => {
+                let slot = match &mut self.sink {
+                    Sink::Direct { slots, .. } => &mut slots[i],
+                    Sink::Sharded(s) => &mut s.slots[i],
+                };
+                slot.stamp = self.tick;
+                slot.msg = Some(msg);
+            }
+            Place::Stage(shard, rid) => match &mut self.sink {
+                Sink::Sharded(s) => s.out[shard].push((rid, msg)),
+                Sink::Direct { .. } => unreachable!("direct sink never stages"),
+            },
+            Place::Lost => {}
+        }
     }
 }
 
@@ -421,7 +620,26 @@ pub struct RecvApi<'a> {
     halt: &'a mut bool,
 }
 
-impl RecvApi<'_> {
+impl<'a> RecvApi<'a> {
+    /// Assembles a receive API (engine internal).
+    pub(crate) fn new(
+        node: NodeId,
+        round: Round,
+        graph: &'a Graph,
+        rng: &'a mut SmallRng,
+        wakes: &'a mut Vec<Round>,
+        halt: &'a mut bool,
+    ) -> RecvApi<'a> {
+        RecvApi {
+            node,
+            round,
+            graph,
+            rng,
+            wakes,
+            halt,
+        }
+    }
+
     /// This node's id.
     pub fn node(&self) -> NodeId {
         self.node
@@ -658,12 +876,7 @@ pub fn run_with_scratch<P: Protocol>(
     let mut states: Vec<P::State> = Vec::with_capacity(n);
     for v in 0..n as u32 {
         wakes.clear();
-        let mut api = InitApi {
-            node: v,
-            graph,
-            rng: &mut rngs[v as usize],
-            wakes: &mut *wakes,
-        };
+        let mut api = InitApi::new(v, graph, &mut rngs[v as usize], wakes);
         states.push(protocol.init(v, &mut api));
         for &r in wakes.iter() {
             sched.schedule(r, v);
@@ -708,20 +921,22 @@ pub fn run_with_scratch<P: Protocol>(
         let all_awake = active.len() == n;
         let mut error: Option<SimError> = None;
         for &v in active.iter() {
-            let mut api = SendApi {
-                node: v,
-                round,
-                graph,
-                rng: &mut rngs[v as usize],
-                tick: stamp,
+            let sink = Sink::Direct {
                 slots: &mut slots[..],
                 awake_stamp: &awake_stamp[..],
-                all_awake,
-                metrics: &mut metrics,
-                bandwidth_bits: cfg.bandwidth_bits,
-                strict_bandwidth: cfg.strict_bandwidth,
-                error: &mut error,
             };
+            let mut api = SendApi::new(
+                v,
+                round,
+                graph,
+                &mut rngs[v as usize],
+                stamp,
+                sink,
+                all_awake,
+                &mut metrics,
+                cfg,
+                &mut error,
+            );
             protocol.send(&mut states[v as usize], &mut api);
             if let Some(e) = error.take() {
                 return Err(e);
@@ -743,14 +958,7 @@ pub fn run_with_scratch<P: Protocol>(
             }
             wakes.clear();
             let mut halt = false;
-            let mut api = RecvApi {
-                node: v,
-                round,
-                graph,
-                rng: &mut rngs[v as usize],
-                wakes: &mut *wakes,
-                halt: &mut halt,
-            };
+            let mut api = RecvApi::new(v, round, graph, &mut rngs[v as usize], wakes, &mut halt);
             protocol.recv(&mut states[v as usize], inbox, &mut api);
             if halt {
                 halted[v as usize] = true;

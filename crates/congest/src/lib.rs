@@ -64,6 +64,7 @@ mod engine;
 mod error;
 mod message;
 mod metrics;
+pub mod par;
 mod pipeline;
 pub mod rng;
 mod sched;
@@ -75,6 +76,7 @@ pub use engine::{
 pub use error::SimError;
 pub use message::{Message, PackedBits};
 pub use metrics::{EnergySummary, Metrics};
+pub use par::{run_auto, run_parallel, run_parallel_with_scratch, ParScratch};
 pub use pipeline::Pipeline;
 
 /// A round index; the algorithm starts at round 0.

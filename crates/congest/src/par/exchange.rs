@@ -1,0 +1,235 @@
+//! Cross-shard payload hand-off and round synchronization.
+
+use crate::Round;
+use mis_graphs::EdgeId;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex, MutexGuard};
+
+/// Per-ordered-pair mailboxes moving staged payloads between shards.
+///
+/// `boxes[src * k + dst]` holds the payloads shard `src` staged for shard
+/// `dst` this round. The hand-off is double-buffered: the sender *swaps*
+/// its filled staging buffer with the (drained, capacity-retaining)
+/// buffer sitting in the mailbox, and the receiver drains in place — so
+/// each pair ping-pongs two buffers forever and the steady state
+/// allocates nothing. The mutex is uncontended by construction (barriers
+/// separate the post and take phases; each box has exactly one poster and
+/// one taker), so locking is one atomic per shard pair per round — the
+/// per-message path never takes a lock.
+#[derive(Debug)]
+pub(crate) struct Exchange<M> {
+    k: usize,
+    boxes: Vec<Mutex<Vec<(EdgeId, M)>>>,
+}
+
+impl<M> Exchange<M> {
+    pub fn new() -> Exchange<M> {
+        Exchange {
+            k: 0,
+            boxes: Vec::new(),
+        }
+    }
+
+    /// Resizes for `k` shards and drops any payloads left over from an
+    /// aborted run, keeping buffer capacity.
+    pub fn fit(&mut self, k: usize) {
+        self.k = k;
+        if self.boxes.len() < k * k {
+            self.boxes.resize_with(k * k, || Mutex::new(Vec::new()));
+        }
+        for b in &mut self.boxes {
+            b.get_mut().expect("exchange mailbox poisoned").clear();
+        }
+    }
+
+    /// Posts shard `src`'s staged payloads for shard `dst` by swapping
+    /// buffers; `buf` comes back empty with the mailbox's old capacity.
+    pub fn post(&self, src: usize, dst: usize, buf: &mut Vec<(EdgeId, M)>) {
+        let mut slot = self.boxes[src * self.k + dst]
+            .lock()
+            .expect("exchange mailbox poisoned");
+        debug_assert!(slot.is_empty(), "mailbox {src}->{dst} not drained");
+        std::mem::swap(&mut *slot, buf);
+    }
+
+    /// Locks the `src → dst` mailbox for draining by shard `dst`.
+    pub fn take(&self, src: usize, dst: usize) -> MutexGuard<'_, Vec<(EdgeId, M)>> {
+        self.boxes[src * self.k + dst]
+            .lock()
+            .expect("exchange mailbox poisoned")
+    }
+
+    /// Buffer capacities for the allocation oracle.
+    pub fn capacity_signature(&mut self, out: &mut Vec<usize>) {
+        out.push(self.boxes.capacity());
+        out.extend(
+            self.boxes
+                .iter_mut()
+                .map(|b| b.get_mut().expect("exchange mailbox poisoned").capacity()),
+        );
+    }
+}
+
+/// Shared round-agreement state of one parallel run.
+///
+/// Workers publish their shard's next pending round and active count,
+/// rendezvous at the barrier, then read everyone's values; the barrier's
+/// internal synchronization orders the relaxed publishes before the
+/// post-barrier reads. `failed` is the cooperative abort flag: set before
+/// a barrier by a shard that hit a `SimError` (or caught a protocol
+/// panic), observed by every shard at its next check, so all workers
+/// leave the round loop at the same point.
+#[derive(Debug)]
+pub(crate) struct RoundSync {
+    barrier: Barrier,
+    next: Vec<AtomicU64>,
+    /// Whether `next[s]` holds a round at all; a separate flag rather
+    /// than a sentinel value, because every `u64` — including
+    /// `u64::MAX` — is a legal round a protocol can schedule.
+    has_next: Vec<AtomicBool>,
+    active: Vec<AtomicUsize>,
+    failed: AtomicBool,
+}
+
+impl RoundSync {
+    pub fn new() -> RoundSync {
+        RoundSync {
+            barrier: Barrier::new(1),
+            next: Vec::new(),
+            has_next: Vec::new(),
+            active: Vec::new(),
+            failed: AtomicBool::new(false),
+        }
+    }
+
+    /// Resizes for `k` workers and resets all per-run state.
+    pub fn fit(&mut self, k: usize) {
+        if self.next.len() != k {
+            self.barrier = Barrier::new(k);
+            self.next.clear();
+            self.next.resize_with(k, || AtomicU64::new(0));
+            self.has_next.clear();
+            self.has_next.resize_with(k, || AtomicBool::new(false));
+            self.active.clear();
+            self.active.resize_with(k, || AtomicUsize::new(0));
+        }
+        for a in &mut self.next {
+            *a.get_mut() = 0;
+        }
+        for a in &mut self.has_next {
+            *a.get_mut() = false;
+        }
+        for a in &mut self.active {
+            *a.get_mut() = 0;
+        }
+        *self.failed.get_mut() = false;
+    }
+
+    /// Blocks until all `k` workers arrive.
+    #[inline]
+    pub fn wait(&self) {
+        self.barrier.wait();
+    }
+
+    /// Publishes shard `s`'s next pending round (`None` = drained).
+    #[inline]
+    pub fn publish_next(&self, s: usize, round: Option<Round>) {
+        self.has_next[s].store(round.is_some(), Ordering::Relaxed);
+        self.next[s].store(round.unwrap_or(0), Ordering::Relaxed);
+    }
+
+    /// Minimum published round across shards, `None` when all drained.
+    pub fn min_next(&self) -> Option<Round> {
+        self.next
+            .iter()
+            .zip(&self.has_next)
+            .filter(|(_, has)| has.load(Ordering::Relaxed))
+            .map(|(a, _)| a.load(Ordering::Relaxed))
+            .min()
+    }
+
+    /// Publishes shard `s`'s awake-node count for the agreed round.
+    #[inline]
+    pub fn publish_active(&self, s: usize, count: usize) {
+        self.active[s].store(count, Ordering::Relaxed);
+    }
+
+    /// Total awake nodes across shards for the agreed round.
+    pub fn total_active(&self) -> usize {
+        self.active.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Requests a cooperative abort of the run.
+    #[inline]
+    pub fn flag_failure(&self) {
+        self.failed.store(true, Ordering::Release);
+    }
+
+    /// Whether any shard requested an abort.
+    #[inline]
+    pub fn failed(&self) -> bool {
+        self.failed.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exchange_swap_preserves_capacity() {
+        let mut ex: Exchange<u32> = Exchange::new();
+        ex.fit(2);
+        let mut buf = Vec::with_capacity(16);
+        buf.push((3, 7u32));
+        ex.post(0, 1, &mut buf);
+        assert!(buf.is_empty());
+        {
+            let mut got = ex.take(0, 1);
+            assert_eq!(got.as_slice(), &[(3, 7u32)]);
+            got.drain(..);
+        }
+        // The posted buffer's capacity now sits (drained) in the mailbox…
+        let mut sig = Vec::new();
+        ex.capacity_signature(&mut sig);
+        assert!(sig.iter().any(|&c| c >= 16), "capacity lost: {sig:?}");
+        // …and the next round's post swaps it back out to the sender:
+        // the two buffers ping-pong, nothing is ever reallocated.
+        ex.post(0, 1, &mut buf);
+        assert!(buf.capacity() >= 16, "swap returned a bare buffer");
+    }
+
+    #[test]
+    fn fit_drops_leftovers_but_keeps_capacity() {
+        let mut ex: Exchange<u32> = Exchange::new();
+        ex.fit(2);
+        let mut buf = vec![(0, 1u32), (1, 2u32)];
+        let cap = buf.capacity();
+        ex.post(1, 0, &mut buf);
+        ex.fit(2); // aborted-run cleanup
+        assert!(ex.take(1, 0).is_empty());
+        let mut sig = Vec::new();
+        ex.capacity_signature(&mut sig);
+        assert!(sig.iter().any(|&c| c >= cap));
+    }
+
+    #[test]
+    fn round_sync_min_and_active() {
+        let mut sync = RoundSync::new();
+        sync.fit(3);
+        assert_eq!(sync.min_next(), None);
+        sync.publish_next(0, Some(7));
+        sync.publish_next(1, None);
+        sync.publish_next(2, Some(4));
+        assert_eq!(sync.min_next(), Some(4));
+        sync.publish_active(0, 2);
+        sync.publish_active(2, 5);
+        assert_eq!(sync.total_active(), 7);
+        assert!(!sync.failed());
+        sync.flag_failure();
+        assert!(sync.failed());
+        sync.fit(3);
+        assert!(!sync.failed());
+        assert_eq!(sync.min_next(), None);
+    }
+}

@@ -1,0 +1,57 @@
+//! Deterministic sharded parallel round execution.
+//!
+//! [`run_parallel`] executes the same sleeping-CONGEST semantics as the
+//! sequential [`crate::run`], but spreads each round's work across `k`
+//! worker threads. **Determinism is the contract:** for every graph,
+//! protocol, config, and thread count — including `k = 1` — the parallel
+//! engine produces *bit-identical* [`crate::Metrics`] and final states to
+//! the sequential engine. Thread count is a pure performance knob, never
+//! an observable.
+//!
+//! # Why this is possible
+//!
+//! Within a round, per-node work is already order-free by construction:
+//! every node draws from its own RNG (derived from `(seed, salt, node)`),
+//! and messages land in per-directed-edge slots indexed by the receiver's
+//! CSR layout, so inboxes come out ascending-by-sender no matter who
+//! wrote first. The sequential engine exploits this to skip sorting; the
+//! parallel engine exploits it to skip coordination.
+//!
+//! # Architecture
+//!
+//! * [`partition`] — a [`mis_graphs::Partition`] cuts nodes into `k`
+//!   contiguous shards balanced by degree weight; each shard owns the
+//!   matching contiguous [`mis_graphs::EdgeId`] slot range, and the plan
+//!   precomputes per-pair cross-shard slot counts to pre-size exchange
+//!   buffers.
+//! * [`shard`] — each worker owns one shard's nodes: their RNGs, calendar
+//!   scheduler, halt flags, awake stamps, delivery slots, and states.
+//!   Local sends write the shard's own slots directly.
+//! * [`exchange`] — cross-shard payloads are staged in per-destination
+//!   buffers and handed over through double-buffered per-pair mailboxes
+//!   (a swap under an uncontended mutex, once per shard pair per round —
+//!   the per-message hot path takes no lock), then applied by the owning
+//!   shard.
+//! * [`engine`] — the round loop: shards agree on the global next round
+//!   (min over per-shard calendar peeks), compute + send, exchange,
+//!   apply, then receive, separated by three barriers per busy round.
+//!
+//! Since the workspace forbids `unsafe`, no thread ever writes another
+//! shard's memory: all cross-shard traffic moves by ownership through the
+//! mailboxes, and the barrier schedule makes every phase data-race-free
+//! by construction.
+//!
+//! # Caveat
+//!
+//! A protocol that *panics* mid-run aborts the whole parallel run: the
+//! panic is caught at the protocol boundary, all workers shut down at the
+//! next synchronization point, and the payload is re-raised on the
+//! calling thread. Protocol panics are programming errors, not control
+//! flow.
+
+pub(crate) mod engine;
+pub(crate) mod exchange;
+pub(crate) mod partition;
+pub(crate) mod shard;
+
+pub use engine::{run_auto, run_parallel, run_parallel_with_scratch, ParScratch};

@@ -1,0 +1,144 @@
+//! The per-run sharding plan: a contiguous node partition plus
+//! precomputed cross-shard traffic capacities.
+
+use mis_graphs::{EdgeId, Graph, NodeId, Partition};
+
+/// A [`Partition`] specialized for one engine run, extended with the
+/// per-pair cross-shard slot counts used to pre-size exchange buffers.
+///
+/// Rebuilt (allocation-free after warmup) at the start of every parallel
+/// run: boundaries depend on the graph's CSR offsets, so a cached plan
+/// can never be trusted across graphs — and rebuilding is one
+/// `O(k log n)` boundary search plus one `O(m)` counting sweep, noise
+/// next to the run itself.
+#[derive(Debug)]
+pub(crate) struct ShardPlan {
+    part: Partition,
+    /// `cross[s * k + t]` = number of directed slots from shard `s`'s
+    /// nodes whose receiver-side slot lives in shard `t` — the exact
+    /// capacity the `s → t` exchange buffer can ever need in one round.
+    cross: Vec<usize>,
+}
+
+impl ShardPlan {
+    pub fn new() -> ShardPlan {
+        ShardPlan {
+            part: Graph::from_edges(0, &[]).expect("empty graph").partition(1),
+            cross: Vec::new(),
+        }
+    }
+
+    /// Recomputes the plan for `graph` split `k` ways, reusing buffers.
+    pub fn rebuild(&mut self, graph: &Graph, k: usize) {
+        let k = k.max(1);
+        self.part.refit(graph, k);
+        self.cross.clear();
+        self.cross.resize(k * k, 0);
+        for s in 0..k {
+            let nodes = self.part.nodes(s);
+            for v in nodes.clone() {
+                for eid in graph.edge_range(v) {
+                    let dst = graph.edge_target(eid);
+                    if !nodes.contains(&dst) {
+                        let rid = graph.reverse_edge(eid);
+                        let t = self.part.shard_of_slot(rid);
+                        self.cross[s * k + t] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.part.k()
+    }
+
+    /// Node range of shard `s`.
+    #[inline]
+    pub fn nodes(&self, s: usize) -> std::ops::Range<NodeId> {
+        self.part.nodes(s)
+    }
+
+    /// Slot range of shard `s`.
+    #[inline]
+    pub fn slots(&self, s: usize) -> std::ops::Range<EdgeId> {
+        self.part.slots(s)
+    }
+
+    /// Slot boundaries for per-message destination classification.
+    #[inline]
+    pub fn slot_boundaries(&self) -> &[EdgeId] {
+        self.part.slot_boundaries()
+    }
+
+    /// Worst-case one-round payload count from shard `s` to shard `t`.
+    #[inline]
+    pub fn cross_capacity(&self, s: usize, t: usize) -> usize {
+        self.cross[s * self.k() + t]
+    }
+
+    /// Buffer capacity bookkeeping for the allocation oracle.
+    pub fn capacity_signature(&self, out: &mut Vec<usize>) {
+        out.push(self.cross.capacity());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graphs::generators;
+
+    #[test]
+    fn cross_counts_match_brute_force() {
+        let g = generators::grid2d(7, 9);
+        let mut plan = ShardPlan::new();
+        plan.rebuild(&g, 4);
+        let mut want = [0usize; 16];
+        for v in 0..g.n() as u32 {
+            let s = (0..4).find(|&s| plan.nodes(s).contains(&v)).unwrap();
+            for eid in g.edge_range(v) {
+                let rid = g.reverse_edge(eid);
+                let t = (0..4).find(|&t| plan.slots(t).contains(&rid)).unwrap();
+                if s != t {
+                    want[s * 4 + t] += 1;
+                }
+            }
+        }
+        for s in 0..4 {
+            for t in 0..4 {
+                assert_eq!(
+                    plan.cross_capacity(s, t),
+                    want[s * 4 + t],
+                    "cross[{s}][{t}]"
+                );
+            }
+        }
+        // Cross-shard traffic is symmetric in total: every undirected
+        // boundary edge contributes one slot in each direction.
+        let total: usize = (0..16).map(|i| plan.cross[i]).sum();
+        assert_eq!(total % 2, 0);
+    }
+
+    #[test]
+    fn rebuild_reuses_capacity() {
+        let g1 = generators::path(64);
+        let g2 = generators::cycle(64);
+        let mut plan = ShardPlan::new();
+        plan.rebuild(&g1, 4);
+        let cap = plan.cross.capacity();
+        plan.rebuild(&g2, 4);
+        assert_eq!(plan.cross.capacity(), cap);
+        assert_eq!(plan.k(), 4);
+    }
+
+    #[test]
+    fn single_shard_has_no_cross_traffic() {
+        let g = generators::complete(12);
+        let mut plan = ShardPlan::new();
+        plan.rebuild(&g, 1);
+        assert_eq!(plan.cross_capacity(0, 0), 0);
+        assert_eq!(plan.slots(0), 0..g.directed_m());
+    }
+}

@@ -1,0 +1,362 @@
+//! One worker thread's shard: scratch state and the per-shard round loop.
+
+use super::exchange::{Exchange, RoundSync};
+use super::partition::ShardPlan;
+use crate::engine::{EdgeSlot, InitApi, Protocol, RecvApi, SendApi, ShardSink, SimConfig, Sink};
+use crate::error::SimError;
+use crate::message::Message;
+use crate::metrics::Metrics;
+use crate::rng;
+use crate::sched::BucketScheduler;
+use crate::{NodeId, Round};
+use mis_graphs::{EdgeId, Graph};
+use rand::rngs::SmallRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Reusable per-shard buffers, the sharded mirror of
+/// [`crate::EngineScratch`]: everything a worker touches per round lives
+/// here, sized once and recycled across rounds and runs.
+#[derive(Debug)]
+pub(crate) struct ShardScratch<M> {
+    sched: BucketScheduler,
+    /// RNGs of this shard's nodes, re-derived in place per run.
+    rngs: Vec<SmallRng>,
+    /// Monotone busy-round counter. Each worker keeps its own, but all
+    /// advance in lockstep (one increment per globally agreed round), so
+    /// stamps written by the sender shard compare correctly against the
+    /// receiver shard's tick.
+    tick: u64,
+    halted: Vec<bool>,
+    /// `awake_stamp[v - node_base] == tick` marks `v` awake this round.
+    awake_stamp: Vec<u64>,
+    /// Awake, non-halted local nodes of the current round (global ids).
+    active: Vec<NodeId>,
+    wakes: Vec<Round>,
+    inbox: Vec<(NodeId, M)>,
+    /// Delivery slots of this shard's slot range.
+    slots: Vec<EdgeSlot<M>>,
+    /// Sender-side duplicate-destination stamps (same index space).
+    out_stamp: Vec<u64>,
+    /// Staging buffers, one per destination shard.
+    out: Vec<Vec<(EdgeId, M)>>,
+}
+
+impl<M: Message> ShardScratch<M> {
+    pub fn new() -> ShardScratch<M> {
+        ShardScratch {
+            sched: BucketScheduler::new(),
+            rngs: Vec::new(),
+            tick: 0,
+            halted: Vec::new(),
+            awake_stamp: Vec::new(),
+            active: Vec::new(),
+            wakes: Vec::new(),
+            inbox: Vec::new(),
+            slots: Vec::new(),
+            out_stamp: Vec::new(),
+            out: Vec::new(),
+        }
+    }
+
+    /// Resizes for this shard of the plan and resets per-run state; the
+    /// tick (and thus all stamp arrays) carries over, as in the
+    /// sequential scratch.
+    fn fit_to(&mut self, plan: &ShardPlan, shard: usize) {
+        let local_n = plan.nodes(shard).len();
+        let local_slots = plan.slots(shard).len();
+        let k = plan.k();
+        self.halted.clear();
+        self.halted.resize(local_n, false);
+        self.awake_stamp.resize(local_n, 0);
+        self.slots.resize_with(local_slots, EdgeSlot::vacant);
+        for slot in &mut self.slots {
+            slot.msg = None; // aborted runs can leave in-flight payloads
+        }
+        self.out_stamp.resize(local_slots, 0);
+        self.out.truncate(k);
+        self.out.resize_with(k, Vec::new);
+        for (t, buf) in self.out.iter_mut().enumerate() {
+            buf.clear();
+            // `reserve_exact(n)` on an empty Vec guarantees capacity for
+            // n elements (no-op when already large enough), so staging
+            // never reallocates mid-round.
+            buf.reserve_exact(plan.cross_capacity(shard, t));
+        }
+        self.sched.clear();
+        self.active.clear();
+        self.inbox.clear();
+        self.wakes.clear();
+    }
+
+    /// Buffer capacities for the allocation oracle.
+    pub fn capacity_signature(&self, out: &mut Vec<usize>) {
+        out.extend([
+            self.rngs.capacity(),
+            self.halted.capacity(),
+            self.awake_stamp.capacity(),
+            self.active.capacity(),
+            self.wakes.capacity(),
+            self.inbox.capacity(),
+            self.slots.capacity(),
+            self.out_stamp.capacity(),
+            self.out.capacity(),
+        ]);
+        out.extend(self.out.iter().map(Vec::capacity));
+        self.sched.capacity_signature(out);
+    }
+}
+
+/// What one worker hands back: its nodes' final states (in node order),
+/// its slice of the metrics, and how the run ended.
+pub(crate) struct ShardOutcome<S> {
+    pub states: Vec<S>,
+    /// `awake_rounds` covers only this shard's nodes; the global
+    /// `busy_rounds`/`elapsed_rounds` are identical in every shard (all
+    /// observe the same agreed rounds and total active counts).
+    pub metrics: Metrics,
+    pub error: Option<SimError>,
+    /// A panic caught at the protocol boundary, re-raised by the caller.
+    pub panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// Runs one shard of a parallel run to completion. All workers execute
+/// this same function; cross-shard coordination happens only through
+/// `sync` (barriers + published rounds/counts) and `exchange` (payload
+/// mailboxes).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_shard<P: Protocol>(
+    shard: usize,
+    graph: &Graph,
+    plan: &ShardPlan,
+    protocol: &P,
+    cfg: &SimConfig,
+    sync: &RoundSync,
+    exchange: &Exchange<P::Msg>,
+    scratch: &mut ShardScratch<P::Msg>,
+) -> ShardOutcome<P::State> {
+    let nodes = plan.nodes(shard);
+    let node_base = nodes.start;
+    let node_end = nodes.end;
+    let local_n = nodes.len();
+    let slot_base = plan.slots(shard).start;
+    let k = plan.k();
+
+    scratch.fit_to(plan, shard);
+    scratch.rngs.clear();
+    scratch
+        .rngs
+        .extend(nodes.clone().map(|v| rng::derive(cfg.seed, cfg.salt, v)));
+    let ShardScratch {
+        sched,
+        rngs,
+        tick,
+        halted,
+        awake_stamp,
+        active,
+        wakes,
+        inbox,
+        slots,
+        out_stamp,
+        out,
+    } = scratch;
+
+    let mut metrics = Metrics::new(local_n);
+    let mut states: Vec<P::State> = Vec::with_capacity(local_n);
+    let mut error: Option<SimError> = None;
+    let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+    let mut last_round: Option<Round> = None;
+
+    // Initialization (free local pre-computation), local nodes only.
+    for v in nodes.clone() {
+        wakes.clear();
+        let li = (v - node_base) as usize;
+        let mut api = InitApi::new(v, graph, &mut rngs[li], wakes);
+        match catch_unwind(AssertUnwindSafe(|| protocol.init(v, &mut api))) {
+            Ok(state) => states.push(state),
+            Err(p) => {
+                panic = Some(p);
+                sync.flag_failure();
+                break;
+            }
+        }
+        for &r in wakes.iter() {
+            sched.schedule(r, v);
+        }
+    }
+
+    loop {
+        // Barrier A: agree on the globally earliest pending round.
+        sync.publish_next(shard, sched.peek_round());
+        sync.wait();
+        if sync.failed() {
+            break; // init or previous-round recv failed somewhere
+        }
+        let Some(round) = sync.min_next() else {
+            break; // every shard drained: the run is complete
+        };
+        if round >= cfg.max_rounds {
+            // All shards compute the same round, so all break here.
+            error = Some(SimError::ExceededMaxRounds {
+                max_rounds: cfg.max_rounds,
+            });
+            break;
+        }
+        *tick += 1;
+        let stamp = *tick;
+
+        // Drain our bucket if our shard participates in this round.
+        active.clear();
+        if sched.peek_round() == Some(round) {
+            let popped = sched.pop_round();
+            debug_assert_eq!(popped, Some(round));
+            let bucket = sched.take_bucket(round);
+            for &v in &bucket {
+                let li = (v - node_base) as usize;
+                if halted[li] || awake_stamp[li] == stamp {
+                    continue;
+                }
+                awake_stamp[li] = stamp;
+                active.push(v);
+            }
+            sched.restore_bucket(round, bucket);
+        }
+
+        // Barrier B: learn the global active count (busy-round and
+        // all-awake accounting must match the sequential engine exactly).
+        sync.publish_active(shard, active.len());
+        sync.wait();
+        let total_active = sync.total_active();
+        if total_active == 0 {
+            continue; // everyone woken this round had already halted
+        }
+        last_round = Some(round);
+        metrics.busy_rounds += 1;
+        for &v in active.iter() {
+            metrics.awake_rounds[(v - node_base) as usize] += 1;
+        }
+
+        // Send half: local deliveries straight into our slots,
+        // cross-shard payloads staged into per-destination buffers.
+        let all_awake = total_active == graph.n();
+        for &v in active.iter() {
+            let li = (v - node_base) as usize;
+            let sink = Sink::Sharded(ShardSink {
+                slots: &mut slots[..],
+                out_stamp: &mut out_stamp[..],
+                awake_stamp: &awake_stamp[..],
+                node_base,
+                node_end,
+                slot_base,
+                slot_starts: plan.slot_boundaries(),
+                out: &mut out[..],
+            });
+            let mut api = SendApi::new(
+                v,
+                round,
+                graph,
+                &mut rngs[li],
+                stamp,
+                sink,
+                all_awake,
+                &mut metrics,
+                cfg,
+                &mut error,
+            );
+            let sent = catch_unwind(AssertUnwindSafe(|| {
+                protocol.send(&mut states[li], &mut api)
+            }));
+            if let Err(p) = sent {
+                panic = Some(p);
+                break;
+            }
+            if error.is_some() {
+                break; // mirror the sequential engine's first-error abort
+            }
+        }
+        if error.is_some() || panic.is_some() {
+            sync.flag_failure();
+        }
+
+        // Exchange: post staged buffers (always, even empty or after a
+        // failure, so mailboxes stay in their drained-or-posted rhythm).
+        for (t, buf) in out.iter_mut().enumerate() {
+            if t != shard {
+                exchange.post(shard, t, buf);
+            } else {
+                debug_assert!(buf.is_empty(), "local payloads must not stage");
+            }
+        }
+
+        // Barrier C: every slot write and every mailbox post is done.
+        sync.wait();
+        if sync.failed() {
+            break;
+        }
+
+        // Apply: drain each sender shard's mailbox (ascending shard
+        // order; write order is immaterial — slots are per directed edge,
+        // and sender-side stamps already rejected duplicates).
+        for src in 0..k {
+            if src == shard {
+                continue;
+            }
+            let mut buf = exchange.take(src, shard);
+            for (rid, msg) in buf.drain(..) {
+                let dst = graph.edge_target(graph.reverse_edge(rid));
+                let li = (dst - node_base) as usize;
+                if all_awake || awake_stamp[li] == stamp {
+                    let slot = &mut slots[rid - slot_base];
+                    slot.stamp = stamp;
+                    slot.msg = Some(msg);
+                } // else: receiver asleep, payload dropped (as at send
+                  // time in the sequential engine — same round, same loss)
+            }
+        }
+
+        // Receive half: drain each awake local node's slot range
+        // (ascending sender order by CSR construction), then let it
+        // react. Purely shard-local: no one else touches our slots now.
+        for &v in active.iter() {
+            let li = (v - node_base) as usize;
+            inbox.clear();
+            let er = graph.edge_range(v);
+            let nbrs = graph.neighbors(v);
+            for (i, slot) in slots[er.start - slot_base..er.end - slot_base]
+                .iter_mut()
+                .enumerate()
+            {
+                if slot.stamp == stamp {
+                    metrics.messages_delivered += 1;
+                    let msg = slot.msg.take().expect("stamped slot holds a message");
+                    inbox.push((nbrs[i], msg));
+                }
+            }
+            wakes.clear();
+            let mut halt = false;
+            let mut api = RecvApi::new(v, round, graph, &mut rngs[li], wakes, &mut halt);
+            let res = catch_unwind(AssertUnwindSafe(|| {
+                protocol.recv(&mut states[li], inbox, &mut api)
+            }));
+            if let Err(p) = res {
+                panic = Some(p);
+                sync.flag_failure(); // observed by all at the next barrier A
+                break;
+            }
+            if halt {
+                halted[li] = true;
+            } else {
+                for &r in wakes.iter() {
+                    sched.schedule(r, v);
+                }
+            }
+        }
+    }
+
+    metrics.elapsed_rounds = last_round.map_or(0, |r| r + 1);
+    ShardOutcome {
+        states,
+        metrics,
+        error,
+        panic,
+    }
+}

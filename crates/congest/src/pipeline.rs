@@ -1,8 +1,9 @@
 //! Multi-phase accounting.
 
-use crate::engine::{run, Protocol, SimConfig, SimResult};
+use crate::engine::{Protocol, SimConfig, SimResult};
 use crate::error::SimError;
 use crate::metrics::Metrics;
+use crate::par::run_auto;
 use mis_graphs::Graph;
 
 /// Chains protocol phases on one graph, accumulating time and energy the
@@ -60,17 +61,22 @@ impl<'g> Pipeline<'g> {
     /// Runs one phase, folds its metrics into the total, and returns the
     /// final per-node states.
     ///
+    /// Phases execute on the engine selected by [`SimConfig::threads`]
+    /// (sequential at 0, sharded parallel otherwise) with bit-identical
+    /// results either way.
+    ///
     /// # Errors
     ///
     /// Propagates [`SimError`] from the engine.
-    pub fn run_phase<P: Protocol>(
-        &mut self,
-        name: &str,
-        protocol: &P,
-    ) -> Result<Vec<P::State>, SimError> {
+    pub fn run_phase<P>(&mut self, name: &str, protocol: &P) -> Result<Vec<P::State>, SimError>
+    where
+        P: Protocol + Sync,
+        P::State: Send,
+        P::Msg: Send,
+    {
         let cfg = self.cfg.with_salt(self.next_salt);
         self.next_salt += 1;
-        let SimResult { states, metrics } = run(self.graph, protocol, &cfg)?;
+        let SimResult { states, metrics } = run_auto(self.graph, protocol, &cfg)?;
         self.total.absorb(&metrics);
         self.phases.push((name.to_string(), metrics));
         Ok(states)

@@ -104,6 +104,27 @@ impl BucketScheduler {
         }
     }
 
+    /// Earliest queued round without advancing the window — what
+    /// [`pop_round`] would return, with no mutation. The parallel engine
+    /// uses this to negotiate the global next round across shards before
+    /// any shard commits to it.
+    ///
+    /// [`pop_round`]: BucketScheduler::pop_round
+    pub fn peek_round(&self) -> Option<Round> {
+        if self.pending == 0 {
+            return None;
+        }
+        Some(match (self.scan_ring(), self.overflow_min) {
+            (Some(r), o) => r.min(o),
+            (None, o) => {
+                // Note `o == Round::MAX` is legitimate here when a real
+                // round u64::MAX is queued in the spill.
+                debug_assert!(!self.overflow.is_empty(), "pending > 0 but nothing queued");
+                o
+            }
+        })
+    }
+
     /// Earliest queued round, advancing the window to it and pulling any
     /// overflow entries that now fall inside the window into the ring.
     /// Returns `None` when the queue is empty.
@@ -114,7 +135,9 @@ impl BucketScheduler {
         let round = match (self.scan_ring(), self.overflow_min) {
             (Some(r), o) => r.min(o),
             (None, o) => {
-                debug_assert!(o != Round::MAX, "pending > 0 but nothing queued");
+                // Note `o == Round::MAX` is legitimate here when a real
+                // round u64::MAX is queued in the spill.
+                debug_assert!(!self.overflow.is_empty(), "pending > 0 but nothing queued");
                 o
             }
         };
@@ -328,6 +351,26 @@ mod tests {
                 break;
             }
         }
+    }
+
+    #[test]
+    fn peek_matches_pop_without_mutation() {
+        let mut s = BucketScheduler::with_window(64);
+        assert_eq!(s.peek_round(), None);
+        s.schedule(9, 1);
+        s.schedule(500, 2); // overflow spill
+        assert_eq!(s.peek_round(), Some(9));
+        assert_eq!(s.peek_round(), Some(9), "peek must not advance");
+        assert_eq!(s.pop_round(), Some(9));
+        let b = s.take_bucket(9);
+        s.restore_bucket(9, b);
+        // Only the overflow entry remains; peek sees through the spill.
+        assert_eq!(s.peek_round(), Some(500));
+        assert_eq!(s.pop_round(), Some(500));
+        let b = s.take_bucket(500);
+        assert_eq!(b, vec![2]);
+        s.restore_bucket(500, b);
+        assert_eq!(s.peek_round(), None);
     }
 
     #[test]

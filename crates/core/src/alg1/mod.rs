@@ -27,8 +27,24 @@ use phase1::Phase1Protocol;
 ///
 /// Propagates [`SimError`] from the engine.
 pub fn run_algorithm1(g: &Graph, params: &Alg1Params, seed: u64) -> Result<MisReport, SimError> {
+    run_algorithm1_with(g, params, &SimConfig::seeded(seed))
+}
+
+/// [`run_algorithm1`] under an explicit engine config: every phase runs
+/// with `cfg`'s seed, round cap, bandwidth policy, and — most notably —
+/// [`SimConfig::threads`], so the whole pipeline executes on the sharded
+/// parallel engine when `threads > 0` (bit-identical results either way).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn run_algorithm1_with(
+    g: &Graph,
+    params: &Alg1Params,
+    cfg: &SimConfig,
+) -> Result<MisReport, SimError> {
     let n = g.n();
-    let mut pipe = Pipeline::new(g, SimConfig::seeded(seed));
+    let mut pipe = Pipeline::new(g, cfg.clone());
     let mut board = StatusBoard::new(n);
     let mut extras = std::collections::BTreeMap::new();
     // Defaults for phases that may be skipped on small/sparse inputs.

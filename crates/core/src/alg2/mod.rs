@@ -24,8 +24,23 @@ use phase1::{Alg2Cleanup, Alg2Phase1Iteration};
 ///
 /// Propagates [`SimError`] from the engine.
 pub fn run_algorithm2(g: &Graph, params: &Alg2Params, seed: u64) -> Result<MisReport, SimError> {
+    run_algorithm2_with(g, params, &SimConfig::seeded(seed))
+}
+
+/// [`run_algorithm2`] under an explicit engine config; with
+/// [`SimConfig::threads`] `> 0` every phase executes on the sharded
+/// parallel engine, with bit-identical results to the sequential run.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn run_algorithm2_with(
+    g: &Graph,
+    params: &Alg2Params,
+    cfg: &SimConfig,
+) -> Result<MisReport, SimError> {
     let n = g.n();
-    let mut pipe = Pipeline::new(g, SimConfig::seeded(seed));
+    let mut pipe = Pipeline::new(g, cfg.clone());
     let mut board = StatusBoard::new(n);
     let mut extras = std::collections::BTreeMap::new();
     extras.insert("finish_retries".into(), 0.0);

@@ -141,8 +141,24 @@ pub fn run_avg_energy(
     ae: &AvgEnergyParams,
     seed: u64,
 ) -> Result<MisReport, SimError> {
+    run_avg_energy_with(g, base, ae, &SimConfig::seeded(seed))
+}
+
+/// [`run_avg_energy`] under an explicit engine config; with
+/// [`SimConfig::threads`] `> 0` every phase executes on the sharded
+/// parallel engine, with bit-identical results to the sequential run.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn run_avg_energy_with(
+    g: &Graph,
+    base: &Alg1Params,
+    ae: &AvgEnergyParams,
+    cfg: &SimConfig,
+) -> Result<MisReport, SimError> {
     let n = g.n();
-    let mut pipe = Pipeline::new(g, SimConfig::seeded(seed));
+    let mut pipe = Pipeline::new(g, cfg.clone());
     let mut board = StatusBoard::new(n);
     let mut extras = std::collections::BTreeMap::new();
     extras.insert("finish_retries".into(), 0.0);
@@ -208,10 +224,25 @@ pub fn run_avg_energy2(
     ae: &AvgEnergyParams,
     seed: u64,
 ) -> Result<MisReport, SimError> {
+    run_avg_energy2_with(g, base, ae, &SimConfig::seeded(seed))
+}
+
+/// [`run_avg_energy2`] under an explicit engine config (see
+/// [`run_avg_energy_with`]).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn run_avg_energy2_with(
+    g: &Graph,
+    base: &crate::params::Alg2Params,
+    ae: &AvgEnergyParams,
+    cfg: &SimConfig,
+) -> Result<MisReport, SimError> {
     use crate::alg2::phase1::{Alg2Cleanup, Alg2Phase1Iteration};
 
     let n = g.n();
-    let mut pipe = Pipeline::new(g, SimConfig::seeded(seed));
+    let mut pipe = Pipeline::new(g, cfg.clone());
     let mut board = StatusBoard::new(n);
     let mut extras = std::collections::BTreeMap::new();
     extras.insert("finish_retries".into(), 0.0);

@@ -237,6 +237,13 @@ impl Graph {
         self.offsets[v]..self.offsets[v + 1]
     }
 
+    /// CSR offset of node `v`'s first slot; accepts `v == n` (returns
+    /// `directed_m`), which the partition boundary search relies on.
+    #[inline]
+    pub(crate) fn slot_offset(&self, v: usize) -> EdgeId {
+        self.offsets[v]
+    }
+
     /// The head (target node) of directed slot `e`.
     #[inline]
     pub fn edge_target(&self, e: EdgeId) -> NodeId {
@@ -279,17 +286,15 @@ impl Graph {
         self.neighbors(v).binary_search(&u).ok()
     }
 
-    /// Whether the undirected edge `{a, b}` exists (binary search).
+    /// Whether the undirected edge `{a, b}` exists (binary search on the
+    /// lower-degree endpoint's list, via [`Graph::neighbor_rank`]).
     pub fn has_edge(&self, a: NodeId, b: NodeId) -> bool {
-        if a == b {
-            return false;
-        }
         let (small, other) = if self.degree(a) <= self.degree(b) {
             (a, b)
         } else {
             (b, a)
         };
-        self.neighbors(small).binary_search(&other).is_ok()
+        self.neighbor_rank(small, other).is_some()
     }
 
     /// Maximum degree `Δ` over all nodes (0 for the empty graph).
@@ -320,6 +325,7 @@ impl Graph {
             graph: self,
             v: 0,
             i: 0,
+            remaining: self.m(),
         }
     }
 }
@@ -340,6 +346,10 @@ pub struct Edges<'a> {
     graph: &'a Graph,
     v: usize,
     i: usize,
+    /// Edges not yet yielded; each undirected edge appears exactly once in
+    /// the `(a, b), a < b` orientation, so this starts at `m` and reaches
+    /// 0 exactly when the scan is done — the exact-size contract.
+    remaining: usize,
 }
 
 impl Iterator for Edges<'_> {
@@ -354,6 +364,7 @@ impl Iterator for Edges<'_> {
                 let u = g.adj[start + self.i];
                 self.i += 1;
                 if (self.v as u32) < u {
+                    self.remaining -= 1;
                     return Some((self.v as u32, u));
                 }
             }
@@ -361,6 +372,16 @@ impl Iterator for Edges<'_> {
             self.i = 0;
         }
         None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for Edges<'_> {
+    fn len(&self) -> usize {
+        self.remaining
     }
 }
 
@@ -434,6 +455,24 @@ mod tests {
         let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
         let edges: Vec<_> = g.edges().collect();
         assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn edges_iterator_is_exact_size() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 4), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let mut it = g.edges();
+        assert_eq!(it.len(), g.m());
+        assert_eq!(it.size_hint(), (5, Some(5)));
+        let mut seen = 0;
+        while let Some(_) = it.next() {
+            seen += 1;
+            assert_eq!(it.len(), g.m() - seen, "len after {seen} edges");
+        }
+        assert_eq!(it.len(), 0);
+        assert_eq!(it.size_hint(), (0, Some(0)));
+        // Edgeless and empty graphs report zero without iteration.
+        assert_eq!(Graph::from_edges(7, &[]).unwrap().edges().len(), 0);
+        assert_eq!(Graph::from_edges(0, &[]).unwrap().edges().len(), 0);
     }
 
     #[test]

@@ -35,7 +35,9 @@
 mod builder;
 pub mod generators;
 mod graph;
+mod partition;
 pub mod props;
 
 pub use builder::GraphBuilder;
 pub use graph::{EdgeId, Graph, GraphError, NodeId};
+pub use partition::Partition;

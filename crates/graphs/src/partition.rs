@@ -1,0 +1,289 @@
+//! Contiguous node sharding for parallel round execution.
+//!
+//! A [`Partition`] cuts the node range `0..n` into `k` contiguous shards,
+//! balanced by *work* rather than node count: the weight of a node is
+//! `1 + degree`, so a shard's share of the CSR adjacency array (its
+//! directed edge slots) is roughly `directed_m / k` even on skewed degree
+//! distributions. Contiguity is what makes the scheme cheap: because CSR
+//! slots of consecutive nodes are consecutive, every shard owns one
+//! contiguous [`EdgeId`] range, and classifying a slot (or node) to its
+//! shard is a binary search over `k + 1` boundaries.
+
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// A contiguous `k`-way split of a [`Graph`]'s nodes and edge slots; see
+/// [`Graph::partition`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// `k + 1` node boundaries; shard `s` owns nodes
+    /// `node_starts[s]..node_starts[s + 1]`.
+    node_starts: Vec<NodeId>,
+    /// `k + 1` slot boundaries, `slot_starts[s] = offsets[node_starts[s]]`.
+    slot_starts: Vec<EdgeId>,
+}
+
+impl Partition {
+    pub(crate) fn new(g: &Graph, k: usize) -> Partition {
+        let mut p = Partition {
+            node_starts: Vec::new(),
+            slot_starts: Vec::new(),
+        };
+        p.refit(g, k);
+        p
+    }
+
+    /// Recomputes this partition for `g` and `k` in place, reusing the
+    /// boundary buffers. After the first [`Graph::partition`] call with
+    /// the same `k`, refitting allocates nothing — which is what lets an
+    /// engine scratch re-partition per run at zero steady-state
+    /// allocation cost.
+    pub fn refit(&mut self, g: &Graph, k: usize) {
+        let k = k.max(1);
+        let n = g.n();
+        // Weight of the prefix 0..v is v + offsets[v]: one unit per node
+        // (so edgeless graphs still split) plus one per directed slot (so
+        // the real per-shard work — edge traffic — balances).
+        let total = n as u64 + g.directed_m() as u64;
+        self.node_starts.clear();
+        self.slot_starts.clear();
+        self.node_starts.reserve(k + 1);
+        self.slot_starts.reserve(k + 1);
+        let mut prev = 0u32;
+        for s in 0..=k {
+            let target = total * s as u64 / k as u64;
+            // Smallest v with v + offsets[v] >= target, at least prev so
+            // boundaries stay monotone.
+            let mut lo = prev as usize;
+            let mut hi = n;
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                if (mid as u64 + g.slot_offset(mid) as u64) < target {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            prev = lo as u32;
+            self.node_starts.push(prev);
+            self.slot_starts.push(g.slot_offset(lo));
+        }
+        self.node_starts[k] = n as u32;
+        self.slot_starts[k] = g.directed_m();
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.node_starts.len() - 1
+    }
+
+    /// The contiguous node range owned by shard `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= k()`.
+    #[inline]
+    pub fn nodes(&self, s: usize) -> std::ops::Range<NodeId> {
+        self.node_starts[s]..self.node_starts[s + 1]
+    }
+
+    /// The contiguous directed-edge-slot range owned by shard `s` (the
+    /// union of `Graph::edge_range(v)` over its nodes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= k()`.
+    #[inline]
+    pub fn slots(&self, s: usize) -> std::ops::Range<EdgeId> {
+        self.slot_starts[s]..self.slot_starts[s + 1]
+    }
+
+    /// The shard owning node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is outside the partitioned graph.
+    #[inline]
+    pub fn shard_of_node(&self, v: NodeId) -> usize {
+        assert!((v as usize) < self.nodes_total(), "node {v} out of range");
+        self.node_starts.partition_point(|&b| b <= v) - 1
+    }
+
+    /// The shard owning directed edge slot `e`.
+    ///
+    /// Empty shards can share a boundary with their neighbor; the returned
+    /// shard is always the one whose range actually contains `e`.
+    #[inline]
+    pub fn shard_of_slot(&self, e: EdgeId) -> usize {
+        self.slot_starts.partition_point(|&b| b <= e) - 1
+    }
+
+    /// The `k + 1` slot boundaries backing [`Partition::shard_of_slot`];
+    /// shard `s` owns `slot_boundaries()[s]..slot_boundaries()[s + 1]`.
+    /// Exposed so hot per-message classification can binary-search the
+    /// boundaries directly.
+    #[inline]
+    pub fn slot_boundaries(&self) -> &[EdgeId] {
+        &self.slot_starts
+    }
+
+    /// Total number of nodes across all shards.
+    #[inline]
+    pub fn nodes_total(&self) -> usize {
+        *self.node_starts.last().unwrap() as usize
+    }
+
+    /// Total number of directed edge slots across all shards.
+    #[inline]
+    pub fn slots_total(&self) -> usize {
+        *self.slot_starts.last().unwrap()
+    }
+}
+
+impl Graph {
+    /// Splits the node range into `k` contiguous shards balanced by
+    /// `1 + degree` weight, for sharded parallel execution.
+    ///
+    /// Every node and every directed edge slot belongs to exactly one
+    /// shard; shard slot ranges are contiguous and ascending, so a
+    /// message's destination shard is a binary search over `k + 1`
+    /// boundaries. `k` is clamped to at least 1; shards may be empty when
+    /// `k > n`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mis_graphs::{generators, Graph};
+    ///
+    /// let g = generators::path(10); // 10 nodes, 9 edges
+    /// let p = g.partition(3);
+    /// assert_eq!(p.k(), 3);
+    /// // Shards cover the node range exactly, in order, without overlap.
+    /// assert_eq!(p.nodes(0).start, 0);
+    /// assert_eq!(p.nodes(2).end, 10);
+    /// assert_eq!(p.nodes(0).end, p.nodes(1).start);
+    /// // Slot ranges follow the CSR layout of the node ranges.
+    /// assert_eq!(p.slots(1), g.edge_range(p.nodes(1).start).start
+    ///     ..g.edge_range(p.nodes(1).end - 1).end);
+    /// // Work (slots) is balanced across shards.
+    /// assert!(p.slots(0).len() <= 2 * g.directed_m() / 3 + 2);
+    /// ```
+    ///
+    /// Classification helpers are O(log k):
+    ///
+    /// ```
+    /// use mis_graphs::generators;
+    ///
+    /// let g = generators::cycle(16);
+    /// let p = g.partition(4);
+    /// for v in 0..16u32 {
+    ///     let s = p.shard_of_node(v);
+    ///     assert!(p.nodes(s).contains(&v));
+    ///     for e in g.edge_range(v) {
+    ///         assert_eq!(p.shard_of_slot(e), s);
+    ///     }
+    /// }
+    /// ```
+    pub fn partition(&self, k: usize) -> Partition {
+        Partition::new(self, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn check_cover(g: &Graph, p: &Partition) {
+        assert_eq!(p.nodes(0).start, 0);
+        assert_eq!(p.nodes(p.k() - 1).end as usize, g.n());
+        assert_eq!(p.slots(0).start, 0);
+        assert_eq!(p.slots(p.k() - 1).end, g.directed_m());
+        for s in 0..p.k() {
+            if s + 1 < p.k() {
+                assert_eq!(p.nodes(s).end, p.nodes(s + 1).start);
+                assert_eq!(p.slots(s).end, p.slots(s + 1).start);
+            }
+            let nr = p.nodes(s);
+            if !nr.is_empty() {
+                assert_eq!(p.slots(s).start, g.edge_range(nr.start).start);
+                assert_eq!(p.slots(s).end, g.edge_range(nr.end - 1).end);
+            } else {
+                assert!(p.slots(s).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn covers_nodes_and_slots_exactly() {
+        for k in [1, 2, 3, 4, 7, 8] {
+            for g in [
+                generators::path(57),
+                generators::cycle(64),
+                generators::star(33),
+                generators::empty(20),
+                generators::complete(12),
+            ] {
+                check_cover(&g, &g.partition(k));
+            }
+        }
+    }
+
+    #[test]
+    fn balances_slots_on_skewed_degrees() {
+        // Star: node 0 has degree n-1; it must not drag half the slot
+        // array into shard 0's neighbors.
+        let g = generators::star(1000);
+        let p = g.partition(4);
+        let dm = g.directed_m();
+        for s in 0..4 {
+            assert!(
+                p.slots(s).len() <= dm / 2,
+                "shard {s} holds {} of {dm} slots",
+                p.slots(s).len()
+            );
+        }
+    }
+
+    #[test]
+    fn more_shards_than_nodes() {
+        let g = generators::path(3);
+        let p = g.partition(8);
+        assert_eq!(p.k(), 8);
+        check_cover(&g, &p);
+        let owned: usize = (0..8).map(|s| p.nodes(s).len()).sum();
+        assert_eq!(owned, 3);
+        for v in 0..3u32 {
+            assert!(p.nodes(p.shard_of_node(v)).contains(&v));
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = generators::empty(0);
+        let p = g.partition(4);
+        assert_eq!(p.k(), 4);
+        assert_eq!(p.nodes_total(), 0);
+        assert_eq!(p.slots_total(), 0);
+    }
+
+    #[test]
+    fn k_zero_clamps_to_one() {
+        let g = generators::path(5);
+        let p = g.partition(0);
+        assert_eq!(p.k(), 1);
+        assert_eq!(p.nodes(0), 0..5);
+    }
+
+    #[test]
+    fn shard_of_slot_matches_owner() {
+        let g = generators::grid2d(9, 7);
+        let p = g.partition(5);
+        for v in 0..g.n() as u32 {
+            let s = p.shard_of_node(v);
+            for e in g.edge_range(v) {
+                assert_eq!(p.shard_of_slot(e), s, "slot {e} of node {v}");
+            }
+        }
+    }
+}

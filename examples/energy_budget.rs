@@ -3,9 +3,13 @@
 //! one table — the headline comparison of the paper, runnable in seconds.
 //!
 //! ```sh
-//! cargo run --release --example energy_budget           # full size
-//! cargo run --release --example energy_budget -- --tiny # CI smoke size
+//! cargo run --release --example energy_budget                # full size
+//! cargo run --release --example energy_budget -- --tiny      # CI smoke size
+//! cargo run --release --example energy_budget -- --threads 4 # sharded engine
 //! ```
+//!
+//! `--threads N` runs on the sharded parallel engine with `N` workers;
+//! the table is bit-identical for every `N`.
 
 use distributed_mis::prelude::*;
 use rand::SeedableRng;
@@ -15,7 +19,14 @@ fn tiny() -> bool {
     std::env::args().any(|a| a == "--tiny")
 }
 
+/// `--threads N` selects the parallel worker count (default 1; 0 = the
+/// sequential engine). See [`SimConfig::threads_from_args`].
+fn threads() -> usize {
+    SimConfig::threads_from_args(1)
+}
+
 fn main() {
+    let cfg = SimConfig::seeded(1).with_threads(threads());
     let exps: &[u32] = if tiny() { &[8, 10] } else { &[10, 12, 14, 16] };
     println!(
         "{:<9} {:>10} {:>10} {:>10} | {:>9} {:>9} {:>9}",
@@ -27,9 +38,9 @@ fn main() {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(u64::from(exp));
         let g = generators::gnp(n, 10.0 / n as f64, &mut rng);
 
-        let a1 = run_algorithm1(&g, &Alg1Params::default(), 1).expect("alg1");
-        let a2 = run_algorithm2(&g, &Alg2Params::default(), 1).expect("alg2");
-        let lb = luby(&g, &SimConfig::seeded(1)).expect("luby");
+        let a1 = run_algorithm1_with(&g, &Alg1Params::default(), &cfg).expect("alg1");
+        let a2 = run_algorithm2_with(&g, &Alg2Params::default(), &cfg).expect("alg2");
+        let lb = luby(&g, &cfg).expect("luby");
         assert!(a1.is_mis() && a2.is_mis());
         assert!(props::is_mis(&g, &lb.in_mis));
 
@@ -58,8 +69,13 @@ fn main() {
         let n = 1usize << exp;
         let mut rng = rand::rngs::SmallRng::seed_from_u64(u64::from(exp) + 77);
         let g = generators::gnp(n, 10.0 / n as f64, &mut rng);
-        let r = run_avg_energy(&g, &Alg1Params::default(), &AvgEnergyParams::default(), 1)
-            .expect("avg energy");
+        let r = run_avg_energy_with(
+            &g,
+            &Alg1Params::default(),
+            &AvgEnergyParams::default(),
+            &cfg,
+        )
+        .expect("avg energy");
         assert!(r.is_mis());
         println!(
             "{:<9} {:>12.2} {:>12}",

@@ -3,9 +3,13 @@
 //! paper's proof of Theorem 1.1.
 //!
 //! ```sh
-//! cargo run --release --example phase_anatomy           # full size
-//! cargo run --release --example phase_anatomy -- --tiny # CI smoke size
+//! cargo run --release --example phase_anatomy                # full size
+//! cargo run --release --example phase_anatomy -- --tiny      # CI smoke size
+//! cargo run --release --example phase_anatomy -- --threads 4 # sharded engine
 //! ```
+//!
+//! `--threads N` runs on the sharded parallel engine with `N` workers;
+//! the anatomy is bit-identical for every `N`.
 
 use distributed_mis::prelude::*;
 use rand::SeedableRng;
@@ -13,6 +17,12 @@ use rand::SeedableRng;
 /// `--tiny` shrinks the workload so CI can execute the example in seconds.
 fn tiny() -> bool {
     std::env::args().any(|a| a == "--tiny")
+}
+
+/// `--threads N` selects the parallel worker count (default 1; 0 = the
+/// sequential engine). See [`SimConfig::threads_from_args`].
+fn threads() -> usize {
+    SimConfig::threads_from_args(1)
 }
 
 fn main() {
@@ -33,7 +43,8 @@ fn main() {
         shatter_c: 2.0,
         ..Alg1Params::default()
     };
-    let report = run_algorithm1(&g, &params, 17).expect("algorithm 1");
+    let cfg = SimConfig::seeded(17).with_threads(threads());
+    let report = run_algorithm1_with(&g, &params, &cfg).expect("algorithm 1");
     assert!(report.is_mis());
 
     // Group the fine-grained pipeline phases into the paper's three.

@@ -2,9 +2,14 @@
 //! the same random graph and compare time and energy.
 //!
 //! ```sh
-//! cargo run --release --example quickstart           # full size
-//! cargo run --release --example quickstart -- --tiny # CI smoke size
+//! cargo run --release --example quickstart                # full size
+//! cargo run --release --example quickstart -- --tiny      # CI smoke size
+//! cargo run --release --example quickstart -- --threads 4 # sharded engine
 //! ```
+//!
+//! `--threads N` runs every simulation on the sharded parallel engine
+//! with `N` workers; the output is bit-identical for every `N` (that is
+//! the engine's determinism contract).
 
 use distributed_mis::prelude::*;
 use rand::SeedableRng;
@@ -12,6 +17,12 @@ use rand::SeedableRng;
 /// `--tiny` shrinks the workload so CI can execute the example in seconds.
 fn tiny() -> bool {
     std::env::args().any(|a| a == "--tiny")
+}
+
+/// `--threads N` selects the parallel worker count (default 1; 0 = the
+/// sequential engine). See [`SimConfig::threads_from_args`].
+fn threads() -> usize {
+    SimConfig::threads_from_args(1)
 }
 
 fn main() {
@@ -27,10 +38,10 @@ fn main() {
         g.max_degree()
     );
 
-    let seed = 42;
-    let alg1 = run_algorithm1(&g, &Alg1Params::default(), seed).expect("algorithm 1");
-    let alg2 = run_algorithm2(&g, &Alg2Params::default(), seed).expect("algorithm 2");
-    let base = luby(&g, &SimConfig::seeded(seed)).expect("luby");
+    let cfg = SimConfig::seeded(42).with_threads(threads());
+    let alg1 = run_algorithm1_with(&g, &Alg1Params::default(), &cfg).expect("algorithm 1");
+    let alg2 = run_algorithm2_with(&g, &Alg2Params::default(), &cfg).expect("algorithm 2");
+    let base = luby(&g, &cfg).expect("luby");
 
     println!(
         "\n{:<14} {:>9} {:>11} {:>11} {:>9}",

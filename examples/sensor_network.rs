@@ -9,9 +9,13 @@
 //! battery model and report the network lifetime under each algorithm.
 //!
 //! ```sh
-//! cargo run --release --example sensor_network           # full size
-//! cargo run --release --example sensor_network -- --tiny # CI smoke size
+//! cargo run --release --example sensor_network                # full size
+//! cargo run --release --example sensor_network -- --tiny      # CI smoke size
+//! cargo run --release --example sensor_network -- --threads 4 # sharded engine
 //! ```
+//!
+//! `--threads N` runs on the sharded parallel engine with `N` workers;
+//! the report is bit-identical for every `N`.
 
 use distributed_mis::prelude::*;
 use rand::SeedableRng;
@@ -22,6 +26,12 @@ const BATTERY_ROUNDS: u64 = 120;
 /// `--tiny` shrinks the workload so CI can execute the example in seconds.
 fn tiny() -> bool {
     std::env::args().any(|a| a == "--tiny")
+}
+
+/// `--threads N` selects the parallel worker count (default 1; 0 = the
+/// sequential engine). See [`SimConfig::threads_from_args`].
+fn threads() -> usize {
+    SimConfig::threads_from_args(1)
 }
 
 fn main() {
@@ -38,8 +48,9 @@ fn main() {
         g.max_degree()
     );
 
-    let alg1 = run_algorithm1(&g, &Alg1Params::default(), 1).expect("algorithm 1");
-    let base = luby(&g, &SimConfig::seeded(1)).expect("luby");
+    let cfg = SimConfig::seeded(1).with_threads(threads());
+    let alg1 = run_algorithm1_with(&g, &Alg1Params::default(), &cfg).expect("algorithm 1");
+    let base = luby(&g, &cfg).expect("luby");
     assert!(alg1.is_mis());
     assert!(props::is_mis(&g, &base.in_mis));
 

@@ -59,12 +59,16 @@ pub mod baselines {
 
 /// One-stop imports for applications and examples.
 pub mod prelude {
-    pub use congest_sim::{Metrics, SimConfig};
-    pub use energy_mis::alg1::run_algorithm1;
-    pub use energy_mis::alg2::run_algorithm2;
-    pub use energy_mis::avg_energy::{run_avg_energy, run_avg_energy2};
+    pub use congest_sim::{
+        run_auto, run_parallel, run_parallel_with_scratch, Metrics, ParScratch, SimConfig,
+    };
+    pub use energy_mis::alg1::{run_algorithm1, run_algorithm1_with};
+    pub use energy_mis::alg2::{run_algorithm2, run_algorithm2_with};
+    pub use energy_mis::avg_energy::{
+        run_avg_energy, run_avg_energy2, run_avg_energy2_with, run_avg_energy_with,
+    };
     pub use energy_mis::params::{Alg1Params, Alg2Params, AvgEnergyParams};
     pub use energy_mis::MisReport;
     pub use mis_baselines::{greedy_mis, luby, permutation, MisRun};
-    pub use mis_graphs::{generators, props, Graph, GraphBuilder};
+    pub use mis_graphs::{generators, props, Graph, GraphBuilder, Partition};
 }

@@ -1,4 +1,4 @@
-//! Determinism golden test for the engine rearchitecture.
+//! Determinism golden test for the engine rearchitecture(s).
 //!
 //! The bucketed-scheduler + edge-slot engine must be *bit-for-bit*
 //! equivalent to the original `BTreeMap`-queue / global-outbox engine:
@@ -7,6 +7,14 @@
 //! (commit `2f01567`) on these exact workloads; any divergence in round
 //! accounting, message accounting, per-node energy, or the computed MIS
 //! fails this test.
+//!
+//! Since the sharded parallel engine landed, every workload additionally
+//! runs at several thread counts (`run_parallel` through the
+//! `SimConfig::threads` dispatch) and must reproduce the *same* recorded
+//! fingerprints: thread count is a pure performance knob, never an
+//! observable. The sweep defaults to sequential plus 1/2/4/8 workers and
+//! can be overridden with `PAR_THREADS=1,2,4` (0 = sequential engine),
+//! which is how CI pins the contract in a dedicated job.
 
 use congest_sim::{Metrics, SimConfig};
 use energy_mis::params::{Alg1Params, Alg2Params};
@@ -15,6 +23,18 @@ use mis_baselines::luby;
 use mis_graphs::{generators, Graph};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+/// Thread counts every golden workload is replayed at; `0` is the
+/// sequential engine, `k >= 1` the parallel engine with `k` shards.
+fn thread_counts() -> Vec<usize> {
+    match std::env::var("PAR_THREADS") {
+        Ok(list) => list
+            .split(',')
+            .map(|t| t.trim().parse().expect("PAR_THREADS: comma-separated ints"))
+            .collect(),
+        Err(_) => vec![0, 1, 2, 4, 8],
+    }
+}
 
 /// Condensed fingerprint of one run, matching the pre-change recording.
 #[derive(Debug, PartialEq, Eq)]
@@ -141,9 +161,15 @@ fn luby_matches_pre_change_engine() {
         ),
     ];
     for ((name, g), (ename, want)) in graphs().into_iter().zip(expected) {
-        let r = luby(&g, &SimConfig::seeded(9)).unwrap();
         assert_eq!(format!("luby/{name}"), ename);
-        assert_eq!(fingerprint(&r.metrics, &r.in_mis), want, "{ename}");
+        for threads in thread_counts() {
+            let r = luby(&g, &SimConfig::seeded(9).with_threads(threads)).unwrap();
+            assert_eq!(
+                fingerprint(&r.metrics, &r.in_mis),
+                want,
+                "{ename} @ {threads} threads"
+            );
+        }
     }
 }
 
@@ -216,10 +242,17 @@ fn algorithm1_matches_pre_change_engine() {
         ),
     ];
     for ((name, g), (ename, want)) in graphs().into_iter().zip(expected) {
-        let r = alg1::run_algorithm1(&g, &Alg1Params::default(), 11).unwrap();
-        assert!(r.is_mis(), "{name}");
         assert_eq!(format!("alg1/{name}"), ename);
-        assert_eq!(fingerprint(&r.metrics, &r.in_mis), want, "{ename}");
+        for threads in thread_counts() {
+            let cfg = SimConfig::seeded(11).with_threads(threads);
+            let r = alg1::run_algorithm1_with(&g, &Alg1Params::default(), &cfg).unwrap();
+            assert!(r.is_mis(), "{name} @ {threads} threads");
+            assert_eq!(
+                fingerprint(&r.metrics, &r.in_mis),
+                want,
+                "{ename} @ {threads} threads"
+            );
+        }
     }
 }
 
@@ -292,9 +325,16 @@ fn algorithm2_matches_pre_change_engine() {
         ),
     ];
     for ((name, g), (ename, want)) in graphs().into_iter().zip(expected) {
-        let r = alg2::run_algorithm2(&g, &Alg2Params::default(), 13).unwrap();
-        assert!(r.is_mis(), "{name}");
         assert_eq!(format!("alg2/{name}"), ename);
-        assert_eq!(fingerprint(&r.metrics, &r.in_mis), want, "{ename}");
+        for threads in thread_counts() {
+            let cfg = SimConfig::seeded(13).with_threads(threads);
+            let r = alg2::run_algorithm2_with(&g, &Alg2Params::default(), &cfg).unwrap();
+            assert!(r.is_mis(), "{name} @ {threads} threads");
+            assert_eq!(
+                fingerprint(&r.metrics, &r.in_mis),
+                want,
+                "{ename} @ {threads} threads"
+            );
+        }
     }
 }

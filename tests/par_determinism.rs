@@ -1,0 +1,104 @@
+//! Property test: the sharded parallel engine is observationally
+//! indistinguishable from the sequential engine on random instances.
+//!
+//! For random `G(n, p)` and random `d`-regular graphs, Luby and both of
+//! the paper's algorithms must produce identical `Metrics` and identical
+//! final states (MIS membership) at 2 and 4 worker threads as they do
+//! sequentially — the determinism-across-thread-counts contract of
+//! `congest_sim::par`, probed across the input space rather than only on
+//! the recorded golden workloads.
+
+use congest_sim::SimConfig;
+use energy_mis::params::{Alg1Params, Alg2Params};
+use energy_mis::{alg1, alg2};
+use mis_baselines::luby;
+use mis_graphs::{generators, Graph};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// FNV-1a over a run's final per-node MIS bits: the "final-state hash"
+/// the parity assertions compare.
+fn state_hash(in_mis: &[bool]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in in_mis {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Random G(n,p) with the given average degree.
+fn gnp(n: usize, avg_deg: f64, seed: u64) -> Graph {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    generators::gnp(n, (avg_deg / n.max(2) as f64).min(1.0), &mut rng)
+}
+
+/// Random d-regular; rounds `n` up so `n * d` is even.
+fn regular(n: usize, d: usize, seed: u64) -> Graph {
+    let n = if n * d % 2 == 1 { n + 1 } else { n };
+    let mut rng = SmallRng::seed_from_u64(seed);
+    generators::random_regular(n, d, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn luby_parallel_parity(n in 24usize..140, avg in 1.0f64..8.0, seed in any::<u64>()) {
+        for g in [gnp(n, avg, seed), regular(n, 4, seed)] {
+            let cfg = SimConfig::seeded(seed ^ 0x5eed);
+            let seq = luby(&g, &cfg).unwrap();
+            for threads in [2usize, 4] {
+                let par = luby(&g, &cfg.with_threads(threads)).unwrap();
+                prop_assert_eq!(&par.metrics, &seq.metrics, "metrics @ {} threads", threads);
+                prop_assert_eq!(
+                    state_hash(&par.in_mis),
+                    state_hash(&seq.in_mis),
+                    "state hash @ {} threads",
+                    threads
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alg1_parallel_parity(n in 24usize..120, d in 3usize..9, seed in any::<u64>()) {
+        for g in [gnp(n, d as f64, seed), regular(n, d, seed)] {
+            let params = Alg1Params::default();
+            let cfg = SimConfig::seeded(seed ^ 0xa1);
+            let seq = alg1::run_algorithm1_with(&g, &params, &cfg).unwrap();
+            prop_assert!(seq.is_mis());
+            for threads in [2usize, 4] {
+                let par = alg1::run_algorithm1_with(&g, &params, &cfg.with_threads(threads)).unwrap();
+                prop_assert_eq!(&par.metrics, &seq.metrics, "metrics @ {} threads", threads);
+                prop_assert_eq!(
+                    state_hash(&par.in_mis),
+                    state_hash(&seq.in_mis),
+                    "state hash @ {} threads",
+                    threads
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn alg2_parallel_parity(n in 24usize..120, d in 3usize..9, seed in any::<u64>()) {
+        for g in [gnp(n, d as f64, seed), regular(n, d, seed)] {
+            let params = Alg2Params::default();
+            let cfg = SimConfig::seeded(seed ^ 0xa2);
+            let seq = alg2::run_algorithm2_with(&g, &params, &cfg).unwrap();
+            prop_assert!(seq.is_mis());
+            for threads in [2usize, 4] {
+                let par = alg2::run_algorithm2_with(&g, &params, &cfg.with_threads(threads)).unwrap();
+                prop_assert_eq!(&par.metrics, &seq.metrics, "metrics @ {} threads", threads);
+                prop_assert_eq!(
+                    state_hash(&par.in_mis),
+                    state_hash(&seq.in_mis),
+                    "state hash @ {} threads",
+                    threads
+                );
+            }
+        }
+    }
+}

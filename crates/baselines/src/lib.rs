@@ -37,8 +37,8 @@ mod luby;
 mod permutation;
 
 pub use greedy::{greedy_mis, greedy_mis_in_order};
-pub use luby::{luby, LubyProtocol, LubyState};
-pub use permutation::{permutation, PermutationProtocol};
+pub use luby::{luby, luby_observed, LubyProtocol, LubyState};
+pub use permutation::{permutation, permutation_observed, PermutationProtocol};
 
 use congest_sim::Metrics;
 
@@ -50,6 +50,24 @@ pub struct MisRun {
     pub in_mis: Vec<bool>,
     /// Time, energy, and message accounting of the run.
     pub metrics: Metrics,
+}
+
+impl MisRun {
+    /// Builds a run result from an engine result whose per-node states
+    /// carry a [`Decision`] (what both baseline protocols produce).
+    pub fn from_decisions<S>(
+        result: congest_sim::SimResult<S>,
+        decision: impl Fn(&S) -> Decision,
+    ) -> MisRun {
+        MisRun {
+            in_mis: result
+                .states
+                .iter()
+                .map(|s| decision(s) == Decision::InMis)
+                .collect(),
+            metrics: result.metrics,
+        }
+    }
 }
 
 /// Decision status of a node in a distributed MIS protocol.

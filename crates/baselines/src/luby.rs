@@ -1,7 +1,10 @@
 //! Classic Luby MIS: `O(log n)` time, `O(log n)` energy.
 
 use crate::{Decision, MisRun};
-use congest_sim::{run_auto, InitApi, NodeId, Protocol, RecvApi, SendApi, SimConfig, SimError};
+use congest_sim::{
+    run_auto, run_auto_observed, InitApi, NodeId, Protocol, RecvApi, RoundObserver, SendApi,
+    SimConfig, SimError,
+};
 use mis_graphs::Graph;
 use rand::Rng;
 
@@ -180,14 +183,22 @@ impl Protocol for LubyProtocol {
 /// protocol were to stall, which does not happen with high probability).
 pub fn luby(graph: &Graph, cfg: &SimConfig) -> Result<MisRun, SimError> {
     let result = run_auto(graph, &LubyProtocol, cfg)?;
-    Ok(MisRun {
-        in_mis: result
-            .states
-            .iter()
-            .map(|s| s.decision == Decision::InMis)
-            .collect(),
-        metrics: result.metrics,
-    })
+    Ok(MisRun::from_decisions(result, |s| s.decision))
+}
+
+/// [`luby`] with a [`RoundObserver`] attached: streams one event per
+/// busy round (identical for every [`SimConfig::threads`] value).
+///
+/// # Errors
+///
+/// Same contract as [`luby`].
+pub fn luby_observed(
+    graph: &Graph,
+    cfg: &SimConfig,
+    observer: &mut dyn RoundObserver,
+) -> Result<MisRun, SimError> {
+    let result = run_auto_observed(graph, &LubyProtocol, cfg, observer)?;
+    Ok(MisRun::from_decisions(result, |s| s.decision))
 }
 
 #[cfg(test)]

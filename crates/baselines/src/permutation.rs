@@ -1,7 +1,10 @@
 //! The Alon–Babai–Itai / random-priority MIS variant.
 
 use crate::{Decision, MisRun};
-use congest_sim::{run_auto, InitApi, NodeId, Protocol, RecvApi, SendApi, SimConfig, SimError};
+use congest_sim::{
+    run_auto, run_auto_observed, InitApi, NodeId, Protocol, RecvApi, RoundObserver, SendApi,
+    SimConfig, SimError,
+};
 use mis_graphs::Graph;
 use rand::Rng;
 
@@ -154,14 +157,22 @@ impl Protocol for PermutationProtocol {
 /// Propagates [`SimError`] from the engine.
 pub fn permutation(graph: &Graph, cfg: &SimConfig) -> Result<MisRun, SimError> {
     let result = run_auto(graph, &PermutationProtocol, cfg)?;
-    Ok(MisRun {
-        in_mis: result
-            .states
-            .iter()
-            .map(|s| s.decision == Decision::InMis)
-            .collect(),
-        metrics: result.metrics,
-    })
+    Ok(MisRun::from_decisions(result, |s| s.decision))
+}
+
+/// [`permutation`] with a [`RoundObserver`] attached: streams one event
+/// per busy round (identical for every [`SimConfig::threads`] value).
+///
+/// # Errors
+///
+/// Same contract as [`permutation`].
+pub fn permutation_observed(
+    graph: &Graph,
+    cfg: &SimConfig,
+    observer: &mut dyn RoundObserver,
+) -> Result<MisRun, SimError> {
+    let result = run_auto_observed(graph, &PermutationProtocol, cfg, observer)?;
+    Ok(MisRun::from_decisions(result, |s| s.decision))
 }
 
 #[cfg(test)]

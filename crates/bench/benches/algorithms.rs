@@ -1,33 +1,30 @@
 //! Criterion wall-clock benches for the end-to-end algorithms — the
-//! benchmark counterparts of experiments E1–E4, E6, E13.
+//! benchmark counterparts of experiments E1–E4, E6, E13 — driven
+//! through the unified `mis_runner` registry, so the benched code path
+//! is exactly the one the examples, experiments, and scenario CLI use.
 
-use congest_sim::SimConfig;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use energy_mis::alg1::run_algorithm1;
-use energy_mis::alg2::run_algorithm2;
-use energy_mis::avg_energy::run_avg_energy;
-use energy_mis::params::{Alg1Params, Alg2Params, AvgEnergyParams};
-use mis_baselines::{luby, permutation};
-use mis_bench::{workload_gnp, workload_regular};
+use mis_runner::{registry, RunConfig, WorkloadSpec};
+
+/// The distributed registry entries (the sequential greedy oracle is
+/// excluded: it measures nothing about the engine).
+const ALGOS: [&str; 6] = ["alg1", "alg2", "avg1", "avg2", "luby", "permutation"];
 
 fn bench_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1-e4-scaling");
     group.sample_size(10);
     for exp in [10u32, 12] {
         let n = 1usize << exp;
-        let g = workload_gnp(n, u64::from(exp));
-        group.bench_with_input(BenchmarkId::new("algorithm1", n), &g, |b, g| {
-            b.iter(|| run_algorithm1(g, &Alg1Params::default(), 1).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("algorithm2", n), &g, |b, g| {
-            b.iter(|| run_algorithm2(g, &Alg2Params::default(), 1).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("luby", n), &g, |b, g| {
-            b.iter(|| luby(g, &SimConfig::seeded(1)).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("permutation", n), &g, |b, g| {
-            b.iter(|| permutation(g, &SimConfig::seeded(1)).unwrap())
-        });
+        let g = format!("gnp:n={n},deg=10,seed={exp}")
+            .parse::<WorkloadSpec>()
+            .unwrap()
+            .build();
+        for name in ["alg1", "alg2", "luby", "permutation"] {
+            let alg = registry::from_name(name).unwrap();
+            group.bench_with_input(BenchmarkId::new(name, n), &g, |b, g| {
+                b.iter(|| alg.run(g, &RunConfig::seeded(1)).unwrap())
+            });
+        }
     }
     group.finish();
 }
@@ -36,13 +33,16 @@ fn bench_dense_phase1(c: &mut Criterion) {
     // E6/E7 counterpart: a dense regular graph where Phase I dominates.
     let mut group = c.benchmark_group("e6-dense");
     group.sample_size(10);
-    let g = workload_regular(1 << 12, 256, 7);
-    group.bench_function("algorithm1-regular-4096x256", |b| {
-        b.iter(|| run_algorithm1(&g, &Alg1Params::default(), 1).unwrap())
-    });
-    group.bench_function("algorithm2-regular-4096x256", |b| {
-        b.iter(|| run_algorithm2(&g, &Alg2Params::default(), 1).unwrap())
-    });
+    let g = "regular:n=4096,d=256,seed=7"
+        .parse::<WorkloadSpec>()
+        .unwrap()
+        .build();
+    for name in ["alg1", "alg2"] {
+        let alg = registry::from_name(name).unwrap();
+        group.bench_function(BenchmarkId::new(name, "regular-4096x256"), |b| {
+            b.iter(|| alg.run(&g, &RunConfig::seeded(1)).unwrap())
+        });
+    }
     group.finish();
 }
 
@@ -50,14 +50,70 @@ fn bench_avg_energy(c: &mut Criterion) {
     // E13 counterpart.
     let mut group = c.benchmark_group("e13-avg-energy");
     group.sample_size(10);
-    let g = workload_gnp(1 << 12, 23);
+    let g = "gnp:n=4096,deg=10,seed=23"
+        .parse::<WorkloadSpec>()
+        .unwrap()
+        .build();
     group.bench_function("section4-pipeline-4096", |b| {
         b.iter(|| {
-            run_avg_energy(&g, &Alg1Params::default(), &AvgEnergyParams::default(), 1).unwrap()
+            registry::from_name("avg1")
+                .unwrap()
+                .run(&g, &RunConfig::seeded(1))
+                .unwrap()
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_scaling, bench_dense_phase1, bench_avg_energy);
+fn bench_observer_overhead(c: &mut Criterion) {
+    // The RoundObserver hook is pay-for-what-you-use; this pins the cost
+    // of actually using it (collecting the full time series).
+    let mut group = c.benchmark_group("observer");
+    group.sample_size(10);
+    let g = "gnp:n=4096,deg=10,seed=3"
+        .parse::<WorkloadSpec>()
+        .unwrap()
+        .build();
+    let luby = registry::from_name("luby").unwrap();
+    group.bench_function("luby-4096-unobserved", |b| {
+        b.iter(|| luby.run(&g, &RunConfig::seeded(1)).unwrap())
+    });
+    group.bench_function("luby-4096-collect-rounds", |b| {
+        b.iter(|| {
+            luby.run(&g, &RunConfig::seeded(1).collect_rounds(true))
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+/// Registry smoke at bench scale: every distributed algorithm stays a
+/// verified MIS on the bench workload (so a silent correctness rot can
+/// never hide behind timing noise).
+fn bench_registry_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("registry-matrix");
+    group.sample_size(10);
+    let g = "gnp:n=1024,deg=8,seed=5"
+        .parse::<WorkloadSpec>()
+        .unwrap()
+        .build();
+    for name in ALGOS {
+        let alg = registry::from_name(name).unwrap();
+        let report = alg.run(&g, &RunConfig::seeded(2)).unwrap();
+        assert!(report.is_mis(), "{name} not an MIS on the bench workload");
+        group.bench_function(name, |b| {
+            b.iter(|| alg.run(&g, &RunConfig::seeded(2)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_scaling,
+    bench_dense_phase1,
+    bench_avg_energy,
+    bench_observer_overhead,
+    bench_registry_matrix
+);
 criterion_main!(benches);

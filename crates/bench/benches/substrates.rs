@@ -7,9 +7,7 @@ use congest_sim::{run, SimConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use energy_mis::ghaffari::GhaffariMis;
 use mis_bench::workload_gnp;
-use mis_graphs::generators;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use mis_runner::WorkloadSpec;
 
 fn bench_schedule(c: &mut Criterion) {
     let mut group = c.benchmark_group("e9-schedule");
@@ -22,26 +20,18 @@ fn bench_schedule(c: &mut Criterion) {
 }
 
 fn bench_generators(c: &mut Criterion) {
+    // One workload language everywhere: each generator bench is a
+    // WorkloadSpec string, the same grammar the scenario CLI parses.
     let mut group = c.benchmark_group("generators");
     group.sample_size(10);
-    group.bench_function("gnp-65536-d10", |b| {
-        b.iter(|| {
-            let mut rng = SmallRng::seed_from_u64(1);
-            generators::gnp(1 << 16, 10.0 / (1 << 16) as f64, &mut rng)
-        })
-    });
-    group.bench_function("rgg-16384-d10", |b| {
-        b.iter(|| {
-            let mut rng = SmallRng::seed_from_u64(2);
-            generators::random_geometric(1 << 14, 0.014, &mut rng)
-        })
-    });
-    group.bench_function("regular-16384x8", |b| {
-        b.iter(|| {
-            let mut rng = SmallRng::seed_from_u64(3);
-            generators::random_regular(1 << 14, 8, &mut rng)
-        })
-    });
+    for spec in [
+        "gnp:n=65536,deg=10,seed=1",
+        "rgg:n=16384,deg=10,seed=2",
+        "regular:n=16384,d=8,seed=3",
+    ] {
+        let workload: WorkloadSpec = spec.parse().unwrap();
+        group.bench_function(spec, move |b| b.iter(|| workload.build()));
+    }
     group.finish();
 }
 

@@ -1,30 +1,48 @@
 //! Experiment driver: regenerates every measured table of the
-//! reproduction (EXPERIMENTS.md).
+//! reproduction (EXPERIMENTS.md), plus the declarative `scenario` mode
+//! that exposes the full algorithm × workload × seed matrix from the
+//! command line.
 //!
 //! ```sh
 //! cargo run --release -p mis-bench --bin experiments            # all, full sizes
 //! cargo run --release -p mis-bench --bin experiments -- --quick # all, small sizes
 //! cargo run --release -p mis-bench --bin experiments -- e2 e13  # a subset
 //! cargo run --release -p mis-bench --bin experiments -- --threads 4 # sharded engine
+//!
+//! # Scenario mode: one code path for any cell of the matrix.
+//! cargo run --release -p mis-bench --bin experiments -- \
+//!     scenario --algo alg1 --workload gnp:n=65536,deg=8 --seeds 0..3
+//! # The whole registry on the whole tiny workload suite (the CI smoke):
+//! cargo run --release -p mis-bench --bin experiments -- \
+//!     scenario --algo all --workload all --seeds 0..2 --threads 2
 //! ```
 //!
-//! `--threads N` (default 1; 0 = the sequential engine) runs every
-//! simulation on the sharded parallel engine with `N` workers; tables
-//! are bit-identical for any `N`.
+//! `--threads N` (also `--threads=N`; default 1; 0 = the sequential
+//! engine) runs every simulation on the sharded parallel engine with `N`
+//! workers; tables are bit-identical for any `N`. Scenario mode exits
+//! non-zero if any run fails to produce a verified MIS.
 
 use mis_bench::experiments as exp;
+use mis_bench::table::Table;
+use mis_runner::{cli, registry, Scenario, WorkloadSpec};
+
+/// Flags that take a value (used to separate positionals from flags).
+const VALUE_FLAGS: [&str; 4] = ["--threads", "--algo", "--workload", "--seeds"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    mis_bench::set_threads(congest_sim::SimConfig::threads_from_args(1));
-    let threads_value_at = args.iter().position(|a| a == "--threads").map(|i| i + 1);
-    let selected: Vec<String> = args
+    let threads = congest_sim::SimConfig::threads_from(&args, 1);
+    mis_bench::set_threads(threads);
+    let selected: Vec<String> = cli::positionals(&args, &VALUE_FLAGS)
         .iter()
-        .enumerate()
-        .filter(|(i, a)| !a.starts_with("--") && Some(*i) != threads_value_at)
-        .map(|(_, a)| a.to_lowercase())
+        .map(|a| a.to_lowercase())
         .collect();
+
+    if selected.first().map(String::as_str) == Some("scenario") {
+        std::process::exit(scenario_mode(&args, threads));
+    }
+
+    let quick = cli::has_flag(&args, "--quick");
     let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
 
     println!(
@@ -66,4 +84,102 @@ fn main() {
     if want("e14") {
         exp::ablations(quick);
     }
+}
+
+/// The declarative matrix mode: `--algo <name|a,b|all> --workload
+/// <SPEC|all> --seeds <A..B|A>` (+ the shared `--threads`, and
+/// `--rounds` to collect and summarize the per-round time series).
+/// Returns the process exit code: 0 iff every run verified.
+fn scenario_mode(args: &[String], threads: usize) -> i32 {
+    let fail = |msg: String| -> i32 {
+        eprintln!("scenario: {msg}");
+        2
+    };
+
+    let algo_arg = cli::flag_value(args, "--algo").unwrap_or_else(|| "all".into());
+    let workload_arg = cli::flag_value(args, "--workload").unwrap_or_else(|| "all".into());
+    let seeds = match cli::parse_seed_range(
+        &cli::flag_value(args, "--seeds").unwrap_or_else(|| "0..1".into()),
+    ) {
+        Ok(r) => r,
+        Err(e) => return fail(e),
+    };
+    let collect_rounds = cli::has_flag(args, "--rounds");
+
+    let algos: Vec<String> = if algo_arg == "all" {
+        registry::names().iter().map(ToString::to_string).collect()
+    } else {
+        algo_arg.split(',').map(ToString::to_string).collect()
+    };
+    let workloads: Vec<WorkloadSpec> = if workload_arg == "all" {
+        WorkloadSpec::tiny_suite()
+    } else {
+        match workload_arg.parse() {
+            Ok(spec) => vec![spec],
+            Err(e) => return fail(e.to_string()),
+        }
+    };
+
+    println!(
+        "# Scenario matrix: {} algorithm(s) × {} workload(s) × seeds {:?} ({} engine)",
+        algos.len(),
+        workloads.len(),
+        seeds,
+        if threads == 0 {
+            "sequential".to_string()
+        } else {
+            format!("{threads}-worker")
+        },
+    );
+    let mut t = Table::new([
+        "algo", "workload", "seed", "rounds", "max⚡", "avg⚡", "msgs", "|MIS|", "verified",
+    ]);
+    let mut failures = 0usize;
+    let mut runs = 0usize;
+    for workload in &workloads {
+        // One graph per workload, shared by every algorithm of the
+        // matrix (graph generation dominates at large n).
+        let g = workload.build();
+        for algo in &algos {
+            let scenario = Scenario::new(algo, *workload)
+                .seeds(seeds.clone())
+                .threads(threads)
+                .collect_rounds(collect_rounds);
+            let reports = match scenario.run_on(&g) {
+                Ok(r) => r,
+                Err(e) => return fail(e.to_string()),
+            };
+            for (seed, r) in seeds.clone().zip(&reports) {
+                runs += 1;
+                if !r.is_mis() {
+                    failures += 1;
+                }
+                let mut verified = if r.is_mis() { "✓" } else { "✗ NOT AN MIS" }.to_string();
+                if let Some(log) = &r.rounds {
+                    verified.push_str(&format!(
+                        " (peak awake {}/{} busy rounds)",
+                        log.peak_awake(),
+                        log.busy_rounds()
+                    ));
+                }
+                t.row([
+                    r.algorithm.clone(),
+                    workload.to_string(),
+                    seed.to_string(),
+                    r.metrics.elapsed_rounds.to_string(),
+                    r.metrics.max_awake().to_string(),
+                    format!("{:.2}", r.metrics.avg_awake()),
+                    r.metrics.messages_sent.to_string(),
+                    r.mis_size().to_string(),
+                    verified,
+                ]);
+            }
+        }
+    }
+    t.print("Scenario results");
+    println!(
+        "\nverdict: {}/{runs} runs produced a verified MIS",
+        runs - failures
+    );
+    i32::from(failures > 0)
 }

@@ -3,28 +3,39 @@
 //! Every function prints the table(s) it regenerates and returns the raw
 //! series so tests can assert the claimed *shapes* (who wins, growth
 //! rates), never absolute round counts.
+//!
+//! All end-to-end runs go through the unified [`mis_runner`] registry
+//! (`Algorithm::run` on a [`WorkloadSpec`]-built graph → [`RunReport`]),
+//! so every experiment speaks the same API as the examples, the benches,
+//! and the `scenario` CLI mode. Only the two protocol-dissection
+//! experiments (E7, E8) drive a raw engine protocol directly — they
+//! measure *inside* a phase, which no end-to-end entry point exposes.
 
 use crate::table::{f2, Table};
 use crate::{size_sweep, workload_gnp, workload_regular};
 use congest_sim::schedule::{set_size_bound, AwakeSchedule};
 use congest_sim::{run_auto, SimConfig};
 use energy_mis::alg1::phase1::Phase1Protocol;
-use energy_mis::alg1::run_algorithm1_with;
 use energy_mis::alg2::phase1::Alg2Phase1Iteration;
-use energy_mis::alg2::run_algorithm2_with;
-use energy_mis::avg_energy::run_avg_energy_with;
-use energy_mis::params::{log2n, Alg1Params, Alg2Params, AvgEnergyParams};
-use mis_baselines::luby;
+use energy_mis::params::{log2n, Alg1Params, Alg2Params};
 use mis_graphs::generators::Family;
-use mis_graphs::props;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use mis_graphs::Graph;
+use mis_runner::{registry, Alg1, Alg2, Algorithm, RunConfig, RunReport, WorkloadSpec};
 
 /// Engine config every experiment runs under: the given seed plus the
 /// suite-wide worker-thread setting ([`crate::set_threads`]). Results are
 /// bit-identical for every thread count, so the tables never depend on it.
-fn cfg(seed: u64) -> SimConfig {
-    SimConfig::seeded(seed).with_threads(crate::threads())
+fn cfg(seed: u64) -> RunConfig {
+    RunConfig::from(SimConfig::seeded(seed).with_threads(crate::threads()))
+}
+
+/// Runs a registered algorithm by name — the one code path every
+/// end-to-end experiment shares.
+fn run_named(name: &str, g: &Graph, seed: u64) -> RunReport {
+    registry::from_name(name)
+        .expect("registered algorithm")
+        .run(g, &cfg(seed))
+        .unwrap_or_else(|e| panic!("{name}: {e}"))
 }
 
 /// One row of the scaling sweep (E1–E4).
@@ -40,34 +51,33 @@ pub struct ScalingRow {
     pub luby: (u64, u64, f64),
 }
 
+fn triple(r: &RunReport) -> (u64, u64, f64) {
+    (
+        r.metrics.elapsed_rounds,
+        r.metrics.max_awake(),
+        r.metrics.avg_awake(),
+    )
+}
+
 /// E1–E4: time and energy scaling of both algorithms vs Luby on
 /// `G(n, 10/n)`.
 pub fn scaling(quick: bool) -> Vec<ScalingRow> {
     let mut rows = Vec::new();
     for n in size_sweep(quick) {
         let g = workload_gnp(n, n as u64);
-        let a1 = run_algorithm1_with(&g, &Alg1Params::default(), &cfg(1)).expect("alg1");
-        let a2 = run_algorithm2_with(&g, &Alg2Params::default(), &cfg(1)).expect("alg2");
-        let lb = luby(&g, &cfg(1)).expect("luby");
-        assert!(a1.is_mis() && a2.is_mis());
-        assert!(props::is_mis(&g, &lb.in_mis));
+        let reports: Vec<RunReport> = ["alg1", "alg2", "luby"]
+            .iter()
+            .map(|name| {
+                let r = run_named(name, &g, 1);
+                assert!(r.is_mis(), "{name} at n={n}");
+                r
+            })
+            .collect();
         rows.push(ScalingRow {
             n,
-            alg1: (
-                a1.metrics.elapsed_rounds,
-                a1.metrics.max_awake(),
-                a1.metrics.avg_awake(),
-            ),
-            alg2: (
-                a2.metrics.elapsed_rounds,
-                a2.metrics.max_awake(),
-                a2.metrics.avg_awake(),
-            ),
-            luby: (
-                lb.metrics.elapsed_rounds,
-                lb.metrics.max_awake(),
-                lb.metrics.avg_awake(),
-            ),
+            alg1: triple(&reports[0]),
+            alg2: triple(&reports[1]),
+            luby: triple(&reports[2]),
         });
     }
     let mut time = Table::new([
@@ -112,9 +122,9 @@ pub fn scaling(quick: bool) -> Vec<ScalingRow> {
         }
         let d = d.min(n / 4);
         let g = workload_regular(n, d, n as u64);
-        let a1 = run_algorithm1_with(&g, &Alg1Params::default(), &cfg(1)).expect("alg1");
-        let a2 = run_algorithm2_with(&g, &Alg2Params::default(), &cfg(1)).expect("alg2");
-        let lb = luby(&g, &cfg(1)).expect("luby");
+        let a1 = run_named("alg1", &g, 1);
+        let a2 = run_named("alg2", &g, 1);
+        let lb = run_named("luby", &g, 1);
         assert!(a1.is_mis() && a2.is_mis());
         dtime.row([
             n.to_string(),
@@ -156,16 +166,11 @@ pub fn correctness(quick: bool) -> (usize, usize) {
     for fam in fams {
         let (mut ok1, mut ok2) = (0, 0);
         for seed in 0..seeds {
-            let mut rng = SmallRng::seed_from_u64(seed);
-            let g = fam.generate(n, &mut rng);
-            if run_algorithm1_with(&g, &Alg1Params::default(), &cfg(seed)).map(|r| r.is_mis())
-                == Ok(true)
-            {
+            let g = WorkloadSpec::new(fam, n).with_seed(seed).build();
+            if run_named("alg1", &g, seed).is_mis() {
                 ok1 += 1;
             }
-            if run_algorithm2_with(&g, &Alg2Params::default(), &cfg(seed)).map(|r| r.is_mis())
-                == Ok(true)
-            {
+            if run_named("alg2", &g, seed).is_mis() {
                 ok2 += 1;
             }
         }
@@ -189,12 +194,15 @@ pub fn phase_breakdown(quick: bool) -> Vec<(String, u64, u64)> {
     let d = (2.0 * l * l) as usize / 2 * 2;
     let g = workload_regular(n, d.min(n / 4), 7);
     // shatter_c = 2 leaves genuine shattered components so that the
-    // Phase III machinery shows up in the breakdown.
-    let params = Alg1Params {
-        shatter_c: 2.0,
-        ..Alg1Params::default()
+    // Phase III machinery shows up in the breakdown. Custom parameters
+    // run through the same Algorithm trait as the registry defaults.
+    let alg = Alg1 {
+        params: Alg1Params {
+            shatter_c: 2.0,
+            ..Alg1Params::default()
+        },
     };
-    let r = run_algorithm1_with(&g, &params, &cfg(3)).expect("alg1");
+    let r = alg.run(&g, &cfg(3)).expect("alg1");
     assert!(r.is_mis());
     let groups = [
         ("phase1", "Phase I (degree reduction)"),
@@ -235,7 +243,7 @@ pub fn degree_trajectory(quick: bool) -> Vec<(u32, usize, f64)> {
     let rounds = params.phase1_rounds_per_iter(n);
     let participating = vec![true; n];
     let proto = Phase1Protocol::new(&participating, iters, rounds, d, params.mark_base);
-    let states = run_auto(&g, &proto, &cfg(9)).expect("phase1").states;
+    let states = run_auto(&g, &proto, &cfg(9).sim).expect("phase1").states;
 
     // Offline reconstruction: a node is inactive from the round its
     // neighborhood (or itself) joined; spoiled from its sample round.
@@ -292,7 +300,7 @@ pub fn alg2_shrink(quick: bool) -> f64 {
     let participating = vec![true; n];
     let rounds = (3.0 * log2n(n)).ceil() as u32;
     let proto = Alg2Phase1Iteration::new(&participating, rounds, d as f64, 0.5, 0.6);
-    let states = run_auto(&g, &proto, &cfg(2)).expect("iteration").states;
+    let states = run_auto(&g, &proto, &cfg(2).sim).expect("iteration").states;
     let mut active = vec![true; n];
     for v in g.nodes() {
         if states[v as usize].joined {
@@ -302,7 +310,7 @@ pub fn alg2_shrink(quick: bool) -> f64 {
             }
         }
     }
-    let residual = props::masked_max_degree(&g, &active).max(1);
+    let residual = mis_graphs::props::masked_max_degree(&g, &active).max(1);
     let exponent = (residual as f64).ln() / (d as f64).ln();
     let mut t = Table::new(["∆ before", "∆ after", "measured exponent", "paper target"]);
     t.row([
@@ -354,10 +362,9 @@ pub fn families(quick: bool) -> Vec<(String, u64, u64, u64)> {
     let mut t = Table::new(["family", "alg1 rounds", "alg1 awake", "luby awake"]);
     let mut out = Vec::new();
     for fam in fams {
-        let mut rng = SmallRng::seed_from_u64(31);
-        let g = fam.generate(n, &mut rng);
-        let a1 = run_algorithm1_with(&g, &Alg1Params::default(), &cfg(1)).expect("alg1");
-        let lb = luby(&g, &cfg(1)).expect("luby");
+        let g = WorkloadSpec::new(fam, n).with_seed(31).build();
+        let a1 = run_named("alg1", &g, 1);
+        let lb = run_named("luby", &g, 1);
         assert!(a1.is_mis(), "family {}", fam.name());
         t.row([
             fam.name(),
@@ -383,9 +390,9 @@ pub fn congest_compliance(quick: bool) -> Vec<(usize, usize, usize)> {
     let mut out = Vec::new();
     for n in size_sweep(quick) {
         let g = workload_gnp(n, 7);
-        let a1 = run_algorithm1_with(&g, &Alg1Params::default(), &cfg(1)).expect("alg1");
-        let a2 = run_algorithm2_with(&g, &Alg2Params::default(), &cfg(1)).expect("alg2");
-        let budget = congest_sim::SimConfig::congest_bandwidth(n, 12);
+        let a1 = run_named("alg1", &g, 1);
+        let a2 = run_named("alg2", &g, 1);
+        let budget = SimConfig::congest_bandwidth(n, 12);
         t.row([
             n.to_string(),
             a1.metrics.max_message_bits.to_string(),
@@ -402,13 +409,15 @@ pub fn congest_compliance(quick: bool) -> Vec<(usize, usize, usize)> {
 pub fn shattering(quick: bool) -> Vec<(usize, f64)> {
     let mut t = Table::new(["n", "max component after shatter", "log2^3 n"]);
     let mut out = Vec::new();
-    let params = Alg1Params {
-        shatter_c: 1.5,
-        ..Alg1Params::default()
+    let alg = Alg1 {
+        params: Alg1Params {
+            shatter_c: 1.5,
+            ..Alg1Params::default()
+        },
     };
     for n in size_sweep(quick) {
         let g = workload_gnp(n, 13);
-        let r = run_algorithm1_with(&g, &params, &cfg(5)).expect("alg1");
+        let r = alg.run(&g, &cfg(5)).expect("alg1");
         assert!(r.is_mis());
         let comp = r.extras.get("phase2_max_component").copied().unwrap_or(0.0);
         let l = log2n(n);
@@ -430,15 +439,9 @@ pub fn avg_energy(quick: bool) -> Vec<(usize, f64, f64)> {
     let mut out = Vec::new();
     for n in size_sweep(quick) {
         let g = workload_gnp(n, 23);
-        let ae = run_avg_energy_with(
-            &g,
-            &Alg1Params::default(),
-            &AvgEnergyParams::default(),
-            &cfg(1),
-        )
-        .expect("avg energy");
-        let a1 = run_algorithm1_with(&g, &Alg1Params::default(), &cfg(1)).expect("alg1");
-        let lb = luby(&g, &cfg(1)).expect("luby");
+        let ae = run_named("avg1", &g, 1);
+        let a1 = run_named("alg1", &g, 1);
+        let lb = run_named("luby", &g, 1);
         assert!(ae.is_mis());
         t.row([
             n.to_string(),
@@ -461,40 +464,38 @@ pub fn ablations(quick: bool) -> Vec<(String, u64, u64)> {
     let mut out = Vec::new();
     let mut t = Table::new(["variant", "rounds", "max awake", "residual degree", "MIS"]);
 
-    let cut = Alg1Params::default();
-    let full = Alg1Params {
-        iter_cut: 0.0,
-        ..Alg1Params::default()
-    };
-    for (label, p) in [
-        ("alg1: early-stopped Phase I (paper)", &cut),
-        ("alg1: full Luby ladder", &full),
-    ] {
-        let r = run_algorithm1_with(&g, p, &cfg(3)).expect("alg1");
-        t.row([
-            label.to_string(),
-            r.metrics.elapsed_rounds.to_string(),
-            r.metrics.max_awake().to_string(),
-            r.extras["phase1_residual_degree"].to_string(),
-            r.is_mis().to_string(),
-        ]);
-        out.push((
-            label.to_string(),
-            r.metrics.elapsed_rounds,
-            r.metrics.max_awake(),
-        ));
-    }
-
-    let no_kw = Alg2Params::default();
-    let kw = Alg2Params {
-        kw_reduction: true,
-        ..Alg2Params::default()
-    };
-    for (label, p) in [
-        ("alg2: Linial fixed point (paper)", &no_kw),
-        ("alg2: + KW reduction to ∆+1 colors", &kw),
-    ] {
-        let r = run_algorithm2_with(&g, p, &cfg(3)).expect("alg2");
+    // Ablation variants are the same Algorithm trait with non-default
+    // parameters; `Box<dyn Algorithm>` erases the two param types.
+    let variants: [(&str, Box<dyn Algorithm>); 4] = [
+        (
+            "alg1: early-stopped Phase I (paper)",
+            Box::new(Alg1::default()),
+        ),
+        (
+            "alg1: full Luby ladder",
+            Box::new(Alg1 {
+                params: Alg1Params {
+                    iter_cut: 0.0,
+                    ..Alg1Params::default()
+                },
+            }),
+        ),
+        (
+            "alg2: Linial fixed point (paper)",
+            Box::new(Alg2::default()),
+        ),
+        (
+            "alg2: + KW reduction to ∆+1 colors",
+            Box::new(Alg2 {
+                params: Alg2Params {
+                    kw_reduction: true,
+                    ..Alg2Params::default()
+                },
+            }),
+        ),
+    ];
+    for (label, alg) in variants {
+        let r = alg.run(&g, &cfg(3)).expect(label);
         t.row([
             label.to_string(),
             r.metrics.elapsed_rounds.to_string(),

@@ -13,9 +13,9 @@
 pub mod experiments;
 pub mod table;
 
+use mis_graphs::generators::Family;
 use mis_graphs::Graph;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use mis_runner::WorkloadSpec;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Worker-thread count every experiment's engine runs use; see
@@ -37,16 +37,21 @@ pub fn threads() -> usize {
     THREADS.load(Ordering::Relaxed)
 }
 
-/// Standard workload: `G(n, p)` with average degree 10.
+/// Standard workload: `G(n, p)` with expected average degree 10
+/// (`gnp:n=..,deg=10` in the [`WorkloadSpec`] grammar every suite now
+/// shares).
 pub fn workload_gnp(n: usize, seed: u64) -> Graph {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    mis_graphs::generators::gnp(n, (10.0 / n.max(2) as f64).min(1.0), &mut rng)
+    WorkloadSpec::new(Family::GnpAvgDeg(10), n)
+        .with_seed(seed)
+        .build()
 }
 
-/// Dense workload: a `d`-regular graph that forces Phase I to engage.
+/// Dense workload: a `d`-regular graph that forces Phase I to engage
+/// (`regular:n=..,d=..`).
 pub fn workload_regular(n: usize, d: usize, seed: u64) -> Graph {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    mis_graphs::generators::random_regular(n, d, &mut rng)
+    WorkloadSpec::new(Family::Regular(d as u32), n)
+        .with_seed(seed)
+        .build()
 }
 
 /// The n-sweep used by the scaling experiments.

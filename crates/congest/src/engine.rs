@@ -23,6 +23,7 @@
 use crate::error::SimError;
 use crate::message::Message;
 use crate::metrics::Metrics;
+use crate::observer::{RoundEvent, RoundObserver};
 use crate::rng;
 use crate::sched::BucketScheduler;
 use crate::{NodeId, Round};
@@ -121,25 +122,42 @@ impl SimConfig {
         }
     }
 
-    /// Parses the conventional `--threads N` flag from this process's
-    /// arguments (the value for [`SimConfig::threads`]): `0` selects the
-    /// sequential engine, `N >= 1` the sharded parallel engine with `N`
-    /// workers; `default` when the flag is absent. One shared parser so
-    /// every example and binary exposes identical semantics.
+    /// Parses the conventional `--threads N` / `--threads=N` flag from
+    /// this process's arguments (the value for [`SimConfig::threads`]):
+    /// `0` selects the sequential engine, `N >= 1` the sharded parallel
+    /// engine with `N` workers; `default` when the flag is absent. One
+    /// shared parser so every example and binary exposes identical
+    /// semantics.
     ///
     /// # Panics
     ///
     /// Panics if the flag is present without a parseable value.
     pub fn threads_from_args(default: usize) -> usize {
         let args: Vec<String> = std::env::args().collect();
-        args.iter()
-            .position(|a| a == "--threads")
-            .map(|i| {
-                args.get(i + 1)
+        SimConfig::threads_from(&args, default)
+    }
+
+    /// [`SimConfig::threads_from_args`] over an explicit argument slice
+    /// (what the process-arg variant and the `experiments` binary share).
+    /// Accepts both the space-separated (`--threads 4`) and the equals
+    /// (`--threads=4`) form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flag is present without a parseable value.
+    pub fn threads_from(args: &[String], default: usize) -> usize {
+        for (i, a) in args.iter().enumerate() {
+            if a == "--threads" {
+                return args
+                    .get(i + 1)
                     .and_then(|v| v.parse().ok())
-                    .expect("--threads requires an integer value")
-            })
-            .unwrap_or(default)
+                    .expect("--threads requires an integer value");
+            }
+            if let Some(v) = a.strip_prefix("--threads=") {
+                return v.parse().expect("--threads requires an integer value");
+            }
+        }
+        default
     }
 
     /// The standard CONGEST bandwidth for an `n`-node graph:
@@ -835,7 +853,24 @@ pub fn run<P: Protocol>(
     cfg: &SimConfig,
 ) -> Result<SimResult<P::State>, SimError> {
     let mut scratch = EngineScratch::empty();
-    run_with_scratch(graph, protocol, cfg, &mut scratch)
+    run_inner(graph, protocol, cfg, &mut scratch, None)
+}
+
+/// [`run`], streaming one [`RoundEvent`] per busy round into `observer`
+/// (the sequential arm of the engine's observation hook; see
+/// [`crate::observer`] for the cross-engine determinism contract).
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_observed<P: Protocol>(
+    graph: &Graph,
+    protocol: &P,
+    cfg: &SimConfig,
+    observer: &mut dyn RoundObserver,
+) -> Result<SimResult<P::State>, SimError> {
+    let mut scratch = EngineScratch::empty();
+    run_inner(graph, protocol, cfg, &mut scratch, Some(observer))
 }
 
 /// [`run`], reusing caller-owned scratch buffers across runs.
@@ -852,6 +887,35 @@ pub fn run_with_scratch<P: Protocol>(
     protocol: &P,
     cfg: &SimConfig,
     scratch: &mut EngineScratch<P::Msg>,
+) -> Result<SimResult<P::State>, SimError> {
+    run_inner(graph, protocol, cfg, scratch, None)
+}
+
+/// [`run_with_scratch`] with a round observer attached (see
+/// [`run_observed`]).
+///
+/// # Errors
+///
+/// Same contract as [`run`].
+pub fn run_with_scratch_observed<P: Protocol>(
+    graph: &Graph,
+    protocol: &P,
+    cfg: &SimConfig,
+    scratch: &mut EngineScratch<P::Msg>,
+    observer: &mut dyn RoundObserver,
+) -> Result<SimResult<P::State>, SimError> {
+    run_inner(graph, protocol, cfg, scratch, Some(observer))
+}
+
+/// The one sequential round loop behind every `run*` entry point; the
+/// observer is `None` on the unobserved paths, which keeps observation
+/// strictly pay-for-what-you-use (one branch per busy round).
+fn run_inner<P: Protocol>(
+    graph: &Graph,
+    protocol: &P,
+    cfg: &SimConfig,
+    scratch: &mut EngineScratch<P::Msg>,
+    mut observer: Option<&mut dyn RoundObserver>,
 ) -> Result<SimResult<P::State>, SimError> {
     let n = graph.n();
     scratch.fit_to(graph);
@@ -916,6 +980,12 @@ pub fn run_with_scratch<P: Protocol>(
         for &v in active.iter() {
             metrics.awake_rounds[v as usize] += 1;
         }
+        // Counter snapshot so the observer (if any) sees per-round deltas.
+        let (sent_before, delivered_before, bits_before) = (
+            metrics.messages_sent,
+            metrics.messages_delivered,
+            metrics.bits_sent,
+        );
 
         // Send half: messages go straight into per-edge slots.
         let all_awake = active.len() == n;
@@ -967,6 +1037,16 @@ pub fn run_with_scratch<P: Protocol>(
                     sched.schedule(r, v);
                 }
             }
+        }
+
+        if let Some(obs) = observer.as_deref_mut() {
+            obs.on_round(&RoundEvent {
+                round,
+                awake: active.len() as u64,
+                messages_sent: metrics.messages_sent - sent_before,
+                messages_delivered: metrics.messages_delivered - delivered_before,
+                bits_sent: metrics.bits_sent - bits_before,
+            });
         }
     }
 
@@ -1302,6 +1382,31 @@ mod tests {
     }
 
     #[test]
+    fn threads_flag_accepts_space_and_equals_forms() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<String>>();
+        assert_eq!(
+            SimConfig::threads_from(&args(&["bin", "--threads", "4"]), 1),
+            4
+        );
+        assert_eq!(
+            SimConfig::threads_from(&args(&["bin", "--threads=8"]), 1),
+            8
+        );
+        assert_eq!(
+            SimConfig::threads_from(&args(&["bin", "--threads=0"]), 1),
+            0
+        );
+        assert_eq!(SimConfig::threads_from(&args(&["bin", "--quick"]), 3), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "--threads requires an integer value")]
+    fn threads_flag_rejects_garbage_value() {
+        let args: Vec<String> = vec!["bin".into(), "--threads=lots".into()];
+        SimConfig::threads_from(&args, 1);
+    }
+
+    #[test]
     fn elapsed_counts_gap_rounds() {
         struct Sparse;
         impl Protocol for Sparse {
@@ -1476,6 +1581,46 @@ mod tests {
         // Scratch is still alive, yet no broadcast copy survives: only the
         // local handle and the protocol's own copy remain.
         assert_eq!(Rc::strong_count(&handle), 2);
+    }
+
+    /// The observed event stream partitions the aggregate metrics: the
+    /// per-round deltas sum back to every counter, in round order.
+    #[test]
+    fn observer_streams_per_round_aggregates() {
+        let g = generators::grid2d(5, 5);
+        let mut log = crate::observer::RoundLog::new();
+        let res = run_observed(
+            &g,
+            &Flood { rounds_cap: 20 },
+            &SimConfig::default(),
+            &mut log,
+        )
+        .unwrap();
+        assert_eq!(log.busy_rounds() as u64, res.metrics.busy_rounds);
+        let sum = |f: fn(&crate::RoundEvent) -> u64| log.events().map(f).sum::<u64>();
+        assert_eq!(sum(|e| e.messages_sent), res.metrics.messages_sent);
+        assert_eq!(
+            sum(|e| e.messages_delivered),
+            res.metrics.messages_delivered
+        );
+        assert_eq!(sum(|e| e.bits_sent), res.metrics.bits_sent);
+        assert_eq!(sum(|e| e.awake), res.metrics.total_awake());
+        let rounds: Vec<_> = log.events().map(|e| e.round).collect();
+        assert!(
+            rounds.windows(2).all(|w| w[0] < w[1]),
+            "rounds out of order"
+        );
+    }
+
+    /// Unobserved entry points and observed ones produce the same run.
+    #[test]
+    fn observation_does_not_perturb_the_run() {
+        let g = generators::grid2d(6, 6);
+        let cfg = SimConfig::seeded(5);
+        let plain = run(&g, &Flood { rounds_cap: 15 }, &cfg).unwrap();
+        let mut log = crate::observer::RoundLog::new();
+        let observed = run_observed(&g, &Flood { rounds_cap: 15 }, &cfg, &mut log).unwrap();
+        assert_eq!(plain.metrics, observed.metrics);
     }
 
     #[test]

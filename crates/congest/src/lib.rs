@@ -64,6 +64,7 @@ mod engine;
 mod error;
 mod message;
 mod metrics;
+pub mod observer;
 pub mod par;
 mod pipeline;
 pub mod rng;
@@ -71,12 +72,17 @@ mod sched;
 pub mod schedule;
 
 pub use engine::{
-    run, run_with_scratch, EngineScratch, InitApi, Protocol, RecvApi, SendApi, SimConfig, SimResult,
+    run, run_observed, run_with_scratch, run_with_scratch_observed, EngineScratch, InitApi,
+    Protocol, RecvApi, SendApi, SimConfig, SimResult,
 };
 pub use error::SimError;
 pub use message::{Message, PackedBits};
 pub use metrics::{EnergySummary, Metrics};
-pub use par::{run_auto, run_parallel, run_parallel_with_scratch, ParScratch};
+pub use observer::{PhaseTrace, RoundEvent, RoundLog, RoundObserver};
+pub use par::{
+    run_auto, run_auto_observed, run_parallel, run_parallel_observed, run_parallel_with_scratch,
+    ParScratch,
+};
 pub use pipeline::Pipeline;
 
 /// A round index; the algorithm starts at round 0.

@@ -1,0 +1,148 @@
+//! Per-round observation of a run: the time-series counterpart of the
+//! aggregate [`crate::Metrics`].
+//!
+//! A [`RoundObserver`] receives one [`RoundEvent`] per *busy* round
+//! (rounds in which at least one node was awake), carrying that round's
+//! awake-node count and message traffic. The stream is part of the
+//! engine's determinism contract: for a fixed `(graph, protocol, seed,
+//! salt)` the observed events are **identical across every thread
+//! count** — the sequential engine streams them live at the end of each
+//! round, while the sharded parallel engine records per-shard traces and
+//! replays the merged, order-identical stream when the run completes.
+//! (On an error or panic the parallel engine replays nothing; the
+//! sequential engine has already streamed the rounds that completed.)
+//!
+//! [`RoundLog`] is the batteries-included observer: it collects the
+//! events (grouped by pipeline phase when attached through
+//! [`crate::Pipeline::observe`]) so callers get a ready-made time series
+//! without writing an observer of their own.
+
+use crate::Round;
+
+/// Aggregate measurements of one busy round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundEvent {
+    /// The round index (within the current run/phase, starting at 0).
+    pub round: Round,
+    /// Nodes awake in this round.
+    pub awake: u64,
+    /// Messages sent in this round (including ones lost to sleepers).
+    pub messages_sent: u64,
+    /// Messages delivered to awake receivers in this round.
+    pub messages_delivered: u64,
+    /// Total bits across this round's sent messages.
+    pub bits_sent: u64,
+}
+
+/// Receives the per-round event stream of a run.
+///
+/// Implementations are driven from the thread that owns the run (the
+/// caller of [`crate::run`] / [`crate::run_parallel`]), never from a
+/// worker thread, so no `Sync` bound is required.
+pub trait RoundObserver {
+    /// Called once per busy round, in round order.
+    fn on_round(&mut self, event: &RoundEvent);
+
+    /// Called when a new named phase begins (only when the observer is
+    /// attached to a [`crate::Pipeline`]; plain engine runs never call
+    /// this). Defaults to a no-op.
+    fn on_phase(&mut self, _name: &str) {}
+}
+
+/// The round events of one pipeline phase (or of a whole un-phased run).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseTrace {
+    /// Phase name (`""` for events observed outside any named phase).
+    pub name: String,
+    /// Busy-round events of the phase, in round order.
+    pub rounds: Vec<RoundEvent>,
+}
+
+/// A [`RoundObserver`] that collects the full event stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RoundLog {
+    /// Traces in phase order; a log driven without phase marks holds one
+    /// unnamed trace.
+    pub phases: Vec<PhaseTrace>,
+}
+
+impl RoundLog {
+    /// An empty log.
+    pub fn new() -> RoundLog {
+        RoundLog::default()
+    }
+
+    /// All collected events, across phases, in observation order.
+    pub fn events(&self) -> impl Iterator<Item = &RoundEvent> {
+        self.phases.iter().flat_map(|p| p.rounds.iter())
+    }
+
+    /// Total busy rounds observed.
+    pub fn busy_rounds(&self) -> usize {
+        self.phases.iter().map(|p| p.rounds.len()).sum()
+    }
+
+    /// The peak awake-node count over all observed rounds — the width of
+    /// the awake time series.
+    pub fn peak_awake(&self) -> u64 {
+        self.events().map(|e| e.awake).max().unwrap_or(0)
+    }
+}
+
+impl RoundObserver for RoundLog {
+    fn on_round(&mut self, event: &RoundEvent) {
+        if self.phases.is_empty() {
+            self.phases.push(PhaseTrace::default());
+        }
+        self.phases
+            .last_mut()
+            .expect("just ensured non-empty")
+            .rounds
+            .push(event.clone());
+    }
+
+    fn on_phase(&mut self, name: &str) {
+        self.phases.push(PhaseTrace {
+            name: name.to_string(),
+            rounds: Vec::new(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_collects_in_order_and_groups_by_phase() {
+        let mut log = RoundLog::new();
+        let ev = |round, awake| RoundEvent {
+            round,
+            awake,
+            messages_sent: 0,
+            messages_delivered: 0,
+            bits_sent: 0,
+        };
+        log.on_round(&ev(0, 3)); // before any phase mark: unnamed trace
+        log.on_phase("p1");
+        log.on_round(&ev(0, 2));
+        log.on_round(&ev(1, 5));
+        assert_eq!(log.phases.len(), 2);
+        assert_eq!(log.phases[0].name, "");
+        assert_eq!(log.phases[1].name, "p1");
+        assert_eq!(log.busy_rounds(), 3);
+        assert_eq!(log.peak_awake(), 5);
+        assert_eq!(
+            log.events().map(|e| e.awake).collect::<Vec<_>>(),
+            vec![3, 2, 5]
+        );
+    }
+
+    #[test]
+    fn empty_log_is_quiet() {
+        let log = RoundLog::new();
+        assert_eq!(log.busy_rounds(), 0);
+        assert_eq!(log.peak_awake(), 0);
+        assert_eq!(log.events().count(), 0);
+    }
+}

@@ -7,6 +7,7 @@ use crate::engine::{Protocol, SimConfig, SimResult};
 use crate::error::SimError;
 use crate::message::Message;
 use crate::metrics::Metrics;
+use crate::observer::RoundObserver;
 use mis_graphs::Graph;
 
 /// Reusable buffers of a parallel run, the sharded counterpart of
@@ -102,7 +103,31 @@ where
     P::Msg: Send,
 {
     let mut scratch = ParScratch::empty();
-    run_parallel_with_scratch(graph, protocol, cfg, threads, &mut scratch)
+    run_parallel_inner(graph, protocol, cfg, threads, &mut scratch, None)
+}
+
+/// [`run_parallel`] with a round observer attached: each shard records
+/// its slice of every busy round, and the merged stream — identical to
+/// what the sequential [`crate::run_observed`] emits — is replayed into
+/// `observer` when the run completes (see [`crate::observer`]).
+///
+/// # Errors
+///
+/// Same contract as [`run_parallel`]; on an error nothing is replayed.
+pub fn run_parallel_observed<P>(
+    graph: &Graph,
+    protocol: &P,
+    cfg: &SimConfig,
+    threads: usize,
+    observer: &mut dyn RoundObserver,
+) -> Result<SimResult<P::State>, SimError>
+where
+    P: Protocol + Sync,
+    P::State: Send,
+    P::Msg: Send,
+{
+    let mut scratch = ParScratch::empty();
+    run_parallel_inner(graph, protocol, cfg, threads, &mut scratch, Some(observer))
 }
 
 /// [`run_parallel`], reusing caller-owned scratch across runs (the
@@ -123,6 +148,25 @@ where
     P::State: Send,
     P::Msg: Send,
 {
+    run_parallel_inner(graph, protocol, cfg, threads, scratch, None)
+}
+
+/// The one sharded entry point behind every `run_parallel*` variant;
+/// observation is `None` on the unobserved paths, so shards skip trace
+/// recording entirely unless someone is listening.
+fn run_parallel_inner<P>(
+    graph: &Graph,
+    protocol: &P,
+    cfg: &SimConfig,
+    threads: usize,
+    scratch: &mut ParScratch<P::Msg>,
+    observer: Option<&mut dyn RoundObserver>,
+) -> Result<SimResult<P::State>, SimError>
+where
+    P: Protocol + Sync,
+    P::State: Send,
+    P::Msg: Send,
+{
     let k = threads.max(1);
     scratch.fit_to(graph, k);
     let ParScratch {
@@ -136,12 +180,13 @@ where
     let exchange: &Exchange<P::Msg> = exchange;
     let sync: &RoundSync = sync;
 
+    let record = observer.is_some();
     let mut outcomes: Vec<ShardOutcome<P::State>> = Vec::with_capacity(k);
     let (first, rest) = shards.split_first_mut().expect("k >= 1 shards");
     if rest.is_empty() {
         // Single shard: run on the calling thread, spawn nothing.
         outcomes.push(run_shard(
-            0, graph, plan, protocol, cfg, sync, exchange, first,
+            0, graph, plan, protocol, cfg, sync, exchange, first, record,
         ));
     } else {
         std::thread::scope(|scope| {
@@ -150,27 +195,44 @@ where
                 .enumerate()
                 .map(|(i, sc)| {
                     scope.spawn(move || {
-                        run_shard(i + 1, graph, plan, protocol, cfg, sync, exchange, sc)
+                        run_shard(
+                            i + 1,
+                            graph,
+                            plan,
+                            protocol,
+                            cfg,
+                            sync,
+                            exchange,
+                            sc,
+                            record,
+                        )
                     })
                 })
                 .collect();
             // Shard 0 runs on the calling thread; one spawn saved.
             outcomes.push(run_shard(
-                0, graph, plan, protocol, cfg, sync, exchange, first,
+                0, graph, plan, protocol, cfg, sync, exchange, first, record,
             ));
             for h in handles {
                 outcomes.push(h.join().expect("shard worker died outside a protocol call"));
             }
         });
     }
-    merge(graph, outcomes)
+    merge(graph, outcomes, observer)
 }
 
 /// Stitches per-shard outcomes into one [`SimResult`]: states concatenate
 /// in shard (= node) order, per-node energy concatenates, counters sum,
 /// and the global round counts come from shard 0 (every shard computed
-/// the same values).
-fn merge<S>(graph: &Graph, mut outcomes: Vec<ShardOutcome<S>>) -> Result<SimResult<S>, SimError> {
+/// the same values). When an observer rode along, the per-shard round
+/// traces — recorded in lockstep, one entry per globally busy round —
+/// are summed entry-wise and replayed in round order, reproducing the
+/// sequential engine's event stream exactly.
+fn merge<S>(
+    graph: &Graph,
+    mut outcomes: Vec<ShardOutcome<S>>,
+    observer: Option<&mut dyn RoundObserver>,
+) -> Result<SimResult<S>, SimError> {
     for o in &mut outcomes {
         if let Some(p) = o.panic.take() {
             std::panic::resume_unwind(p);
@@ -179,6 +241,21 @@ fn merge<S>(graph: &Graph, mut outcomes: Vec<ShardOutcome<S>>) -> Result<SimResu
     for o in &mut outcomes {
         if let Some(e) = o.error.take() {
             return Err(e);
+        }
+    }
+    if let Some(obs) = observer {
+        let (head, rest) = outcomes.split_first().expect("k >= 1 outcomes");
+        for (i, ev) in head.trace.iter().enumerate() {
+            let mut sum = ev.clone();
+            for o in rest {
+                let other = &o.trace[i];
+                debug_assert_eq!(other.round, sum.round, "shard traces out of lockstep");
+                sum.awake += other.awake;
+                sum.messages_sent += other.messages_sent;
+                sum.messages_delivered += other.messages_delivered;
+                sum.bits_sent += other.bits_sent;
+            }
+            obs.on_round(&sum);
         }
     }
     let n = graph.n();
@@ -230,6 +307,32 @@ where
         crate::engine::run(graph, protocol, cfg)
     } else {
         run_parallel(graph, protocol, cfg, cfg.threads)
+    }
+}
+
+/// [`run_auto`] with a round observer attached; the observed event
+/// stream is identical for every [`SimConfig::threads`] value (streamed
+/// live on the sequential engine, replayed at completion on the sharded
+/// one — see [`crate::observer`]).
+///
+/// # Errors
+///
+/// Same contract as [`crate::run`].
+pub fn run_auto_observed<P>(
+    graph: &Graph,
+    protocol: &P,
+    cfg: &SimConfig,
+    observer: &mut dyn RoundObserver,
+) -> Result<SimResult<P::State>, SimError>
+where
+    P: Protocol + Sync,
+    P::State: Send,
+    P::Msg: Send,
+{
+    if cfg.threads == 0 {
+        crate::engine::run_observed(graph, protocol, cfg, observer)
+    } else {
+        run_parallel_observed(graph, protocol, cfg, cfg.threads, observer)
     }
 }
 
@@ -318,6 +421,25 @@ mod tests {
                 let par = run_parallel(&g, &Gossip { rounds: 12 }, &cfg, threads).unwrap();
                 assert_eq!(par.metrics, seq.metrics, "{name} @ {threads} threads");
                 assert_eq!(par.states, seq.states, "{name} @ {threads} threads");
+            }
+        }
+    }
+
+    /// The cross-engine observation contract: the merged parallel event
+    /// stream is identical to the sequential one at every thread count.
+    #[test]
+    fn observed_events_identical_across_thread_counts() {
+        for (name, g) in graphs() {
+            let cfg = SimConfig::seeded(11);
+            let mut seq_log = crate::RoundLog::new();
+            let seq = crate::run_observed(&g, &Gossip { rounds: 12 }, &cfg, &mut seq_log).unwrap();
+            for threads in [1, 2, 4] {
+                let mut par_log = crate::RoundLog::new();
+                let par =
+                    run_parallel_observed(&g, &Gossip { rounds: 12 }, &cfg, threads, &mut par_log)
+                        .unwrap();
+                assert_eq!(par.metrics, seq.metrics, "{name} @ {threads} threads");
+                assert_eq!(par_log, seq_log, "{name} @ {threads} threads: event stream");
             }
         }
     }

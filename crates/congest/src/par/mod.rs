@@ -54,4 +54,7 @@ pub(crate) mod exchange;
 pub(crate) mod partition;
 pub(crate) mod shard;
 
-pub use engine::{run_auto, run_parallel, run_parallel_with_scratch, ParScratch};
+pub use engine::{
+    run_auto, run_auto_observed, run_parallel, run_parallel_observed, run_parallel_with_scratch,
+    ParScratch,
+};

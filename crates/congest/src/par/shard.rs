@@ -6,6 +6,7 @@ use crate::engine::{EdgeSlot, InitApi, Protocol, RecvApi, SendApi, ShardSink, Si
 use crate::error::SimError;
 use crate::message::Message;
 use crate::metrics::Metrics;
+use crate::observer::RoundEvent;
 use crate::rng;
 use crate::sched::BucketScheduler;
 use crate::{NodeId, Round};
@@ -114,6 +115,11 @@ pub(crate) struct ShardOutcome<S> {
     /// `busy_rounds`/`elapsed_rounds` are identical in every shard (all
     /// observe the same agreed rounds and total active counts).
     pub metrics: Metrics,
+    /// This shard's slice of the per-round event stream (empty unless
+    /// the run was observed): one entry per globally busy round, in
+    /// lockstep across shards, carrying shard-local counts that the
+    /// merge step sums into the global [`RoundEvent`] stream.
+    pub trace: Vec<RoundEvent>,
     pub error: Option<SimError>,
     /// A panic caught at the protocol boundary, re-raised by the caller.
     pub panic: Option<Box<dyn std::any::Any + Send>>,
@@ -133,6 +139,7 @@ pub(crate) fn run_shard<P: Protocol>(
     sync: &RoundSync,
     exchange: &Exchange<P::Msg>,
     scratch: &mut ShardScratch<P::Msg>,
+    record_trace: bool,
 ) -> ShardOutcome<P::State> {
     let nodes = plan.nodes(shard);
     let node_base = nodes.start;
@@ -162,6 +169,7 @@ pub(crate) fn run_shard<P: Protocol>(
 
     let mut metrics = Metrics::new(local_n);
     let mut states: Vec<P::State> = Vec::with_capacity(local_n);
+    let mut trace: Vec<RoundEvent> = Vec::new();
     let mut error: Option<SimError> = None;
     let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
     let mut last_round: Option<Round> = None;
@@ -234,6 +242,12 @@ pub(crate) fn run_shard<P: Protocol>(
         for &v in active.iter() {
             metrics.awake_rounds[(v - node_base) as usize] += 1;
         }
+        // Counter snapshot for this shard's slice of the round event.
+        let (sent_before, delivered_before, bits_before) = (
+            metrics.messages_sent,
+            metrics.messages_delivered,
+            metrics.bits_sent,
+        );
 
         // Send half: local deliveries straight into our slots,
         // cross-shard payloads staged into per-destination buffers.
@@ -350,12 +364,26 @@ pub(crate) fn run_shard<P: Protocol>(
                 }
             }
         }
+
+        if record_trace {
+            // Shard-local slice of this busy round; every shard appends
+            // in lockstep (same rounds, same order), so the merge step
+            // can sum entry-wise into the global event stream.
+            trace.push(RoundEvent {
+                round,
+                awake: active.len() as u64,
+                messages_sent: metrics.messages_sent - sent_before,
+                messages_delivered: metrics.messages_delivered - delivered_before,
+                bits_sent: metrics.bits_sent - bits_before,
+            });
+        }
     }
 
     metrics.elapsed_rounds = last_round.map_or(0, |r| r + 1);
     ShardOutcome {
         states,
         metrics,
+        trace,
         error,
         panic,
     }

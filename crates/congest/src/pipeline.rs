@@ -3,7 +3,8 @@
 use crate::engine::{Protocol, SimConfig, SimResult};
 use crate::error::SimError;
 use crate::metrics::Metrics;
-use crate::par::run_auto;
+use crate::observer::RoundObserver;
+use crate::par::{run_auto, run_auto_observed};
 use mis_graphs::Graph;
 
 /// Chains protocol phases on one graph, accumulating time and energy the
@@ -36,26 +37,49 @@ use mis_graphs::Graph;
 /// assert_eq!(pipe.metrics().max_awake(), 2);
 /// assert_eq!(pipe.phases().len(), 2);
 /// ```
-#[derive(Debug)]
-pub struct Pipeline<'g> {
+pub struct Pipeline<'g, 'o> {
     graph: &'g Graph,
     cfg: SimConfig,
     next_salt: u64,
     total: Metrics,
     phases: Vec<(String, Metrics)>,
+    /// Optional per-round event sink; phases announce themselves through
+    /// [`RoundObserver::on_phase`] before their rounds stream.
+    observer: Option<&'o mut dyn RoundObserver>,
 }
 
-impl<'g> Pipeline<'g> {
+impl std::fmt::Debug for Pipeline<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pipeline")
+            .field("cfg", &self.cfg)
+            .field("next_salt", &self.next_salt)
+            .field("phases", &self.phases.len())
+            .field("observed", &self.observer.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'g, 'o> Pipeline<'g, 'o> {
     /// Creates a pipeline over `graph`; `cfg.salt` is the salt of the
     /// first phase, later phases increment it.
-    pub fn new(graph: &'g Graph, cfg: SimConfig) -> Pipeline<'g> {
+    pub fn new(graph: &'g Graph, cfg: SimConfig) -> Pipeline<'g, 'o> {
         Pipeline {
             graph,
             next_salt: cfg.salt,
             cfg,
             total: Metrics::new(graph.n()),
             phases: Vec::new(),
+            observer: None,
         }
+    }
+
+    /// Attaches a round observer: every subsequent phase announces
+    /// itself via [`RoundObserver::on_phase`] and streams one
+    /// [`crate::RoundEvent`] per busy round. The stream is identical
+    /// for every [`SimConfig::threads`] value (the engine's
+    /// determinism contract; see [`crate::observer`]).
+    pub fn observe(&mut self, observer: &'o mut dyn RoundObserver) {
+        self.observer = Some(observer);
     }
 
     /// Runs one phase, folds its metrics into the total, and returns the
@@ -76,7 +100,13 @@ impl<'g> Pipeline<'g> {
     {
         let cfg = self.cfg.with_salt(self.next_salt);
         self.next_salt += 1;
-        let SimResult { states, metrics } = run_auto(self.graph, protocol, &cfg)?;
+        let SimResult { states, metrics } = match self.observer.as_deref_mut() {
+            Some(obs) => {
+                obs.on_phase(name);
+                run_auto_observed(self.graph, protocol, &cfg, obs)?
+            }
+            None => run_auto(self.graph, protocol, &cfg)?,
+        };
         self.total.absorb(&metrics);
         self.phases.push((name.to_string(), metrics));
         Ok(states)
@@ -138,6 +168,24 @@ mod tests {
         let (total, phases) = pipe.into_metrics();
         assert_eq!(total.elapsed_rounds, 7);
         assert_eq!(phases.len(), 2);
+    }
+
+    #[test]
+    fn observer_gets_phase_marks_and_rounds() {
+        let g = generators::path(4);
+        let mut log = crate::RoundLog::new();
+        {
+            let mut pipe = Pipeline::new(&g, SimConfig::seeded(3));
+            pipe.observe(&mut log);
+            pipe.run_phase("p1", &Idle { rounds: 5 }).unwrap();
+            pipe.run_phase("p2", &Idle { rounds: 2 }).unwrap();
+        }
+        assert_eq!(log.phases.len(), 2);
+        assert_eq!(log.phases[0].name, "p1");
+        assert_eq!(log.phases[0].rounds.len(), 5);
+        assert_eq!(log.phases[1].name, "p2");
+        assert_eq!(log.phases[1].rounds.len(), 2);
+        assert!(log.events().all(|e| e.awake == 4));
     }
 
     #[test]

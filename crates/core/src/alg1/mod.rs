@@ -17,7 +17,7 @@ use crate::params::Alg1Params;
 use crate::report::MisReport;
 use crate::status::{StatusBoard, StatusSync};
 use crate::tail::{run_tail, TailConfig};
-use congest_sim::{Pipeline, SimConfig, SimError};
+use congest_sim::{Pipeline, RoundObserver, SimConfig, SimError};
 use mis_graphs::{props, Graph};
 use phase1::Phase1Protocol;
 
@@ -43,8 +43,37 @@ pub fn run_algorithm1_with(
     params: &Alg1Params,
     cfg: &SimConfig,
 ) -> Result<MisReport, SimError> {
+    alg1_pipeline(g, params, cfg, None)
+}
+
+/// [`run_algorithm1_with`] with a [`RoundObserver`] attached: every
+/// phase announces itself and streams one event per busy round, giving
+/// the full awake/message time series of the run (identical across
+/// [`SimConfig::threads`] values per the engine's determinism contract).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn run_algorithm1_observed(
+    g: &Graph,
+    params: &Alg1Params,
+    cfg: &SimConfig,
+    observer: &mut dyn RoundObserver,
+) -> Result<MisReport, SimError> {
+    alg1_pipeline(g, params, cfg, Some(observer))
+}
+
+fn alg1_pipeline(
+    g: &Graph,
+    params: &Alg1Params,
+    cfg: &SimConfig,
+    observer: Option<&mut dyn RoundObserver>,
+) -> Result<MisReport, SimError> {
     let n = g.n();
     let mut pipe = Pipeline::new(g, cfg.clone());
+    if let Some(obs) = observer {
+        pipe.observe(obs);
+    }
     let mut board = StatusBoard::new(n);
     let mut extras = std::collections::BTreeMap::new();
     // Defaults for phases that may be skipped on small/sparse inputs.

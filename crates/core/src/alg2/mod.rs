@@ -14,7 +14,7 @@ use crate::params::Alg2Params;
 use crate::report::MisReport;
 use crate::status::StatusBoard;
 use crate::tail::{run_tail, TailConfig};
-use congest_sim::{Pipeline, SimConfig, SimError};
+use congest_sim::{Pipeline, RoundObserver, SimConfig, SimError};
 use mis_graphs::{props, Graph};
 use phase1::{Alg2Cleanup, Alg2Phase1Iteration};
 
@@ -39,8 +39,36 @@ pub fn run_algorithm2_with(
     params: &Alg2Params,
     cfg: &SimConfig,
 ) -> Result<MisReport, SimError> {
+    alg2_pipeline(g, params, cfg, None)
+}
+
+/// [`run_algorithm2_with`] with a [`RoundObserver`] attached (see
+/// [`crate::alg1::run_algorithm1_observed`] for the observation
+/// contract).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn run_algorithm2_observed(
+    g: &Graph,
+    params: &Alg2Params,
+    cfg: &SimConfig,
+    observer: &mut dyn RoundObserver,
+) -> Result<MisReport, SimError> {
+    alg2_pipeline(g, params, cfg, Some(observer))
+}
+
+fn alg2_pipeline(
+    g: &Graph,
+    params: &Alg2Params,
+    cfg: &SimConfig,
+    observer: Option<&mut dyn RoundObserver>,
+) -> Result<MisReport, SimError> {
     let n = g.n();
     let mut pipe = Pipeline::new(g, cfg.clone());
+    if let Some(obs) = observer {
+        pipe.observe(obs);
+    }
     let mut board = StatusBoard::new(n);
     let mut extras = std::collections::BTreeMap::new();
     extras.insert("finish_retries".into(), 0.0);

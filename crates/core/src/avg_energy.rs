@@ -25,7 +25,9 @@ use crate::params::{log2n, Alg1Params, AvgEnergyParams};
 use crate::report::MisReport;
 use crate::status::{StatusBoard, StatusSync};
 use crate::tail::{run_tail, TailConfig};
-use congest_sim::{InitApi, NodeId, Pipeline, Protocol, RecvApi, SendApi, SimConfig, SimError};
+use congest_sim::{
+    InitApi, NodeId, Pipeline, Protocol, RecvApi, RoundObserver, SendApi, SimConfig, SimError,
+};
 use mis_graphs::{props, Graph};
 
 /// The per-iteration failure check of Lemma 4.2 (3 rounds, all alive
@@ -157,8 +159,38 @@ pub fn run_avg_energy_with(
     ae: &AvgEnergyParams,
     cfg: &SimConfig,
 ) -> Result<MisReport, SimError> {
+    avg1_pipeline(g, base, ae, cfg, None)
+}
+
+/// [`run_avg_energy_with`] with a [`RoundObserver`] attached (see
+/// [`crate::alg1::run_algorithm1_observed`] for the observation
+/// contract).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn run_avg_energy_observed(
+    g: &Graph,
+    base: &Alg1Params,
+    ae: &AvgEnergyParams,
+    cfg: &SimConfig,
+    observer: &mut dyn RoundObserver,
+) -> Result<MisReport, SimError> {
+    avg1_pipeline(g, base, ae, cfg, Some(observer))
+}
+
+fn avg1_pipeline(
+    g: &Graph,
+    base: &Alg1Params,
+    ae: &AvgEnergyParams,
+    cfg: &SimConfig,
+    observer: Option<&mut dyn RoundObserver>,
+) -> Result<MisReport, SimError> {
     let n = g.n();
     let mut pipe = Pipeline::new(g, cfg.clone());
+    if let Some(obs) = observer {
+        pipe.observe(obs);
+    }
     let mut board = StatusBoard::new(n);
     let mut extras = std::collections::BTreeMap::new();
     extras.insert("finish_retries".into(), 0.0);
@@ -239,10 +271,40 @@ pub fn run_avg_energy2_with(
     ae: &AvgEnergyParams,
     cfg: &SimConfig,
 ) -> Result<MisReport, SimError> {
+    avg2_pipeline(g, base, ae, cfg, None)
+}
+
+/// [`run_avg_energy2_with`] with a [`RoundObserver`] attached (see
+/// [`crate::alg1::run_algorithm1_observed`] for the observation
+/// contract).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the engine.
+pub fn run_avg_energy2_observed(
+    g: &Graph,
+    base: &crate::params::Alg2Params,
+    ae: &AvgEnergyParams,
+    cfg: &SimConfig,
+    observer: &mut dyn RoundObserver,
+) -> Result<MisReport, SimError> {
+    avg2_pipeline(g, base, ae, cfg, Some(observer))
+}
+
+fn avg2_pipeline(
+    g: &Graph,
+    base: &crate::params::Alg2Params,
+    ae: &AvgEnergyParams,
+    cfg: &SimConfig,
+    observer: Option<&mut dyn RoundObserver>,
+) -> Result<MisReport, SimError> {
     use crate::alg2::phase1::{Alg2Cleanup, Alg2Phase1Iteration};
 
     let n = g.n();
     let mut pipe = Pipeline::new(g, cfg.clone());
+    if let Some(obs) = observer {
+        pipe.observe(obs);
+    }
     let mut board = StatusBoard::new(n);
     let mut extras = std::collections::BTreeMap::new();
     extras.insert("finish_retries".into(), 0.0);
@@ -303,7 +365,7 @@ pub fn run_avg_energy2_with(
 
 /// The Lemma 4.2 iteration ladder plus the GP22-style node reduction.
 fn run_phase_i_ii(
-    pipe: &mut Pipeline<'_>,
+    pipe: &mut Pipeline<'_, '_>,
     g: &Graph,
     board: &mut StatusBoard,
     ae: &AvgEnergyParams,

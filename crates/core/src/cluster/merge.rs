@@ -176,7 +176,7 @@ struct ClusterInfo {
 ///
 /// Propagates [`SimError`] from the engine.
 pub fn merge_clusters(
-    pipe: &mut Pipeline<'_>,
+    pipe: &mut Pipeline<'_, '_>,
     mut forest: ClusterForest,
     cfg: &MergeConfig,
 ) -> Result<(ClusterForest, MergeStats), SimError> {
@@ -203,7 +203,7 @@ fn ekey(a: NodeId, b: NodeId) -> (u32, u32) {
 }
 
 fn merge_iteration(
-    pipe: &mut Pipeline<'_>,
+    pipe: &mut Pipeline<'_, '_>,
     forest: &mut ClusterForest,
     cfg: &MergeConfig,
 ) -> Result<bool, SimError> {
@@ -736,7 +736,7 @@ fn merge_iteration(
 /// Linial/KW coloring round; the root-side recoloring itself is mirrored
 /// by the caller.
 fn run_h_round(
-    pipe: &mut Pipeline<'_>,
+    pipe: &mut Pipeline<'_, '_>,
     forest: &ClusterForest,
     low_mask: &[bool],
     hl_listen: &[bool],
@@ -805,7 +805,7 @@ fn run_h_round(
 /// center-side node w)` triple re-roots the leaf's tree at `v` and hangs
 /// it under `w`.
 fn merge_substep(
-    pipe: &mut Pipeline<'_>,
+    pipe: &mut Pipeline<'_, '_>,
     forest: &mut ClusterForest,
     active: &[bool],
     name: &str,

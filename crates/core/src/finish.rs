@@ -86,7 +86,7 @@ impl Protocol for SuccessCheck<'_> {
 ///
 /// Propagates [`SimError`] from the engine.
 pub fn finish_components(
-    pipe: &mut Pipeline<'_>,
+    pipe: &mut Pipeline<'_, '_>,
     forest: &ClusterForest,
     cfg: &FinishConfig,
 ) -> Result<FinishOutcome, SimError> {
@@ -143,7 +143,7 @@ pub fn finish_components(
 /// One attempt: parallel executions + success check + convergecast-AND +
 /// broadcast of the chosen execution. Returns which nodes got a decision.
 fn attempt_finish(
-    pipe: &mut Pipeline<'_>,
+    pipe: &mut Pipeline<'_, '_>,
     forest: &ClusterForest,
     cfg: &FinishConfig,
     pending: &[bool],
@@ -235,7 +235,7 @@ mod tests {
     fn merged_forest(
         g: &mis_graphs::Graph,
         mask: &[bool],
-        pipe: &mut Pipeline<'_>,
+        pipe: &mut Pipeline<'_, '_>,
     ) -> ClusterForest {
         let proto = ClusterGrow {
             participating: mask,

@@ -75,7 +75,7 @@ impl TailConfig {
 ///
 /// Propagates [`SimError`] from the engine.
 pub fn run_tail(
-    pipe: &mut Pipeline<'_>,
+    pipe: &mut Pipeline<'_, '_>,
     g: &Graph,
     board: &mut StatusBoard,
     cfg: &TailConfig,

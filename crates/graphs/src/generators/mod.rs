@@ -52,6 +52,23 @@ pub enum Family {
 }
 
 impl Family {
+    /// Representative instance of every variant, in a stable order: the
+    /// registered workload families that suites sweeping "every family"
+    /// (the scenario smoke matrix, the round-trip property test)
+    /// enumerate. Parameterized variants appear with their conventional
+    /// default parameter; any other parameter is equally valid.
+    pub const REGISTRY: [Family; 9] = [
+        Family::GnpAvgDeg(8),
+        Family::Regular(8),
+        Family::GeometricAvgDeg(8),
+        Family::BarabasiAlbert(3),
+        Family::Grid,
+        Family::Path,
+        Family::Cycle,
+        Family::Star,
+        Family::Complete,
+    ];
+
     /// Short stable name for tables and CSV output.
     pub fn name(&self) -> String {
         match self {
@@ -102,6 +119,65 @@ impl Family {
     }
 }
 
+/// Error parsing a [`Family`] from its [`Family::name`] form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFamilyError {
+    /// The string that failed to parse.
+    pub input: String,
+}
+
+impl std::fmt::Display for ParseFamilyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown graph family {:?} (expected gnp-d<deg>, regular-<d>, rgg-d<deg>, \
+             ba-<m>, grid, path, cycle, star, or complete)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseFamilyError {}
+
+/// The inverse of [`Family::name`]: `"gnp-d8"`, `"regular-16"`,
+/// `"rgg-d10"`, `"ba-3"`, `"grid"`, `"path"`, `"cycle"`, `"star"`,
+/// `"complete"`. Parse ∘ display round-trips every variant (pinned by a
+/// property test).
+impl std::str::FromStr for Family {
+    type Err = ParseFamilyError;
+
+    fn from_str(s: &str) -> Result<Family, ParseFamilyError> {
+        let err = || ParseFamilyError {
+            input: s.to_string(),
+        };
+        let param = |prefix: &str| -> Option<Result<u32, ParseFamilyError>> {
+            s.strip_prefix(prefix)
+                .map(|v| v.parse::<u32>().map_err(|_| err()))
+        };
+        match s {
+            "grid" => return Ok(Family::Grid),
+            "path" => return Ok(Family::Path),
+            "cycle" => return Ok(Family::Cycle),
+            "star" => return Ok(Family::Star),
+            "complete" => return Ok(Family::Complete),
+            _ => {}
+        }
+        if let Some(d) = param("gnp-d") {
+            return Ok(Family::GnpAvgDeg(d?));
+        }
+        if let Some(d) = param("regular-") {
+            return Ok(Family::Regular(d?));
+        }
+        if let Some(d) = param("rgg-d") {
+            return Ok(Family::GeometricAvgDeg(d?));
+        }
+        if let Some(m) = param("ba-") {
+            return Ok(Family::BarabasiAlbert(m?));
+        }
+        Err(err())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +219,53 @@ mod tests {
         }
         let g = Family::Complete.generate(20, &mut rng);
         assert_eq!(g.m(), 20 * 19 / 2);
+    }
+
+    #[test]
+    fn family_parse_inverts_name_for_registry() {
+        for fam in Family::REGISTRY {
+            let name = fam.name();
+            assert_eq!(name.parse::<Family>(), Ok(fam), "name {name}");
+        }
+    }
+
+    #[test]
+    fn family_parse_rejects_garbage() {
+        for bad in [
+            "",
+            "gnp",
+            "gnp-d",
+            "gnp-dx",
+            "regular-",
+            "hypercube",
+            "ba--3",
+        ] {
+            assert!(bad.parse::<Family>().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// parse ∘ display is the identity on every variant, for any
+        /// parameter value (the contract `WorkloadSpec` builds on).
+        #[test]
+        fn family_roundtrips_through_name(kind in 0usize..9, param in 1u32..4096) {
+            let fam = match kind {
+                0 => Family::GnpAvgDeg(param),
+                1 => Family::Regular(param),
+                2 => Family::GeometricAvgDeg(param),
+                3 => Family::BarabasiAlbert(param),
+                4 => Family::Grid,
+                5 => Family::Path,
+                6 => Family::Cycle,
+                7 => Family::Star,
+                _ => Family::Complete,
+            };
+            prop_assert_eq!(fam.name().parse::<Family>(), Ok(fam));
+        }
     }
 
     #[test]

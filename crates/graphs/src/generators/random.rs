@@ -223,11 +223,19 @@ pub fn barabasi_albert<R: Rng>(n: usize, m: usize, rng: &mut R) -> Graph {
         }
     }
     for v in seed..n {
-        let mut targets = std::collections::HashSet::with_capacity(m * 2);
+        // Dedup with an ordered Vec, not a HashSet: `targets` is pushed
+        // into `endpoints` below, so its order feeds future sampling —
+        // hash-iteration order would make the graph differ across
+        // *processes* (the std hasher is seeded per process) even with a
+        // fixed RNG. m is tiny, so the linear `contains` is free.
+        let want = m.min(v);
+        let mut targets: Vec<NodeId> = Vec::with_capacity(want);
         let mut guard = 0;
-        while targets.len() < m.min(v) && guard < 50 * m + 100 {
+        while targets.len() < want && guard < 50 * m + 100 {
             let t = endpoints[rng.gen_range(0..endpoints.len())];
-            targets.insert(t);
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
             guard += 1;
         }
         for &t in &targets {
@@ -381,6 +389,22 @@ mod tests {
         let comps = props::connected_components(&g);
         assert_eq!(comps.count, 1, "BA graph should be connected");
         assert!(g.max_degree() >= 5, "hub should emerge");
+    }
+
+    /// Generation must be a pure function of the RNG — in particular,
+    /// independent of the std hasher's per-thread (and per-process)
+    /// random keys. A spawned thread gets fresh sip-hash keys, so this
+    /// catches any hash-iteration order leaking into the graph (the
+    /// cross-process determinism the scenario CI job diffs on).
+    #[test]
+    fn barabasi_albert_independent_of_hasher_state() {
+        let build = || {
+            let mut rng = SmallRng::seed_from_u64(9);
+            barabasi_albert(200, 3, &mut rng)
+        };
+        let here = build();
+        let there = std::thread::spawn(build).join().unwrap();
+        assert_eq!(here, there);
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! The object-safe algorithm abstraction and its run configuration.
+
+use crate::report::RunReport;
+use congest_sim::{SimConfig, SimError};
+use mis_graphs::Graph;
+
+/// Configuration of one algorithm run under the unified API.
+///
+/// Wraps the engine's [`SimConfig`] (seed, salt, round cap, bandwidth
+/// policy, worker threads) and adds runner-level switches. Built
+/// fluently:
+///
+/// ```
+/// use mis_runner::RunConfig;
+/// let cfg = RunConfig::seeded(7).threads(4).collect_rounds(true);
+/// assert_eq!(cfg.sim.seed, 7);
+/// assert_eq!(cfg.sim.threads, 4);
+/// assert!(cfg.collect_rounds);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Engine configuration every simulated phase runs under.
+    pub sim: SimConfig,
+    /// Collect the per-round awake/message time series into
+    /// [`RunReport::rounds`] (identical across thread counts per the
+    /// engine's determinism contract).
+    pub collect_rounds: bool,
+}
+
+impl From<SimConfig> for RunConfig {
+    fn from(sim: SimConfig) -> RunConfig {
+        RunConfig {
+            sim,
+            collect_rounds: false,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Config with the given master seed and defaults elsewhere.
+    pub fn seeded(seed: u64) -> RunConfig {
+        SimConfig::seeded(seed).into()
+    }
+
+    /// Sets the parallel worker count (`0` = the sequential engine);
+    /// results are bit-identical for every value.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> RunConfig {
+        self.sim.threads = threads;
+        self
+    }
+
+    /// Switches per-round time-series collection on or off.
+    #[must_use]
+    pub fn collect_rounds(mut self, yes: bool) -> RunConfig {
+        self.collect_rounds = yes;
+        self
+    }
+}
+
+/// A distributed (or oracle) MIS algorithm behind one type-erased
+/// interface: every entry of the registry — the paper's Algorithm 1/2,
+/// the Section 4 average-energy variants, Luby, the permutation variant,
+/// and the sequential greedy oracle — runs through this trait and
+/// returns the same [`RunReport`].
+///
+/// The trait is object-safe; resolve registry entries by name with
+/// [`<dyn Algorithm>::from_name`](trait.Algorithm.html#method.from_name)
+/// (or [`crate::registry::from_name`]):
+///
+/// ```
+/// use mis_runner::{Algorithm, RunConfig, WorkloadSpec};
+///
+/// let g = "gnp:n=256,deg=8".parse::<WorkloadSpec>().unwrap().build();
+/// let report = <dyn Algorithm>::from_name("luby")
+///     .unwrap()
+///     .run(&g, &RunConfig::seeded(7))
+///     .unwrap();
+/// assert!(report.is_mis());
+/// ```
+pub trait Algorithm: Send + Sync + std::fmt::Debug {
+    /// Stable registry name (`alg1`, `alg2`, `avg1`, `avg2`, `luby`,
+    /// `permutation`, `greedy`).
+    fn name(&self) -> &str;
+
+    /// Runs the algorithm on `g` under `cfg`, returning the unified
+    /// report. Metrics are bit-identical for every
+    /// [`SimConfig::threads`] value (the engine's determinism contract).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the engine.
+    fn run(&self, g: &Graph, cfg: &RunConfig) -> Result<RunReport, SimError>;
+}
+
+impl dyn Algorithm {
+    /// Looks up a registered algorithm by name; the type-erased entry
+    /// point of the whole scenario matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownAlgorithm`] (listing the valid names) when
+    /// `name` is not registered.
+    pub fn from_name(name: &str) -> Result<&'static dyn Algorithm, UnknownAlgorithm> {
+        crate::registry::from_name(name)
+    }
+}
+
+/// Error returned when an algorithm name is not in the registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownAlgorithm {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown algorithm {:?} (registered: {})",
+            self.name,
+            crate::registry::names().join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownAlgorithm {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_builder_chains() {
+        let cfg = RunConfig::seeded(3).threads(2).collect_rounds(true);
+        assert_eq!(cfg.sim.seed, 3);
+        assert_eq!(cfg.sim.threads, 2);
+        assert!(cfg.collect_rounds);
+        let back = RunConfig::from(cfg.sim.clone());
+        assert!(!back.collect_rounds);
+    }
+
+    #[test]
+    fn from_name_resolves_and_rejects() {
+        assert_eq!(<dyn Algorithm>::from_name("alg1").unwrap().name(), "alg1");
+        let err = <dyn Algorithm>::from_name("simulated-annealing").unwrap_err();
+        assert!(err.to_string().contains("luby"), "{err}");
+    }
+}

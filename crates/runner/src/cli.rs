@@ -1,0 +1,122 @@
+//! Tiny shared argument helpers, so every example and binary parses the
+//! scenario flags (`--algo`, `--workload`, `--seeds`, `--threads`, …)
+//! identically instead of hand-rolling `position`-and-skip filtering.
+//!
+//! Both flag forms are accepted everywhere: `--flag value` and
+//! `--flag=value`.
+
+use std::ops::Range;
+
+/// The value of `--name value` or `--name=value`, if present.
+pub fn flag_value(args: &[String], name: &str) -> Option<String> {
+    debug_assert!(name.starts_with("--"), "flag names include the dashes");
+    for (i, a) in args.iter().enumerate() {
+        if a == name {
+            return args.get(i + 1).cloned();
+        }
+        if let Some(v) = a.strip_prefix(name) {
+            if let Some(v) = v.strip_prefix('=') {
+                return Some(v.to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Whether the bare switch `--name` (no value) is present.
+pub fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// The arguments that are neither flags nor values consumed by the
+/// given value-taking flags: the positional selection the caller
+/// interprets (e.g. experiment ids, the `scenario` mode word).
+pub fn positionals(args: &[String], value_flags: &[&str]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if let Some(flag) = a.split('=').next() {
+            if flag.starts_with("--") {
+                // A value-taking flag in space form consumes the next arg.
+                skip = !a.contains('=') && value_flags.contains(&flag);
+                continue;
+            }
+        }
+        out.push(a.clone());
+    }
+    out
+}
+
+/// Parses a seed range: `"A..B"` (half-open) or a single `"A"` (meaning
+/// `A..A+1`).
+///
+/// # Errors
+///
+/// Returns a human-readable message on malformed input or an empty
+/// range.
+pub fn parse_seed_range(s: &str) -> Result<Range<u64>, String> {
+    let parse = |v: &str| {
+        v.parse::<u64>()
+            .map_err(|_| format!("bad seed value {v:?} in {s:?}"))
+    };
+    let range = match s.split_once("..") {
+        Some((a, b)) => parse(a)?..parse(b)?,
+        None => {
+            let a = parse(s)?;
+            a..a + 1
+        }
+    };
+    if range.is_empty() {
+        return Err(format!("empty seed range {s:?}"));
+    }
+    Ok(range)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_value_accepts_both_forms() {
+        let a = args(&["bin", "--algo", "alg1", "--workload=gnp:n=10,deg=2"]);
+        assert_eq!(flag_value(&a, "--algo").as_deref(), Some("alg1"));
+        assert_eq!(
+            flag_value(&a, "--workload").as_deref(),
+            Some("gnp:n=10,deg=2")
+        );
+        assert_eq!(flag_value(&a, "--seeds"), None);
+    }
+
+    #[test]
+    fn positionals_skip_flags_and_their_values() {
+        let a = args(&[
+            "scenario",
+            "--algo",
+            "alg1",
+            "--threads=2",
+            "e5",
+            "--quick",
+            "e9",
+        ]);
+        assert_eq!(
+            positionals(&a, &["--algo", "--threads"]),
+            args(&["scenario", "e5", "e9"])
+        );
+    }
+
+    #[test]
+    fn seed_ranges() {
+        assert_eq!(parse_seed_range("0..3"), Ok(0..3));
+        assert_eq!(parse_seed_range("7"), Ok(7..8));
+        assert!(parse_seed_range("3..3").is_err());
+        assert!(parse_seed_range("a..b").is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! `mis-runner`: the unified scenario API of the energy-MIS
+//! reproduction.
+//!
+//! The paper's experimental story is a *matrix*: {Algorithm 1,
+//! Algorithm 2, the Section 4 average-energy variants, Luby,
+//! permutation, greedy} × {graph families} × {seeds, thread counts}.
+//! This crate makes every cell of that matrix reachable through one
+//! code path:
+//!
+//! * [`Algorithm`] — an object-safe trait with a built-in
+//!   [`registry`] type-erasing the seven bespoke entry points behind
+//!   one [`RunReport`] (bitmap + metrics + verdicts + extras +
+//!   optional per-round time series);
+//! * [`WorkloadSpec`] — a round-trippable textual workload grammar
+//!   (`gnp:n=65536,deg=8`, `regular:n=4096,d=16,seed=7`, …) so
+//!   examples, benches, experiments, and CI share one workload
+//!   language;
+//! * [`Scenario`] — algorithm × workload × seed sweep as a value,
+//!   with [`RunConfig::collect_rounds`] unlocking the engine's
+//!   deterministic [`congest_sim::RoundObserver`] time series.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mis_runner::{registry, RunConfig, WorkloadSpec};
+//!
+//! let g = "regular:n=256,d=8,seed=1".parse::<WorkloadSpec>().unwrap().build();
+//! for alg in registry::algorithms() {
+//!     let report = alg.run(&g, &RunConfig::seeded(7)).unwrap();
+//!     assert!(report.is_mis(), "{}", alg.name());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod algorithm;
+pub mod cli;
+pub mod registry;
+mod report;
+mod scenario;
+mod workload;
+
+pub use algorithm::{Algorithm, RunConfig, UnknownAlgorithm};
+pub use registry::{Alg1, Alg2, AvgEnergy1, AvgEnergy2, Greedy, Luby, Permutation};
+pub use report::RunReport;
+pub use scenario::{Scenario, ScenarioError};
+pub use workload::{ParseWorkloadError, WorkloadSpec};

@@ -1,0 +1,336 @@
+//! The built-in algorithm registry: the seven entry points of the
+//! reproduction behind one [`Algorithm`] interface.
+//!
+//! | name | algorithm | old entry point |
+//! |---|---|---|
+//! | `alg1` | Theorem 1.1 (`O(log² n)` time, `O(log log n)` energy) | `energy_mis::alg1::run_algorithm1_with` |
+//! | `alg2` | Theorem 1.2 (`O(log n · log log n · log* n)` time) | `energy_mis::alg2::run_algorithm2_with` |
+//! | `avg1` | Section 4 over Algorithm 1 (`O(1)` average energy) | `energy_mis::avg_energy::run_avg_energy_with` |
+//! | `avg2` | Section 4 over Algorithm 2 | `energy_mis::avg_energy::run_avg_energy2_with` |
+//! | `luby` | classic Luby baseline | `mis_baselines::luby` |
+//! | `permutation` | ABI random-priority baseline | `mis_baselines::permutation` |
+//! | `greedy` | sequential greedy oracle | `mis_baselines::greedy_mis` |
+//!
+//! The registry instances carry default parameters; to run a paper
+//! algorithm with custom parameters, construct the concrete struct
+//! (e.g. [`Alg1 { params }`](Alg1)) and call [`Algorithm::run`] on it
+//! directly — same trait, same report.
+
+use crate::algorithm::{Algorithm, RunConfig, UnknownAlgorithm};
+use crate::report::RunReport;
+use congest_sim::{Metrics, RoundLog, SimError};
+use energy_mis::params::{Alg1Params, Alg2Params, AvgEnergyParams};
+use energy_mis::MisReport;
+use mis_graphs::Graph;
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+/// Runs `f` with a fresh [`RoundLog`] when `cfg` asks for round
+/// collection, threading the log into the report conversion `done`.
+fn observed<T>(
+    cfg: &RunConfig,
+    f: impl FnOnce(Option<&mut dyn congest_sim::RoundObserver>) -> Result<T, SimError>,
+) -> Result<(T, Option<RoundLog>), SimError> {
+    if cfg.collect_rounds {
+        let mut log = RoundLog::new();
+        let out = f(Some(&mut log))?;
+        Ok((out, Some(log)))
+    } else {
+        Ok((f(None)?, None))
+    }
+}
+
+/// Algorithm 1 of the paper (Theorem 1.1); registry name `alg1`.
+#[derive(Debug, Clone, Default)]
+pub struct Alg1 {
+    /// Phase parameters (the registry instance uses the defaults).
+    pub params: Alg1Params,
+}
+
+impl Algorithm for Alg1 {
+    fn name(&self) -> &str {
+        "alg1"
+    }
+
+    fn run(&self, g: &Graph, cfg: &RunConfig) -> Result<RunReport, SimError> {
+        let (rep, log): (MisReport, _) = observed(cfg, |obs| match obs {
+            Some(o) => energy_mis::alg1::run_algorithm1_observed(g, &self.params, &cfg.sim, o),
+            None => energy_mis::alg1::run_algorithm1_with(g, &self.params, &cfg.sim),
+        })?;
+        Ok(RunReport::from_mis_report(self.name(), rep, log))
+    }
+}
+
+/// Algorithm 2 of the paper (Theorem 1.2); registry name `alg2`.
+#[derive(Debug, Clone, Default)]
+pub struct Alg2 {
+    /// Phase parameters (the registry instance uses the defaults).
+    pub params: Alg2Params,
+}
+
+impl Algorithm for Alg2 {
+    fn name(&self) -> &str {
+        "alg2"
+    }
+
+    fn run(&self, g: &Graph, cfg: &RunConfig) -> Result<RunReport, SimError> {
+        let (rep, log) = observed(cfg, |obs| match obs {
+            Some(o) => energy_mis::alg2::run_algorithm2_observed(g, &self.params, &cfg.sim, o),
+            None => energy_mis::alg2::run_algorithm2_with(g, &self.params, &cfg.sim),
+        })?;
+        Ok(RunReport::from_mis_report(self.name(), rep, log))
+    }
+}
+
+/// Section 4 constant-average-energy pipeline over Algorithm 1; registry
+/// name `avg1`.
+#[derive(Debug, Clone, Default)]
+pub struct AvgEnergy1 {
+    /// Algorithm 1 base parameters.
+    pub base: Alg1Params,
+    /// Section 4 module parameters.
+    pub ae: AvgEnergyParams,
+}
+
+impl Algorithm for AvgEnergy1 {
+    fn name(&self) -> &str {
+        "avg1"
+    }
+
+    fn run(&self, g: &Graph, cfg: &RunConfig) -> Result<RunReport, SimError> {
+        let (rep, log) = observed(cfg, |obs| match obs {
+            Some(o) => energy_mis::avg_energy::run_avg_energy_observed(
+                g, &self.base, &self.ae, &cfg.sim, o,
+            ),
+            None => energy_mis::avg_energy::run_avg_energy_with(g, &self.base, &self.ae, &cfg.sim),
+        })?;
+        Ok(RunReport::from_mis_report(self.name(), rep, log))
+    }
+}
+
+/// Section 4 constant-average-energy pipeline over Algorithm 2; registry
+/// name `avg2`.
+#[derive(Debug, Clone, Default)]
+pub struct AvgEnergy2 {
+    /// Algorithm 2 base parameters.
+    pub base: Alg2Params,
+    /// Section 4 module parameters.
+    pub ae: AvgEnergyParams,
+}
+
+impl Algorithm for AvgEnergy2 {
+    fn name(&self) -> &str {
+        "avg2"
+    }
+
+    fn run(&self, g: &Graph, cfg: &RunConfig) -> Result<RunReport, SimError> {
+        let (rep, log) = observed(cfg, |obs| match obs {
+            Some(o) => energy_mis::avg_energy::run_avg_energy2_observed(
+                g, &self.base, &self.ae, &cfg.sim, o,
+            ),
+            None => energy_mis::avg_energy::run_avg_energy2_with(g, &self.base, &self.ae, &cfg.sim),
+        })?;
+        Ok(RunReport::from_mis_report(self.name(), rep, log))
+    }
+}
+
+/// Classic Luby baseline; registry name `luby`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Luby;
+
+impl Algorithm for Luby {
+    fn name(&self) -> &str {
+        "luby"
+    }
+
+    fn run(&self, g: &Graph, cfg: &RunConfig) -> Result<RunReport, SimError> {
+        let (run, log) = observed(cfg, |obs| match obs {
+            Some(o) => {
+                // Single-protocol run: announce the one phase ourselves
+                // (no Pipeline to do it), so the collected trace's name
+                // matches the report's phase entry.
+                o.on_phase(self.name());
+                mis_baselines::luby_observed(g, &cfg.sim, o)
+            }
+            None => mis_baselines::luby(g, &cfg.sim),
+        })?;
+        Ok(RunReport::from_mis_run(self.name(), g, run, log))
+    }
+}
+
+/// ABI random-priority baseline; registry name `permutation`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Permutation;
+
+impl Algorithm for Permutation {
+    fn name(&self) -> &str {
+        "permutation"
+    }
+
+    fn run(&self, g: &Graph, cfg: &RunConfig) -> Result<RunReport, SimError> {
+        let (run, log) = observed(cfg, |obs| match obs {
+            Some(o) => {
+                o.on_phase(self.name()); // see Luby: one self-announced phase
+                mis_baselines::permutation_observed(g, &cfg.sim, o)
+            }
+            None => mis_baselines::permutation(g, &cfg.sim),
+        })?;
+        Ok(RunReport::from_mis_run(self.name(), g, run, log))
+    }
+}
+
+/// Sequential greedy oracle; registry name `greedy`. Not a distributed
+/// algorithm: it ignores the seed and thread count, costs zero simulated
+/// rounds/energy, and exists as the ground-truth comparator of the
+/// matrix.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Greedy;
+
+impl Algorithm for Greedy {
+    fn name(&self) -> &str {
+        "greedy"
+    }
+
+    fn run(&self, g: &Graph, cfg: &RunConfig) -> Result<RunReport, SimError> {
+        let in_mis = mis_baselines::greedy_mis(g);
+        let rounds = cfg.collect_rounds.then(RoundLog::new);
+        let mut extras = BTreeMap::new();
+        extras.insert("sequential_oracle".into(), 1.0);
+        Ok(RunReport::assemble(
+            g,
+            self.name(),
+            in_mis,
+            Metrics::new(g.n()),
+            Vec::new(),
+            extras,
+            rounds,
+        ))
+    }
+}
+
+/// The built-in registry, in stable order.
+fn registry() -> &'static [Box<dyn Algorithm>] {
+    static REG: OnceLock<Vec<Box<dyn Algorithm>>> = OnceLock::new();
+    REG.get_or_init(|| {
+        vec![
+            Box::new(Alg1::default()),
+            Box::new(Alg2::default()),
+            Box::new(AvgEnergy1::default()),
+            Box::new(AvgEnergy2::default()),
+            Box::new(Luby),
+            Box::new(Permutation),
+            Box::new(Greedy),
+        ]
+    })
+}
+
+/// Every registered algorithm, in stable order.
+pub fn algorithms() -> impl Iterator<Item = &'static dyn Algorithm> {
+    registry().iter().map(|b| b.as_ref())
+}
+
+/// The registered algorithm names, in registry order.
+pub fn names() -> Vec<&'static str> {
+    algorithms().map(|a| a.name()).collect()
+}
+
+/// Resolves a registered algorithm by name.
+///
+/// # Errors
+///
+/// Returns [`UnknownAlgorithm`] when `name` is not registered.
+pub fn from_name(name: &str) -> Result<&'static dyn Algorithm, UnknownAlgorithm> {
+    algorithms()
+        .find(|a| a.name() == name)
+        .ok_or_else(|| UnknownAlgorithm {
+            name: name.to_string(),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graphs::generators;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn registry_has_seven_distinct_names() {
+        let names = names();
+        assert_eq!(
+            names,
+            vec![
+                "alg1",
+                "alg2",
+                "avg1",
+                "avg2",
+                "luby",
+                "permutation",
+                "greedy"
+            ]
+        );
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), 7);
+    }
+
+    #[test]
+    fn every_registered_algorithm_computes_a_verified_mis() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let g = generators::gnp(200, 8.0 / 200.0, &mut rng);
+        for alg in algorithms() {
+            let report = alg.run(&g, &RunConfig::seeded(5)).unwrap();
+            assert!(report.is_mis(), "{} did not produce an MIS", alg.name());
+            assert_eq!(report.algorithm, alg.name());
+            assert_eq!(report.in_mis.len(), g.n());
+            assert!(report.rounds.is_none(), "rounds collected unasked");
+        }
+    }
+
+    #[test]
+    fn collect_rounds_produces_a_consistent_time_series() {
+        let g = generators::cycle(40);
+        for name in ["alg1", "luby", "permutation"] {
+            let alg = from_name(name).unwrap();
+            let report = alg
+                .run(&g, &RunConfig::seeded(2).collect_rounds(true))
+                .unwrap();
+            let log = report.rounds.as_ref().expect("rounds requested");
+            assert_eq!(log.busy_rounds() as u64, report.metrics.busy_rounds);
+            let sent: u64 = log.events().map(|e| e.messages_sent).sum();
+            assert_eq!(sent, report.metrics.messages_sent, "{name}");
+            let awake: u64 = log.events().map(|e| e.awake).sum();
+            assert_eq!(awake, report.metrics.total_awake(), "{name}");
+            // The trace and the per-phase metrics tell one story: same
+            // phase names, same order (Pipeline announces them for the
+            // paper algorithms; baselines announce their single phase).
+            let trace_names: Vec<&str> = log.phases.iter().map(|p| p.name.as_str()).collect();
+            let phase_names: Vec<&str> = report.phases.iter().map(|(n, _)| n.as_str()).collect();
+            assert_eq!(trace_names, phase_names, "{name}");
+        }
+    }
+
+    #[test]
+    fn custom_parameters_run_through_the_same_trait() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let g = generators::gnp(150, 0.05, &mut rng);
+        let custom = Alg1 {
+            params: Alg1Params {
+                shatter_c: 2.0,
+                ..Alg1Params::default()
+            },
+        };
+        let report = custom.run(&g, &RunConfig::seeded(1)).unwrap();
+        assert!(report.is_mis());
+    }
+
+    #[test]
+    fn greedy_is_free_and_deterministic() {
+        let g = generators::star(20);
+        let a = Greedy.run(&g, &RunConfig::seeded(1)).unwrap();
+        let b = Greedy.run(&g, &RunConfig::seeded(99).threads(2)).unwrap();
+        assert_eq!(a.in_mis, b.in_mis, "oracle must ignore seed/threads");
+        assert_eq!(a.metrics.elapsed_rounds, 0);
+        assert_eq!(a.metrics.max_awake(), 0);
+        assert!(a.is_mis());
+    }
+}

@@ -1,0 +1,237 @@
+//! The one report type every registered algorithm returns.
+
+use congest_sim::{Metrics, RoundLog};
+use energy_mis::MisReport;
+use mis_baselines::MisRun;
+use mis_graphs::{props, Graph};
+use std::collections::BTreeMap;
+
+/// Unified result of running any registered [`crate::Algorithm`]: the
+/// computed set, aggregate and per-phase metrics, verification verdicts,
+/// named measured extras, and — when requested via
+/// [`crate::RunConfig::collect_rounds`] — the per-round time series.
+///
+/// This is the type the whole scenario matrix speaks:
+/// [`energy_mis::MisReport`] and [`mis_baselines::MisRun`] convert into
+/// it thinly ([`RunReport::from_mis_report`], [`RunReport::from_mis_run`])
+/// and back ([`RunReport::into_mis_report`]).
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Registry name of the algorithm that produced this report.
+    pub algorithm: String,
+    /// `in_mis[v]` iff node `v` is in the computed set.
+    pub in_mis: Vec<bool>,
+    /// Aggregate time/energy/message metrics over all phases.
+    pub metrics: Metrics,
+    /// Per-phase metrics in execution order (single-protocol algorithms
+    /// report one phase named after themselves; the sequential greedy
+    /// oracle reports none).
+    pub phases: Vec<(String, Metrics)>,
+    /// Whether the output is an independent set.
+    pub independent: bool,
+    /// Whether the output is maximal.
+    pub maximal: bool,
+    /// Named measured quantities (residual degrees, retries, …).
+    pub extras: BTreeMap<String, f64>,
+    /// Per-round awake/message time series, grouped by phase; `Some`
+    /// only when the run was configured to collect rounds.
+    pub rounds: Option<RoundLog>,
+}
+
+impl RunReport {
+    /// Builds a report, verifying the bitmap against `g`: the verdict
+    /// path every constructor funnels through, so a non-independent or
+    /// non-maximal output is always flagged, never silently reported.
+    pub fn assemble(
+        g: &Graph,
+        algorithm: impl Into<String>,
+        in_mis: Vec<bool>,
+        metrics: Metrics,
+        phases: Vec<(String, Metrics)>,
+        extras: BTreeMap<String, f64>,
+        rounds: Option<RoundLog>,
+    ) -> RunReport {
+        RunReport {
+            algorithm: algorithm.into(),
+            independent: props::is_independent_set(g, &in_mis),
+            maximal: props::maximality_violation(g, &in_mis).is_none(),
+            in_mis,
+            metrics,
+            phases,
+            extras,
+            rounds,
+        }
+    }
+
+    /// Thin conversion from an [`energy_mis::MisReport`] (the paper
+    /// algorithms): verdicts and extras carry over unchanged.
+    pub fn from_mis_report(
+        algorithm: impl Into<String>,
+        report: MisReport,
+        rounds: Option<RoundLog>,
+    ) -> RunReport {
+        RunReport {
+            algorithm: algorithm.into(),
+            in_mis: report.in_mis,
+            metrics: report.metrics,
+            phases: report.phases,
+            independent: report.independent,
+            maximal: report.maximal,
+            extras: report.extras,
+            rounds,
+        }
+    }
+
+    /// Thin conversion from a baseline [`mis_baselines::MisRun`]: the
+    /// graph supplies the verdicts the leaner type never carried, and
+    /// the whole run is reported as one phase named after the algorithm.
+    pub fn from_mis_run(
+        algorithm: impl Into<String>,
+        g: &Graph,
+        run: MisRun,
+        rounds: Option<RoundLog>,
+    ) -> RunReport {
+        let algorithm = algorithm.into();
+        let phases = vec![(algorithm.clone(), run.metrics.clone())];
+        RunReport::assemble(
+            g,
+            algorithm,
+            run.in_mis,
+            run.metrics,
+            phases,
+            BTreeMap::new(),
+            rounds,
+        )
+    }
+
+    /// The inverse thin conversion, for callers still holding old-API
+    /// plumbing that expects an [`energy_mis::MisReport`].
+    pub fn into_mis_report(self) -> MisReport {
+        MisReport {
+            in_mis: self.in_mis,
+            metrics: self.metrics,
+            phases: self.phases,
+            independent: self.independent,
+            maximal: self.maximal,
+            extras: self.extras,
+        }
+    }
+
+    /// Whether the output is a verified maximal independent set.
+    pub fn is_mis(&self) -> bool {
+        self.independent && self.maximal
+    }
+
+    /// Size of the computed set.
+    pub fn mis_size(&self) -> usize {
+        self.in_mis.iter().filter(|&&b| b).count()
+    }
+
+    /// Sums the metrics of phases whose name starts with `prefix`.
+    pub fn phase_group(&self, prefix: &str) -> Option<Metrics> {
+        let mut acc: Option<Metrics> = None;
+        for (name, m) in &self.phases {
+            if name.starts_with(prefix) {
+                match &mut acc {
+                    None => acc = Some(m.clone()),
+                    Some(a) => a.absorb(m),
+                }
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mis_graphs::generators;
+
+    #[test]
+    fn assemble_happy_path() {
+        let g = generators::path(3);
+        let r = RunReport::assemble(
+            &g,
+            "test",
+            vec![true, false, true],
+            Metrics::new(3),
+            vec![("a".into(), Metrics::new(3))],
+            BTreeMap::new(),
+            None,
+        );
+        assert!(r.is_mis());
+        assert_eq!(r.mis_size(), 2);
+        assert!(r.phase_group("a").is_some());
+        assert!(r.phase_group("zzz").is_none());
+    }
+
+    /// The verdict path flags a set with an internal edge: on a path
+    /// 0–1–2, {0, 1} is adjacent (not independent) though maximal.
+    #[test]
+    fn non_independent_bitmap_is_flagged() {
+        let g = generators::path(3);
+        let r = RunReport::assemble(
+            &g,
+            "bad",
+            vec![true, true, false],
+            Metrics::new(3),
+            vec![],
+            BTreeMap::new(),
+            None,
+        );
+        assert!(!r.independent, "adjacent pair not flagged");
+        assert!(r.maximal, "{{0,1}} dominates the path");
+        assert!(!r.is_mis());
+    }
+
+    /// The verdict path flags an extensible set: on a path 0–1–2, {0}
+    /// is independent but node 2 could still join.
+    #[test]
+    fn non_maximal_bitmap_is_flagged() {
+        let g = generators::path(3);
+        let r = RunReport::assemble(
+            &g,
+            "bad",
+            vec![true, false, false],
+            Metrics::new(3),
+            vec![],
+            BTreeMap::new(),
+            None,
+        );
+        assert!(r.independent);
+        assert!(!r.maximal, "extensible set not flagged");
+        assert!(!r.is_mis());
+    }
+
+    /// `from_mis_run` funnels through the same verdicts.
+    #[test]
+    fn mis_run_conversion_verifies() {
+        let g = generators::path(3);
+        let bad = MisRun {
+            in_mis: vec![false, false, false],
+            metrics: Metrics::new(3),
+        };
+        let r = RunReport::from_mis_run("luby", &g, bad, None);
+        assert!(!r.maximal);
+        assert_eq!(r.phases.len(), 1);
+        assert_eq!(r.phases[0].0, "luby");
+    }
+
+    #[test]
+    fn round_trips_to_mis_report() {
+        let g = generators::cycle(5);
+        let r = RunReport::assemble(
+            &g,
+            "x",
+            vec![true, false, true, false, false],
+            Metrics::new(5),
+            vec![],
+            BTreeMap::new(),
+            None,
+        );
+        let (ind, max) = (r.independent, r.maximal);
+        let m = r.into_mis_report();
+        assert_eq!(m.independent, ind);
+        assert_eq!(m.maximal, max);
+    }
+}

@@ -1,0 +1,216 @@
+//! Declarative scenarios: algorithm × workload × seed sweep in one
+//! value.
+
+use crate::algorithm::UnknownAlgorithm;
+use crate::report::RunReport;
+use crate::workload::{ParseWorkloadError, WorkloadSpec};
+use crate::{Algorithm, RunConfig};
+use congest_sim::SimError;
+use std::ops::Range;
+
+/// One cell-row of the experimental matrix: run a registered algorithm
+/// on a described workload across a seed range, on a chosen engine.
+///
+/// ```
+/// use mis_runner::Scenario;
+///
+/// let reports = Scenario::parse("luby", "cycle:n=64")
+///     .unwrap()
+///     .seeds(0..3)
+///     .run()
+///     .unwrap();
+/// assert_eq!(reports.len(), 3);
+/// assert!(reports.iter().all(|r| r.is_mis()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Registry name of the algorithm to run.
+    pub algo: String,
+    /// The workload to run it on.
+    pub workload: WorkloadSpec,
+    /// Algorithm seeds to sweep (one report per seed).
+    pub seeds: Range<u64>,
+    /// Worker threads (`0` = sequential engine); never observable in
+    /// the reports, per the engine's determinism contract.
+    pub threads: usize,
+    /// Collect per-round time series into every report.
+    pub collect_rounds: bool,
+}
+
+impl Scenario {
+    /// A scenario with one seed (0), sequential engine, no round
+    /// collection.
+    pub fn new(algo: impl Into<String>, workload: WorkloadSpec) -> Scenario {
+        Scenario {
+            algo: algo.into(),
+            workload,
+            seeds: 0..1,
+            threads: 0,
+            collect_rounds: false,
+        }
+    }
+
+    /// [`Scenario::new`] from textual parts (the CLI path): validates
+    /// the algorithm name and parses the workload grammar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] on an unknown algorithm or malformed
+    /// workload spec.
+    pub fn parse(algo: &str, workload: &str) -> Result<Scenario, ScenarioError> {
+        let _ = crate::registry::from_name(algo)?; // fail fast on typos
+        Ok(Scenario::new(algo, workload.parse::<WorkloadSpec>()?))
+    }
+
+    /// Sets the algorithm seed range.
+    #[must_use]
+    pub fn seeds(mut self, seeds: Range<u64>) -> Scenario {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Sets the worker-thread count (`0` = sequential).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Scenario {
+        self.threads = threads;
+        self
+    }
+
+    /// Switches per-round time-series collection on or off.
+    #[must_use]
+    pub fn collect_rounds(mut self, yes: bool) -> Scenario {
+        self.collect_rounds = yes;
+        self
+    }
+
+    /// Builds the workload once and runs the algorithm for every seed,
+    /// returning one [`RunReport`] per seed in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError`] on an unknown algorithm name or an
+    /// engine error in any run.
+    pub fn run(&self) -> Result<Vec<RunReport>, ScenarioError> {
+        self.run_on(&self.workload.build())
+    }
+
+    /// [`Scenario::run`] on a caller-built graph — for sweeps that run
+    /// *several* scenarios on the same workload (e.g. the whole registry,
+    /// as the scenario CLI does): build the graph once, share it across
+    /// scenarios. `g` must be the graph `self.workload` describes for the
+    /// reports to be labeled truthfully; this is not checked.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Scenario::run`].
+    pub fn run_on(&self, g: &mis_graphs::Graph) -> Result<Vec<RunReport>, ScenarioError> {
+        let alg: &dyn Algorithm = crate::registry::from_name(&self.algo)?;
+        let mut reports = Vec::with_capacity(self.seeds.clone().count());
+        for seed in self.seeds.clone() {
+            let cfg = RunConfig::seeded(seed)
+                .threads(self.threads)
+                .collect_rounds(self.collect_rounds);
+            reports.push(alg.run(g, &cfg)?);
+        }
+        Ok(reports)
+    }
+}
+
+/// Error running a [`Scenario`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The algorithm name is not registered.
+    UnknownAlgorithm(UnknownAlgorithm),
+    /// The workload spec did not parse.
+    Workload(ParseWorkloadError),
+    /// The engine rejected a run.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::UnknownAlgorithm(e) => write!(f, "{e}"),
+            ScenarioError::Workload(e) => write!(f, "workload: {e}"),
+            ScenarioError::Sim(e) => write!(f, "engine: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<UnknownAlgorithm> for ScenarioError {
+    fn from(e: UnknownAlgorithm) -> ScenarioError {
+        ScenarioError::UnknownAlgorithm(e)
+    }
+}
+
+impl From<ParseWorkloadError> for ScenarioError {
+    fn from(e: ParseWorkloadError) -> ScenarioError {
+        ScenarioError::Workload(e)
+    }
+}
+
+impl From<SimError> for ScenarioError {
+    fn from(e: SimError) -> ScenarioError {
+        ScenarioError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_sweeps_seeds() {
+        let reports = Scenario::parse("permutation", "path:n=40")
+            .unwrap()
+            .seeds(3..6)
+            .run()
+            .unwrap();
+        assert_eq!(reports.len(), 3);
+        for r in &reports {
+            assert!(r.is_mis());
+            assert_eq!(r.algorithm, "permutation");
+        }
+    }
+
+    #[test]
+    fn scenario_rejects_unknowns_eagerly() {
+        assert!(matches!(
+            Scenario::parse("quantum", "path:n=10"),
+            Err(ScenarioError::UnknownAlgorithm(_))
+        ));
+        assert!(matches!(
+            Scenario::parse("luby", "path"),
+            Err(ScenarioError::Workload(_))
+        ));
+    }
+
+    #[test]
+    fn scenario_threads_are_unobservable() {
+        let seq = Scenario::parse("luby", "gnp:n=128,deg=6")
+            .unwrap()
+            .seeds(0..2)
+            .run()
+            .unwrap();
+        let par = Scenario::parse("luby", "gnp:n=128,deg=6")
+            .unwrap()
+            .seeds(0..2)
+            .threads(2)
+            .run()
+            .unwrap();
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.in_mis, b.in_mis);
+            assert_eq!(a.metrics, b.metrics);
+        }
+    }
+
+    #[test]
+    fn error_display_names_the_culprit() {
+        let e = Scenario::parse("warp-drive", "path:n=4").unwrap_err();
+        assert!(e.to_string().contains("warp-drive"));
+        let e = Scenario::parse("luby", "path:n=").unwrap_err();
+        assert!(e.to_string().contains("workload"), "{e}");
+    }
+}

@@ -1,0 +1,302 @@
+//! Parseable workload specifications: one textual grammar for every
+//! graph the matrix runs on.
+//!
+//! # Grammar
+//!
+//! `<family>:<key>=<value>[,<key>=<value>…]` — keys in any order:
+//!
+//! | family | family key | example |
+//! |---|---|---|
+//! | `gnp` | `deg` (expected average degree) | `gnp:n=65536,deg=8` |
+//! | `regular` | `d` | `regular:n=4096,d=16,seed=7` |
+//! | `rgg` | `deg` | `rgg:n=4096,deg=12` |
+//! | `ba` | `m` | `ba:n=8192,m=3` |
+//! | `grid` / `path` / `cycle` / `star` / `complete` | — | `grid:n=1024` |
+//!
+//! `n` is required everywhere; `seed` (the generator seed) defaults to
+//! `0`. The head may also be a [`Family::name`] token (`gnp-d8:n=65536`
+//! ≡ `gnp:n=65536,deg=8`). [`std::fmt::Display`] emits the canonical
+//! form, and parse ∘ display is the identity.
+
+use mis_graphs::generators::Family;
+use mis_graphs::Graph;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::str::FromStr;
+
+/// A fully described, reproducible workload: a graph family instance at
+/// a size, generated from a seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorkloadSpec {
+    /// The graph family (with its family parameter).
+    pub family: Family,
+    /// Number of nodes.
+    pub n: usize,
+    /// Generator seed (independent of the algorithm seed).
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A spec for `family` at size `n`, generator seed 0.
+    pub fn new(family: Family, n: usize) -> WorkloadSpec {
+        WorkloadSpec { family, n, seed: 0 }
+    }
+
+    /// Returns a copy with the given generator seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> WorkloadSpec {
+        self.seed = seed;
+        self
+    }
+
+    /// Instantiates the graph (deterministic in the spec).
+    pub fn build(&self) -> Graph {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        self.family.generate(self.n, &mut rng)
+    }
+
+    /// One tiny spec per registered family ([`Family::REGISTRY`]): the
+    /// cross-product smoke suite that CI runs every algorithm against.
+    /// Sizes are chosen so the full 7-algorithm matrix completes in
+    /// seconds even in debug builds.
+    pub fn tiny_suite() -> Vec<WorkloadSpec> {
+        Family::REGISTRY
+            .iter()
+            .map(|&family| {
+                let n = match family {
+                    Family::GnpAvgDeg(_) => 192,
+                    Family::Regular(_) => 128,
+                    Family::GeometricAvgDeg(_) => 128,
+                    Family::BarabasiAlbert(_) => 128,
+                    Family::Grid => 121,
+                    Family::Path => 96,
+                    Family::Cycle => 97,
+                    Family::Star => 64,
+                    Family::Complete => 24,
+                };
+                WorkloadSpec::new(family, n)
+            })
+            .collect()
+    }
+
+    /// The canonical head token and family key/value of the grammar.
+    fn family_token(&self) -> (&'static str, Option<(&'static str, u32)>) {
+        match self.family {
+            Family::GnpAvgDeg(d) => ("gnp", Some(("deg", d))),
+            Family::Regular(d) => ("regular", Some(("d", d))),
+            Family::GeometricAvgDeg(d) => ("rgg", Some(("deg", d))),
+            Family::BarabasiAlbert(m) => ("ba", Some(("m", m))),
+            Family::Grid => ("grid", None),
+            Family::Path => ("path", None),
+            Family::Cycle => ("cycle", None),
+            Family::Star => ("star", None),
+            Family::Complete => ("complete", None),
+        }
+    }
+}
+
+impl std::fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (kind, param) = self.family_token();
+        write!(f, "{kind}:n={}", self.n)?;
+        if let Some((key, value)) = param {
+            write!(f, ",{key}={value}")?;
+        }
+        if self.seed != 0 {
+            write!(f, ",seed={}", self.seed)?;
+        }
+        Ok(())
+    }
+}
+
+/// Error parsing a [`WorkloadSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseWorkloadError {
+    /// What went wrong, mentioning the offending token.
+    pub message: String,
+}
+
+impl ParseWorkloadError {
+    fn new(message: impl Into<String>) -> ParseWorkloadError {
+        ParseWorkloadError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ParseWorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid workload spec: {} (grammar: gnp:n=..,deg=.. | regular:n=..,d=.. | \
+             rgg:n=..,deg=.. | ba:n=..,m=.. | grid|path|cycle|star|complete:n=.. \
+             [,seed=..])",
+            self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseWorkloadError {}
+
+impl FromStr for WorkloadSpec {
+    type Err = ParseWorkloadError;
+
+    fn from_str(s: &str) -> Result<WorkloadSpec, ParseWorkloadError> {
+        let (head, rest) = s
+            .split_once(':')
+            .ok_or_else(|| ParseWorkloadError::new(format!("missing ':' in {s:?}")))?;
+
+        // Key/value list, duplicates rejected.
+        let mut pairs: Vec<(&str, &str)> = Vec::new();
+        for item in rest.split(',') {
+            let (k, v) = item.split_once('=').ok_or_else(|| {
+                ParseWorkloadError::new(format!("expected key=value, got {item:?}"))
+            })?;
+            if pairs.iter().any(|(seen, _)| *seen == k) {
+                return Err(ParseWorkloadError::new(format!("duplicate key {k:?}")));
+            }
+            pairs.push((k, v));
+        }
+        let mut take = |key: &str| -> Option<&str> {
+            pairs
+                .iter()
+                .position(|(k, _)| *k == key)
+                .map(|i| pairs.remove(i).1)
+        };
+        fn num<T: FromStr>(key: &str, v: &str) -> Result<T, ParseWorkloadError> {
+            v.parse()
+                .map_err(|_| ParseWorkloadError::new(format!("bad value {v:?} for {key}")))
+        }
+        let mut fam_param = |key: &'static str| -> Result<u32, ParseWorkloadError> {
+            let v = take(key)
+                .ok_or_else(|| ParseWorkloadError::new(format!("{head} requires {key}=")))?;
+            num(key, v)
+        };
+
+        let family = match head {
+            "gnp" => Family::GnpAvgDeg(fam_param("deg")?),
+            "regular" => Family::Regular(fam_param("d")?),
+            "rgg" => Family::GeometricAvgDeg(fam_param("deg")?),
+            "ba" => Family::BarabasiAlbert(fam_param("m")?),
+            "grid" => Family::Grid,
+            "path" => Family::Path,
+            "cycle" => Family::Cycle,
+            "star" => Family::Star,
+            "complete" => Family::Complete,
+            // Fall back to the Family::name() form, e.g. "gnp-d8".
+            other => other
+                .parse::<Family>()
+                .map_err(|e| ParseWorkloadError::new(e.to_string()))?,
+        };
+
+        let n = {
+            let v = take("n").ok_or_else(|| ParseWorkloadError::new("n= is required"))?;
+            num("n", v)?
+        };
+        let seed = match take("seed") {
+            Some(v) => num("seed", v)?,
+            None => 0,
+        };
+        if let Some((k, _)) = pairs.first() {
+            return Err(ParseWorkloadError::new(format!(
+                "unknown key {k:?} for {head}"
+            )));
+        }
+        Ok(WorkloadSpec { family, n, seed })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_examples() {
+        let s: WorkloadSpec = "gnp:n=65536,deg=8".parse().unwrap();
+        assert_eq!(s.family, Family::GnpAvgDeg(8));
+        assert_eq!(s.n, 65536);
+        assert_eq!(s.seed, 0);
+
+        let s: WorkloadSpec = "regular:n=4096,d=16,seed=7".parse().unwrap();
+        assert_eq!(s.family, Family::Regular(16));
+        assert_eq!(s.seed, 7);
+
+        let s: WorkloadSpec = "grid:n=1024".parse().unwrap();
+        assert_eq!(s.family, Family::Grid);
+    }
+
+    #[test]
+    fn keys_commute_and_family_name_head_is_accepted() {
+        let a: WorkloadSpec = "gnp:deg=8,n=100".parse().unwrap();
+        let b: WorkloadSpec = "gnp:n=100,deg=8".parse().unwrap();
+        let c: WorkloadSpec = "gnp-d8:n=100".parse().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "gnp",                   // no ':'
+            "gnp:n=100",             // missing deg
+            "gnp:n=100,deg=8,deg=9", // duplicate
+            "gnp:n=100,deg=8,foo=1", // unknown key
+            "regular:d=4",           // missing n
+            "warp:n=100",            // unknown family
+            "gnp:n=x,deg=8",         // bad number
+            "path:n=10,d=3",         // param on param-free family
+        ] {
+            assert!(bad.parse::<WorkloadSpec>().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic_in_the_spec() {
+        let spec: WorkloadSpec = "gnp:n=300,deg=6,seed=5".parse().unwrap();
+        assert_eq!(spec.build(), spec.build());
+        assert_ne!(spec.build(), spec.with_seed(6).build());
+        assert_eq!(spec.build().n(), 300);
+    }
+
+    #[test]
+    fn tiny_suite_covers_every_registered_family() {
+        let suite = WorkloadSpec::tiny_suite();
+        assert_eq!(suite.len(), Family::REGISTRY.len());
+        for spec in &suite {
+            let g = spec.build();
+            assert!(g.n() > 0, "{spec}");
+            // Each one round-trips through its own text form.
+            assert_eq!(spec.to_string().parse::<WorkloadSpec>(), Ok(*spec));
+        }
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// parse ∘ display is the identity for every family, size, and
+        /// seed (including the omitted-seed canonical form).
+        #[test]
+        fn spec_roundtrips_through_display(
+            kind in 0usize..9,
+            param in 1u32..512,
+            n in 1usize..100_000,
+            seed in 0u64..1000,
+        ) {
+            let fam = match kind {
+                0 => Family::GnpAvgDeg(param),
+                1 => Family::Regular(param),
+                2 => Family::GeometricAvgDeg(param),
+                3 => Family::BarabasiAlbert(param),
+                4 => Family::Grid,
+                5 => Family::Path,
+                6 => Family::Cycle,
+                7 => Family::Star,
+                _ => Family::Complete,
+            };
+            let spec = WorkloadSpec { family: fam, n, seed };
+            prop_assert_eq!(spec.to_string().parse::<WorkloadSpec>(), Ok(spec));
+        }
+    }
+}

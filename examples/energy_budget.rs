@@ -1,6 +1,7 @@
 //! Energy-budget scan: how does each algorithm's worst-case energy grow
 //! with the network size? This is Theorems 1.1/1.2 and the Luby gap in
-//! one table — the headline comparison of the paper, runnable in seconds.
+//! one table — the headline comparison of the paper, expressed as one
+//! `Scenario` sweep per (algorithm, size) cell.
 //!
 //! ```sh
 //! cargo run --release --example energy_budget                # full size
@@ -8,25 +9,31 @@
 //! cargo run --release --example energy_budget -- --threads 4 # sharded engine
 //! ```
 //!
-//! `--threads N` runs on the sharded parallel engine with `N` workers;
-//! the table is bit-identical for every `N`.
+//! `--threads N` (or `--threads=N`) runs on the sharded parallel engine
+//! with `N` workers; the table is bit-identical for every `N`.
 
 use distributed_mis::prelude::*;
-use rand::SeedableRng;
 
 /// `--tiny` shrinks the workload so CI can execute the example in seconds.
 fn tiny() -> bool {
     std::env::args().any(|a| a == "--tiny")
 }
 
-/// `--threads N` selects the parallel worker count (default 1; 0 = the
-/// sequential engine). See [`SimConfig::threads_from_args`].
-fn threads() -> usize {
-    SimConfig::threads_from_args(1)
+/// One registry run on a workload spec, verified.
+fn run(algo: &str, workload: &str, threads: usize) -> RunReport {
+    let reports = Scenario::parse(algo, workload)
+        .expect("scenario")
+        .seeds(1..2)
+        .threads(threads)
+        .run()
+        .expect(algo);
+    let report = reports.into_iter().next().expect("one seed");
+    assert!(report.is_mis(), "{algo} on {workload}: not an MIS");
+    report
 }
 
 fn main() {
-    let cfg = SimConfig::seeded(1).with_threads(threads());
+    let threads = SimConfig::threads_from_args(1);
     let exps: &[u32] = if tiny() { &[8, 10] } else { &[10, 12, 14, 16] };
     println!(
         "{:<9} {:>10} {:>10} {:>10} | {:>9} {:>9} {:>9}",
@@ -35,15 +42,10 @@ fn main() {
     println!("{}", "-".repeat(78));
     for &exp in exps {
         let n = 1usize << exp;
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(u64::from(exp));
-        let g = generators::gnp(n, 10.0 / n as f64, &mut rng);
-
-        let a1 = run_algorithm1_with(&g, &Alg1Params::default(), &cfg).expect("alg1");
-        let a2 = run_algorithm2_with(&g, &Alg2Params::default(), &cfg).expect("alg2");
-        let lb = luby(&g, &cfg).expect("luby");
-        assert!(a1.is_mis() && a2.is_mis());
-        assert!(props::is_mis(&g, &lb.in_mis));
-
+        let workload = format!("gnp:n={n},deg=10,seed={exp}");
+        let a1 = run("alg1", &workload, threads);
+        let a2 = run("alg2", &workload, threads);
+        let lb = run("luby", &workload, threads);
         println!(
             "{:<9} {:>10} {:>10} {:>10} | {:>9} {:>9} {:>9}",
             format!("2^{exp}"),
@@ -67,16 +69,8 @@ fn main() {
     let exps: &[u32] = if tiny() { &[8, 10] } else { &[10, 12, 14] };
     for &exp in exps {
         let n = 1usize << exp;
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(u64::from(exp) + 77);
-        let g = generators::gnp(n, 10.0 / n as f64, &mut rng);
-        let r = run_avg_energy_with(
-            &g,
-            &Alg1Params::default(),
-            &AvgEnergyParams::default(),
-            &cfg,
-        )
-        .expect("avg energy");
-        assert!(r.is_mis());
+        let workload = format!("gnp:n={n},deg=10,seed={}", u64::from(exp) + 77);
+        let r = run("avg1", &workload, threads);
         println!(
             "{:<9} {:>12.2} {:>12}",
             format!("2^{exp}"),

@@ -1,6 +1,7 @@
 //! Phase anatomy: dissect one Algorithm 1 run into its phases and show
 //! where time and energy go — a direct view of the structure of the
-//! paper's proof of Theorem 1.1.
+//! paper's proof of Theorem 1.1, including the per-round awake time
+//! series streamed by the engine's `RoundObserver` hook.
 //!
 //! ```sh
 //! cargo run --release --example phase_anatomy                # full size
@@ -8,43 +9,49 @@
 //! cargo run --release --example phase_anatomy -- --threads 4 # sharded engine
 //! ```
 //!
-//! `--threads N` runs on the sharded parallel engine with `N` workers;
-//! the anatomy is bit-identical for every `N`.
+//! `--threads N` (or `--threads=N`) runs on the sharded parallel engine
+//! with `N` workers; the anatomy — including the round-by-round awake
+//! series — is bit-identical for every `N`.
 
 use distributed_mis::prelude::*;
-use rand::SeedableRng;
+use distributed_mis::runner::Alg1;
 
 /// `--tiny` shrinks the workload so CI can execute the example in seconds.
 fn tiny() -> bool {
     std::env::args().any(|a| a == "--tiny")
 }
 
-/// `--threads N` selects the parallel worker count (default 1; 0 = the
-/// sequential engine). See [`SimConfig::threads_from_args`].
-fn threads() -> usize {
-    SimConfig::threads_from_args(1)
-}
-
 fn main() {
     // A dense-ish regular graph so that Phase I has real work to do.
-    let (n, d) = if tiny() { (2_048, 256) } else { (16_384, 512) };
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
-    let g = generators::random_regular(n, d, &mut rng).clone();
+    let spec: WorkloadSpec = if tiny() {
+        "regular:n=2048,d=256,seed=5"
+    } else {
+        "regular:n=16384,d=512,seed=5"
+    }
+    .parse()
+    .expect("workload spec");
+    let g = spec.build();
     println!(
-        "graph: n = {}, d-regular with d = {}, m = {}",
+        "workload: {spec}  (n = {}, d-regular with d = {}, m = {})",
         g.n(),
         g.max_degree(),
         g.m()
     );
 
     // A gentler shattering constant leaves real shattered components, so
-    // the Phase III machinery (merge + parallel finish) shows up.
-    let params = Alg1Params {
-        shatter_c: 2.0,
-        ..Alg1Params::default()
+    // the Phase III machinery (merge + parallel finish) shows up. Custom
+    // parameters run through the same `Algorithm` trait as the registry
+    // defaults; `collect_rounds` turns on the per-round time series.
+    let alg = Alg1 {
+        params: Alg1Params {
+            shatter_c: 2.0,
+            ..Alg1Params::default()
+        },
     };
-    let cfg = SimConfig::seeded(17).with_threads(threads());
-    let report = run_algorithm1_with(&g, &params, &cfg).expect("algorithm 1");
+    let cfg = RunConfig::seeded(17)
+        .threads(SimConfig::threads_from_args(1))
+        .collect_rounds(true);
+    let report = alg.run(&g, &cfg).expect("algorithm 1");
     assert!(report.is_mis());
 
     // Group the fine-grained pipeline phases into the paper's three.
@@ -83,6 +90,31 @@ fn main() {
         report.metrics.avg_awake(),
         report.metrics.messages_sent
     );
+
+    // The RoundObserver time series: how many nodes are awake as the
+    // run progresses — the energy story of the paper round by round
+    // (almost everyone asleep almost always).
+    let log = report.rounds.as_ref().expect("collect_rounds was on");
+    let peak = log.peak_awake().max(1);
+    println!(
+        "\nawake-nodes time series ({} busy rounds, peak {} of {} nodes):",
+        log.busy_rounds(),
+        log.peak_awake(),
+        g.n()
+    );
+    const BARS: &[char] = &['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    const WIDTH: usize = 96;
+    // Downsample to the terminal width by max-pooling, so spikes survive.
+    let series: Vec<u64> = log.events().map(|e| e.awake).collect();
+    let chunk = series.len().div_ceil(WIDTH).max(1);
+    let spark: String = series
+        .chunks(chunk)
+        .map(|c| {
+            let m = c.iter().copied().max().unwrap_or(0);
+            BARS[((m * (BARS.len() as u64 - 1)) / peak) as usize]
+        })
+        .collect();
+    println!("  {spark}");
 
     println!("\nmeasured checkpoints (the lemmas of Section 2):");
     for key in [

@@ -1,5 +1,6 @@
-//! Quickstart: run both of the paper's algorithms and Luby's baseline on
-//! the same random graph and compare time and energy.
+//! Quickstart: run the paper's algorithms and the Luby-family baselines
+//! on the same graph through the unified `Algorithm` registry and
+//! compare time and energy — one code path, one report type.
 //!
 //! ```sh
 //! cargo run --release --example quickstart                # full size
@@ -7,83 +8,69 @@
 //! cargo run --release --example quickstart -- --threads 4 # sharded engine
 //! ```
 //!
-//! `--threads N` runs every simulation on the sharded parallel engine
-//! with `N` workers; the output is bit-identical for every `N` (that is
-//! the engine's determinism contract).
+//! `--threads N` (or `--threads=N`) runs every simulation on the sharded
+//! parallel engine with `N` workers; the output is bit-identical for
+//! every `N` (that is the engine's determinism contract).
 
 use distributed_mis::prelude::*;
-use rand::SeedableRng;
 
 /// `--tiny` shrinks the workload so CI can execute the example in seconds.
 fn tiny() -> bool {
     std::env::args().any(|a| a == "--tiny")
 }
 
-/// `--threads N` selects the parallel worker count (default 1; 0 = the
-/// sequential engine). See [`SimConfig::threads_from_args`].
-fn threads() -> usize {
-    SimConfig::threads_from_args(1)
-}
-
 fn main() {
     // A dense-enough graph that Phase I engages: the paper's analysis
-    // targets the regime max degree > log² n.
-    let (n, degree) = if tiny() { (1_024, 128) } else { (16_384, 400) };
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(2023);
-    let g = generators::random_regular(n, degree, &mut rng);
+    // targets the regime max degree > log² n. One workload language
+    // everywhere: the spec string is exactly what the scenario CLI takes.
+    let spec: WorkloadSpec = if tiny() {
+        "regular:n=1024,d=128,seed=2023"
+    } else {
+        "regular:n=16384,d=400,seed=2023"
+    }
+    .parse()
+    .expect("workload spec");
+    let g = spec.build();
     println!(
-        "graph: n = {}, m = {}, max degree = {}",
+        "workload: {spec}  (n = {}, m = {}, max degree = {})",
         g.n(),
         g.m(),
         g.max_degree()
     );
 
-    let cfg = SimConfig::seeded(42).with_threads(threads());
-    let alg1 = run_algorithm1_with(&g, &Alg1Params::default(), &cfg).expect("algorithm 1");
-    let alg2 = run_algorithm2_with(&g, &Alg2Params::default(), &cfg).expect("algorithm 2");
-    let base = luby(&g, &cfg).expect("luby");
-
+    let cfg = RunConfig::seeded(42).threads(SimConfig::threads_from_args(1));
     println!(
         "\n{:<14} {:>9} {:>11} {:>11} {:>9}",
         "algorithm", "rounds", "max awake", "avg awake", "|MIS|"
     );
-    for (name, rounds, max_awake, avg_awake, size, ok) in [
-        (
-            "algorithm-1",
-            alg1.metrics.elapsed_rounds,
-            alg1.metrics.max_awake(),
-            alg1.metrics.avg_awake(),
-            alg1.mis_size(),
-            alg1.is_mis(),
-        ),
-        (
-            "algorithm-2",
-            alg2.metrics.elapsed_rounds,
-            alg2.metrics.max_awake(),
-            alg2.metrics.avg_awake(),
-            alg2.mis_size(),
-            alg2.is_mis(),
-        ),
-        (
-            "luby",
-            base.metrics.elapsed_rounds,
-            base.metrics.max_awake(),
-            base.metrics.avg_awake(),
-            base.in_mis.iter().filter(|&&b| b).count(),
-            props::is_mis(&g, &base.in_mis),
-        ),
-    ] {
+    let mut reports = Vec::new();
+    for name in ["alg1", "alg2", "luby", "permutation"] {
+        let report = <dyn Algorithm>::from_name(name)
+            .expect("registered")
+            .run(&g, &cfg)
+            .expect(name);
         println!(
-            "{name:<14} {rounds:>9} {max_awake:>11} {avg_awake:>11.2} {size:>9}  {}",
-            if ok { "MIS ✓" } else { "NOT AN MIS ✗" }
+            "{name:<14} {:>9} {:>11} {:>11.2} {:>9}  {}",
+            report.metrics.elapsed_rounds,
+            report.metrics.max_awake(),
+            report.metrics.avg_awake(),
+            report.mis_size(),
+            if report.is_mis() {
+                "MIS ✓"
+            } else {
+                "NOT AN MIS ✗"
+            }
         );
+        assert!(report.is_mis(), "{name} failed verification");
+        reports.push(report);
     }
 
+    let (alg1, alg2, luby) = (&reports[0], &reports[1], &reports[2]);
     println!(
         "\nThe point of the paper: Luby keeps its busiest node awake for \
          ~all {} rounds, while Algorithm 1 gets away with {} awake rounds \
          (O(log log n)) and Algorithm 2 with {} (O(log² log n)).",
-        base.metrics.max_awake(),
+        luby.metrics.max_awake(),
         alg1.metrics.max_awake(),
         alg2.metrics.max_awake()
     );

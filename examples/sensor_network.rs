@@ -14,11 +14,10 @@
 //! cargo run --release --example sensor_network -- --threads 4 # sharded engine
 //! ```
 //!
-//! `--threads N` runs on the sharded parallel engine with `N` workers;
-//! the report is bit-identical for every `N`.
+//! `--threads N` (or `--threads=N`) runs on the sharded parallel engine
+//! with `N` workers; the report is bit-identical for every `N`.
 
 use distributed_mis::prelude::*;
-use rand::SeedableRng;
 
 /// Battery budget: how many awake rounds a sensor survives.
 const BATTERY_ROUNDS: u64 = 120;
@@ -28,39 +27,44 @@ fn tiny() -> bool {
     std::env::args().any(|a| a == "--tiny")
 }
 
-/// `--threads N` selects the parallel worker count (default 1; 0 = the
-/// sequential engine). See [`SimConfig::threads_from_args`].
-fn threads() -> usize {
-    SimConfig::threads_from_args(1)
-}
-
 fn main() {
-    let n = if tiny() { 2_000 } else { 30_000 };
-    let target_degree = 12.0;
-    let radius = (target_degree / (std::f64::consts::PI * n as f64)).sqrt();
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
-    let g = generators::random_geometric(n, radius, &mut rng);
+    // `rgg:deg=12` targets an expected average degree of 12 over the
+    // unit square — the same sensor-field workload the scenario CLI and
+    // the experiment suite can name.
+    let spec: WorkloadSpec = if tiny() {
+        "rgg:n=2000,deg=12,seed=99"
+    } else {
+        "rgg:n=30000,deg=12,seed=99"
+    }
+    .parse()
+    .expect("workload spec");
+    let g = spec.build();
     println!(
-        "sensor field: {} radios, radio range {:.4}, avg degree {:.1}, max degree {}",
+        "sensor field: {spec}  ({} radios, avg degree {:.1}, max degree {})",
         g.n(),
-        radius,
         g.avg_degree(),
         g.max_degree()
     );
 
-    let cfg = SimConfig::seeded(1).with_threads(threads());
-    let alg1 = run_algorithm1_with(&g, &Alg1Params::default(), &cfg).expect("algorithm 1");
-    let base = luby(&g, &cfg).expect("luby");
-    assert!(alg1.is_mis());
-    assert!(props::is_mis(&g, &base.in_mis));
+    let cfg = RunConfig::seeded(1).threads(SimConfig::threads_from_args(1));
+    let alg1 = <dyn Algorithm>::from_name("alg1")
+        .expect("registered")
+        .run(&g, &cfg)
+        .expect("algorithm 1");
+    let base = <dyn Algorithm>::from_name("luby")
+        .expect("registered")
+        .run(&g, &cfg)
+        .expect("luby");
+    assert!(alg1.is_mis() && base.is_mis());
 
     println!(
         "\ncluster heads elected: {} (ours) vs {} (luby)",
         alg1.mis_size(),
-        base.in_mis.iter().filter(|&&b| b).count()
+        base.mis_size()
     );
 
-    for (name, metrics) in [("algorithm-1", &alg1.metrics), ("luby", &base.metrics)] {
+    for report in [&alg1, &base] {
+        let metrics = &report.metrics;
         let max_awake = metrics.max_awake();
         let dead = metrics
             .awake_rounds
@@ -73,8 +77,9 @@ fn main() {
             BATTERY_ROUNDS as f64 / max_awake as f64
         };
         println!(
-            "\n[{name}] rounds = {}, busiest sensor awake = {max_awake}, \
+            "\n[{}] rounds = {}, busiest sensor awake = {max_awake}, \
              avg awake = {:.2}",
+            report.algorithm,
             metrics.elapsed_rounds,
             metrics.avg_awake()
         );

@@ -2,40 +2,90 @@
 //! and Time Complexities"* (Ghaffari & Portmann, PODC 2023,
 //! arXiv:2305.11639).
 //!
-//! This facade crate re-exports the four building blocks of the
+//! This facade crate re-exports the five building blocks of the
 //! workspace so applications can depend on a single crate:
 //!
+//! * [`runner`] ([`mis_runner`]) — **the unified scenario API**: the
+//!   type-erased [`Algorithm`](mis_runner::Algorithm) registry, the
+//!   [`WorkloadSpec`](mis_runner::WorkloadSpec) workload grammar, and
+//!   declarative [`Scenario`](mis_runner::Scenario) sweeps;
 //! * [`algorithms`] ([`energy_mis`]) — the paper's Algorithm 1,
 //!   Algorithm 2, and the Section 4 constant-average-energy extension;
 //! * [`sim`] ([`congest_sim`]) — the sleeping-CONGEST simulator with
-//!   energy accounting;
+//!   energy accounting and per-round [`RoundObserver`](congest_sim::RoundObserver)
+//!   hooks;
 //! * [`graphs`] ([`mis_graphs`]) — graph types and workload generators;
 //! * [`baselines`] ([`mis_baselines`]) — Luby and friends.
 //!
 //! # Quickstart
 //!
+//! Every algorithm of the reproduction — the paper's two, the Section 4
+//! average-energy variants, and the baselines — runs through one code
+//! path and returns one report type:
+//!
 //! ```
 //! use distributed_mis::prelude::*;
-//! use rand::SeedableRng;
 //!
-//! let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
-//! let g = generators::gnp(400, 8.0 / 400.0, &mut rng);
+//! let g = "gnp:n=400,deg=8".parse::<WorkloadSpec>().unwrap().build();
+//! let cfg = RunConfig::seeded(7);
 //!
-//! let ours = run_algorithm1(&g, &Alg1Params::default(), 7).unwrap();
-//! let theirs = luby(&g, &SimConfig::seeded(7)).unwrap();
+//! let ours = <dyn Algorithm>::from_name("alg1").unwrap().run(&g, &cfg).unwrap();
+//! let luby = <dyn Algorithm>::from_name("luby").unwrap().run(&g, &cfg).unwrap();
 //!
-//! assert!(ours.is_mis());
-//! assert!(props::is_mis(&g, &theirs.in_mis));
+//! assert!(ours.is_mis() && luby.is_mis());
 //! // Both are MISes; ours lets nodes sleep.
 //! println!(
 //!     "energy: ours = {}, luby = {}",
 //!     ours.metrics.max_awake(),
-//!     theirs.metrics.max_awake()
+//!     luby.metrics.max_awake()
 //! );
 //! ```
+//!
+//! Whole sweeps are one [`Scenario`](mis_runner::Scenario) value:
+//!
+//! ```
+//! use distributed_mis::prelude::*;
+//!
+//! let reports = Scenario::parse("luby", "cycle:n=64")
+//!     .unwrap()
+//!     .seeds(0..3)
+//!     .run()
+//!     .unwrap();
+//! assert!(reports.iter().all(|r| r.is_mis()));
+//! ```
+//!
+//! # Migrating from the old free functions
+//!
+//! The pre-registry entry points remain available as shims; new code
+//! should prefer the registry:
+//!
+//! | old | new |
+//! |---|---|
+//! | `run_algorithm1(&g, &params, seed)` | `<dyn Algorithm>::from_name("alg1")?.run(&g, &RunConfig::seeded(seed))` |
+//! | `run_algorithm2_with(&g, &params, &sim_cfg)` | `<dyn Algorithm>::from_name("alg2")?.run(&g, &sim_cfg.into())` |
+//! | `run_avg_energy(&g, &base, &ae, seed)` | `<dyn Algorithm>::from_name("avg1")?.run(&g, &RunConfig::seeded(seed))` |
+//! | `run_avg_energy2(&g, &base, &ae, seed)` | `<dyn Algorithm>::from_name("avg2")?.run(&g, &RunConfig::seeded(seed))` |
+//! | `luby(&g, &sim_cfg)` | `<dyn Algorithm>::from_name("luby")?.run(&g, &sim_cfg.into())` |
+//! | `permutation(&g, &sim_cfg)` | `<dyn Algorithm>::from_name("permutation")?.run(&g, &sim_cfg.into())` |
+//! | `greedy_mis(&g)` | `<dyn Algorithm>::from_name("greedy")?.run(&g, &RunConfig::default())` |
+//! | hand-rolled `generators::gnp(n, p, &mut rng)` setup | `"gnp:n=..,deg=..".parse::<WorkloadSpec>()?.build()` |
+//! | custom params: `run_algorithm1_with(&g, &p, &c)` | `runner::Alg1 { params: p }.run(&g, &c.into())` |
+//!
+//! The old result types convert thinly:
+//! [`MisReport`](energy_mis::MisReport) ↔
+//! [`RunReport`](mis_runner::RunReport) via
+//! [`RunReport::from_mis_report`](mis_runner::RunReport::from_mis_report) /
+//! [`RunReport::into_mis_report`](mis_runner::RunReport::into_mis_report),
+//! and [`MisRun`](mis_baselines::MisRun) via
+//! [`RunReport::from_mis_run`](mis_runner::RunReport::from_mis_run).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+/// The unified scenario API (re-export of [`mis_runner`]).
+pub mod runner {
+    pub use mis_runner::*;
+}
 
 /// The paper's algorithms (re-export of [`energy_mis`]).
 pub mod algorithms {
@@ -60,10 +110,11 @@ pub mod baselines {
 /// One-stop imports for applications and examples.
 pub mod prelude {
     pub use congest_sim::{
-        run_auto, run_parallel, run_parallel_with_scratch, Metrics, ParScratch, SimConfig,
+        run_auto, run_auto_observed, run_parallel, run_parallel_with_scratch, Metrics, ParScratch,
+        RoundEvent, RoundLog, RoundObserver, SimConfig,
     };
-    pub use energy_mis::alg1::{run_algorithm1, run_algorithm1_with};
-    pub use energy_mis::alg2::{run_algorithm2, run_algorithm2_with};
+    pub use energy_mis::alg1::{run_algorithm1, run_algorithm1_observed, run_algorithm1_with};
+    pub use energy_mis::alg2::{run_algorithm2, run_algorithm2_observed, run_algorithm2_with};
     pub use energy_mis::avg_energy::{
         run_avg_energy, run_avg_energy2, run_avg_energy2_with, run_avg_energy_with,
     };
@@ -71,4 +122,7 @@ pub mod prelude {
     pub use energy_mis::MisReport;
     pub use mis_baselines::{greedy_mis, luby, permutation, MisRun};
     pub use mis_graphs::{generators, props, Graph, GraphBuilder, Partition};
+    pub use mis_runner::{
+        registry, Algorithm, RunConfig, RunReport, Scenario, ScenarioError, WorkloadSpec,
+    };
 }

@@ -1,0 +1,133 @@
+//! The acceptance contract of the unified scenario API: one code path
+//! runs the full matrix — every registered algorithm × every registered
+//! workload family — returning a verified `RunReport` whose metrics are
+//! bit-identical across thread counts.
+
+use distributed_mis::prelude::*;
+
+/// `Algorithm::from_name(a)?.run(&workload.parse()?.build(),
+/// &RunConfig::seeded(s).threads(t))` works for all 7 registered
+/// algorithms × all registered families, produces a verified MIS, and is
+/// bit-identical across `threads ∈ {0, 2}`.
+#[test]
+fn full_matrix_verified_and_thread_invariant() {
+    let mut cells = 0;
+    for workload in WorkloadSpec::tiny_suite() {
+        // The spec round-trips through its text form — the same string
+        // the scenario CLI takes.
+        let g = workload
+            .to_string()
+            .parse::<WorkloadSpec>()
+            .expect("canonical spec reparses")
+            .build();
+        for alg in registry::algorithms() {
+            let seq = alg
+                .run(&g, &RunConfig::seeded(3).threads(0))
+                .unwrap_or_else(|e| panic!("{} on {workload}: {e}", alg.name()));
+            let par = alg
+                .run(&g, &RunConfig::seeded(3).threads(2))
+                .unwrap_or_else(|e| panic!("{} on {workload} @2 threads: {e}", alg.name()));
+            assert!(
+                seq.is_mis(),
+                "{} on {workload}: not a verified MIS",
+                alg.name()
+            );
+            assert_eq!(
+                seq.in_mis,
+                par.in_mis,
+                "{} on {workload}: set differs across thread counts",
+                alg.name()
+            );
+            assert_eq!(
+                seq.metrics,
+                par.metrics,
+                "{} on {workload}: metrics differ across thread counts",
+                alg.name()
+            );
+            cells += 1;
+        }
+    }
+    assert_eq!(cells, 7 * 9, "matrix coverage shrank");
+}
+
+/// The collected round time series is part of the determinism contract:
+/// identical across thread counts, and consistent with the aggregate
+/// metrics.
+#[test]
+fn collected_rounds_are_thread_invariant() {
+    let g = "gnp:n=256,deg=8,seed=2"
+        .parse::<WorkloadSpec>()
+        .unwrap()
+        .build();
+    for name in ["alg1", "luby"] {
+        let alg = registry::from_name(name).unwrap();
+        let seq = alg
+            .run(&g, &RunConfig::seeded(5).collect_rounds(true))
+            .unwrap();
+        let par = alg
+            .run(&g, &RunConfig::seeded(5).threads(2).collect_rounds(true))
+            .unwrap();
+        let (seq_log, par_log) = (seq.rounds.as_ref().unwrap(), par.rounds.as_ref().unwrap());
+        assert_eq!(seq_log, par_log, "{name}: event streams differ");
+        assert_eq!(seq_log.busy_rounds() as u64, seq.metrics.busy_rounds);
+        let sent: u64 = seq_log.events().map(|e| e.messages_sent).sum();
+        assert_eq!(sent, seq.metrics.messages_sent, "{name}");
+    }
+}
+
+/// Scenario sweeps are the declarative face of the same path.
+#[test]
+fn scenario_sweep_equals_manual_runs() {
+    let reports = Scenario::parse("permutation", "grid:n=121")
+        .unwrap()
+        .seeds(0..3)
+        .run()
+        .unwrap();
+    assert_eq!(reports.len(), 3);
+    let g = "grid:n=121".parse::<WorkloadSpec>().unwrap().build();
+    for (seed, from_scenario) in reports.iter().enumerate() {
+        let manual = registry::from_name("permutation")
+            .unwrap()
+            .run(&g, &RunConfig::seeded(seed as u64))
+            .unwrap();
+        assert_eq!(manual.in_mis, from_scenario.in_mis, "seed {seed}");
+        assert_eq!(manual.metrics, from_scenario.metrics, "seed {seed}");
+    }
+}
+
+/// The shims stay: old free functions and the new registry agree on the
+/// same graph and seed (`MisReport`/`MisRun` are thin conversions of
+/// `RunReport`).
+#[test]
+fn old_entry_points_agree_with_registry() {
+    let g = "gnp:n=200,deg=8,seed=4"
+        .parse::<WorkloadSpec>()
+        .unwrap()
+        .build();
+    let sim = SimConfig::seeded(9);
+
+    let old = run_algorithm1_with(&g, &Alg1Params::default(), &sim).unwrap();
+    let new = registry::from_name("alg1")
+        .unwrap()
+        .run(&g, &sim.clone().into())
+        .unwrap();
+    assert_eq!(old.in_mis, new.in_mis);
+    assert_eq!(old.metrics, new.metrics);
+    let back = new.into_mis_report();
+    assert_eq!(back.in_mis, old.in_mis);
+
+    let old = luby(&g, &sim).unwrap();
+    let new = registry::from_name("luby")
+        .unwrap()
+        .run(&g, &sim.into())
+        .unwrap();
+    assert_eq!(old.in_mis, new.in_mis);
+    assert_eq!(old.metrics, new.metrics);
+
+    let oracle = greedy_mis(&g);
+    let new = registry::from_name("greedy")
+        .unwrap()
+        .run(&g, &RunConfig::default())
+        .unwrap();
+    assert_eq!(oracle, new.in_mis);
+}

@@ -2,7 +2,7 @@
 
 use crate::{Decision, MisRun};
 use congest_sim::{
-    run_auto, run_auto_observed, InitApi, NodeId, Protocol, RecvApi, RoundObserver, SendApi,
+    run_auto, run_auto_observed, Inbox, InitApi, NodeId, Protocol, RecvApi, RoundObserver, SendApi,
     SimConfig, SimError,
 };
 use mis_graphs::Graph;
@@ -128,14 +128,14 @@ impl Protocol for LubyProtocol {
         }
     }
 
-    fn recv(&self, state: &mut LubyState, inbox: &[(NodeId, LubyMsg)], api: &mut RecvApi<'_>) {
+    fn recv(&self, state: &mut LubyState, inbox: Inbox<'_, LubyMsg>, api: &mut RecvApi<'_>) {
         match Self::sub_round(api.round()) {
             0 => {
                 if state.marked {
                     let me = (state.active_degree, api.node());
                     for (src, msg) in inbox {
                         if let LubyMsg::Mark(deg) = msg {
-                            if (*deg, *src) > me {
+                            if (*deg, src) > me {
                                 state.beaten = true;
                             }
                         }
@@ -154,7 +154,7 @@ impl Protocol for LubyProtocol {
                     if *msg == LubyMsg::Inactive {
                         let i = api
                             .neighbors()
-                            .binary_search(src)
+                            .binary_search(&src)
                             .expect("sender is a neighbor");
                         if state.nbr_active[i] {
                             state.nbr_active[i] = false;

@@ -2,7 +2,7 @@
 
 use crate::{Decision, MisRun};
 use congest_sim::{
-    run_auto, run_auto_observed, InitApi, NodeId, Protocol, RecvApi, RoundObserver, SendApi,
+    run_auto, run_auto_observed, Inbox, InitApi, NodeId, Protocol, RecvApi, RoundObserver, SendApi,
     SimConfig, SimError,
 };
 use mis_graphs::Graph;
@@ -104,14 +104,14 @@ impl Protocol for PermutationProtocol {
         }
     }
 
-    fn recv(&self, state: &mut PermState, inbox: &[(NodeId, PermMsg)], api: &mut RecvApi<'_>) {
+    fn recv(&self, state: &mut PermState, inbox: Inbox<'_, PermMsg>, api: &mut RecvApi<'_>) {
         match api.round() % Self::SUB_ROUNDS {
             0 => {
                 if state.decision == Decision::Undecided {
                     let me = (state.priority, api.node());
                     for (src, msg) in inbox {
                         if let PermMsg::Priority(p) = msg {
-                            if (*p, *src) < me {
+                            if (*p, src) < me {
                                 state.is_local_min = false;
                             }
                         }
@@ -130,7 +130,7 @@ impl Protocol for PermutationProtocol {
                     if *msg == PermMsg::Inactive {
                         let i = api
                             .neighbors()
-                            .binary_search(src)
+                            .binary_search(&src)
                             .expect("sender is a neighbor");
                         if state.nbr_active[i] {
                             state.nbr_active[i] = false;

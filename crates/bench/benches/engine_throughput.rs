@@ -5,7 +5,8 @@
 //! (`BENCH_engine.json`).
 
 use congest_sim::{
-    run, run_with_scratch, EngineScratch, InitApi, NodeId, Protocol, RecvApi, SendApi, SimConfig,
+    run, run_with_scratch, EngineScratch, Inbox, InitApi, NodeId, Protocol, RecvApi, SendApi,
+    SimConfig,
 };
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mis_bench::{workload_gnp, workload_regular};
@@ -29,7 +30,7 @@ impl Protocol for Chatter {
         api.broadcast(*state & 0xffff);
     }
 
-    fn recv(&self, state: &mut u32, inbox: &[(NodeId, u32)], _api: &mut RecvApi<'_>) {
+    fn recv(&self, state: &mut u32, inbox: Inbox<'_, u32>, _api: &mut RecvApi<'_>) {
         for (src, v) in inbox {
             *state = state.wrapping_add(src.wrapping_add(*v));
         }

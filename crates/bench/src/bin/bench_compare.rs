@@ -1,0 +1,312 @@
+//! Perf-regression gate over `BENCH_engine.json` artifacts.
+//!
+//! Parses a freshly emitted engine-throughput JSON (see the
+//! `engine_throughput` binary) and a committed baseline of the same
+//! schema, matches workloads by `(family, n)`, and fails when any
+//! matched workload's `rounds_per_sec` regressed by more than the
+//! allowed fraction. This is the `bench-compare` step of CI's
+//! bench-smoke job: the committed baseline is refreshed whenever a PR
+//! intentionally moves the numbers, so the perf trajectory is recorded
+//! and accidental regressions fail loudly.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_compare --baseline BENCH_baseline_tiny.json \
+//!               --current BENCH_engine.json [--max-regression 0.20]
+//! ```
+//!
+//! Exit codes: 0 = within budget, 1 = regression beyond budget,
+//! 2 = bad arguments or unparseable input. Workloads present on only one
+//! side are reported and skipped (tiny CI runs and full local runs use
+//! different sizes); zero overlap is an error, because it means the gate
+//! silently compared nothing.
+//!
+//! The parser is a purpose-built scanner for the emitter's own fixed
+//! schema (the workspace vendors no JSON dependency); it is unit-tested
+//! against the emitter's exact output shape below.
+
+use std::process::ExitCode;
+
+/// One `workloads[]` row: the keys the gate compares on.
+#[derive(Debug, Clone, PartialEq)]
+struct WorkloadRow {
+    family: String,
+    n: u64,
+    rounds_per_sec: f64,
+    messages_per_sec: f64,
+}
+
+/// Extracts the string value of `"key": "..."` from one JSON object
+/// body.
+fn str_field(obj: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = obj.find(&pat)? + pat.len();
+    let end = obj[start..].find('"')?;
+    Some(obj[start..start + end].to_string())
+}
+
+/// Extracts the numeric value of `"key": <number>` from one JSON object
+/// body.
+fn num_field(obj: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = obj.find(&pat)? + pat.len();
+    let rest = &obj[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses the `"workloads": [...]` rows out of a `BENCH_engine.json`
+/// document. Returns `None` when the section or any row field is
+/// missing — a schema drift the gate must not paper over.
+fn parse_workloads(doc: &str) -> Option<Vec<WorkloadRow>> {
+    let sec_start = doc.find("\"workloads\": [")?;
+    let sec = &doc[sec_start..];
+    let sec_end = sec.find(']')?;
+    let body = &sec[..sec_end];
+    let mut rows = Vec::new();
+    let mut rest = body;
+    while let Some(open) = rest.find('{') {
+        let close = rest[open..].find('}')? + open;
+        let obj = &rest[open..=close];
+        rows.push(WorkloadRow {
+            family: str_field(obj, "family")?,
+            n: num_field(obj, "n")? as u64,
+            rounds_per_sec: num_field(obj, "rounds_per_sec")?,
+            messages_per_sec: num_field(obj, "messages_per_sec")?,
+        });
+        rest = &rest[close + 1..];
+    }
+    Some(rows)
+}
+
+/// Outcome of comparing current rows against a baseline.
+#[derive(Debug, Default, PartialEq)]
+struct Comparison {
+    /// `(family, n, baseline r/s, current r/s, ratio)` for every match.
+    matched: Vec<(String, u64, f64, f64, f64)>,
+    /// Workloads found on only one side (reported, not fatal).
+    unmatched: usize,
+    /// Matched workloads whose ratio fell below the floor.
+    regressed: Vec<(String, u64, f64)>,
+}
+
+/// Matches rows by `(family, n)` and flags rounds/sec ratios below
+/// `1 - max_regression`.
+fn compare(baseline: &[WorkloadRow], current: &[WorkloadRow], max_regression: f64) -> Comparison {
+    let floor = 1.0 - max_regression;
+    let mut out = Comparison::default();
+    for b in baseline {
+        match current.iter().find(|c| c.family == b.family && c.n == b.n) {
+            Some(c) => {
+                let ratio = c.rounds_per_sec / b.rounds_per_sec;
+                out.matched.push((
+                    b.family.clone(),
+                    b.n,
+                    b.rounds_per_sec,
+                    c.rounds_per_sec,
+                    ratio,
+                ));
+                if ratio < floor {
+                    out.regressed.push((b.family.clone(), b.n, ratio));
+                }
+            }
+            None => out.unmatched += 1,
+        }
+    }
+    out.unmatched += current
+        .iter()
+        .filter(|c| !baseline.iter().any(|b| b.family == c.family && b.n == c.n))
+        .count();
+    out
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(base_path), Some(cur_path)) = (flag(&args, "--baseline"), flag(&args, "--current"))
+    else {
+        eprintln!(
+            "usage: bench_compare --baseline PATH --current PATH [--max-regression FRACTION]"
+        );
+        return ExitCode::from(2);
+    };
+    let max_regression: f64 = match flag(&args, "--max-regression") {
+        Some(v) => match v.parse() {
+            Ok(f) if (0.0..1.0).contains(&f) => f,
+            _ => {
+                eprintln!("--max-regression must be a fraction in [0, 1): got {v}");
+                return ExitCode::from(2);
+            }
+        },
+        None => 0.20,
+    };
+
+    let read = |path: &str| -> Option<Vec<WorkloadRow>> {
+        let doc = std::fs::read_to_string(path)
+            .map_err(|e| eprintln!("cannot read {path}: {e}"))
+            .ok()?;
+        let rows = parse_workloads(&doc);
+        if rows.is_none() {
+            eprintln!("{path}: no parseable \"workloads\" section (schema drift?)");
+        }
+        // A zero or negative rate cannot come from a real measurement;
+        // treat it as a truncated/hand-edited file rather than silently
+        // skipping (or dividing by) the row.
+        if let Some(rows) = &rows {
+            if let Some(bad) = rows.iter().find(|r| r.rounds_per_sec <= 0.0) {
+                eprintln!(
+                    "{path}: workload {} n={} has non-positive rounds_per_sec {} (schema drift?)",
+                    bad.family, bad.n, bad.rounds_per_sec
+                );
+                return None;
+            }
+        }
+        rows
+    };
+    let (Some(baseline), Some(current)) = (read(&base_path), read(&cur_path)) else {
+        return ExitCode::from(2);
+    };
+
+    let cmp = compare(&baseline, &current, max_regression);
+    for (family, n, brps, crps, ratio) in &cmp.matched {
+        println!(
+            "{family:>8} n={n:<8} baseline {brps:>10.1} r/s  current {crps:>10.1} r/s  ({ratio:.3}x)"
+        );
+    }
+    if cmp.unmatched > 0 {
+        println!(
+            "note: {} workload(s) present on only one side were skipped",
+            cmp.unmatched
+        );
+    }
+    if cmp.matched.is_empty() {
+        eprintln!(
+            "no overlapping workloads between baseline and current: the gate compared nothing"
+        );
+        return ExitCode::from(2);
+    }
+    if cmp.regressed.is_empty() {
+        println!(
+            "bench-compare OK: {} workload(s) within {:.0}% of baseline",
+            cmp.matched.len(),
+            max_regression * 100.0
+        );
+        ExitCode::SUCCESS
+    } else {
+        for (family, n, ratio) in &cmp.regressed {
+            eprintln!(
+                "REGRESSION: {family} n={n} at {ratio:.3}x of baseline rounds/sec \
+                 (floor {:.3}x)",
+                1.0 - max_regression
+            );
+        }
+        ExitCode::from(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fragment in the emitter's exact output shape.
+    const DOC: &str = r#"{
+  "schema": "bench-engine-v1",
+  "mode": "tiny",
+  "protocol": "chatter-broadcast-all-awake",
+  "available_parallelism": 1,
+  "workloads": [
+    {"family": "gnp", "n": 1024, "rounds": 4096, "messages": 100, "secs": 1.5, "rounds_per_sec": 2730.7, "messages_per_sec": 66.7},
+    {"family": "regular", "n": 1024, "rounds": 4096, "messages": 200, "secs": 2.0, "rounds_per_sec": 2048.0, "messages_per_sec": 100.0}
+  ],
+  "thread_sweep": {
+    "entries": [
+      {"n": 1024, "threads": 0, "engine": "sequential", "rounds": 4096, "secs": 1.5, "rounds_per_sec": 2730.7, "speedup_vs_sequential": 1.000}
+    ]
+  }
+}"#;
+
+    #[test]
+    fn parses_the_emitter_schema() {
+        let rows = parse_workloads(DOC).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].family, "gnp");
+        assert_eq!(rows[0].n, 1024);
+        assert!((rows[0].rounds_per_sec - 2730.7).abs() < 1e-9);
+        assert!((rows[1].messages_per_sec - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thread_sweep_entries_are_not_workloads() {
+        // The sweep section repeats similar keys; the parser must stop at
+        // the end of the workloads array.
+        let rows = parse_workloads(DOC).unwrap();
+        assert!(rows.iter().all(|r| !r.family.is_empty()), "{rows:?}");
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn missing_section_is_an_error_not_empty() {
+        assert!(parse_workloads("{\"schema\": \"bench-engine-v1\"}").is_none());
+    }
+
+    fn row(family: &str, n: u64, rps: f64) -> WorkloadRow {
+        WorkloadRow {
+            family: family.into(),
+            n,
+            rounds_per_sec: rps,
+            messages_per_sec: rps * 10.0,
+        }
+    }
+
+    #[test]
+    fn within_budget_passes_and_regression_fails() {
+        let base = vec![row("gnp", 1024, 100.0), row("regular", 1024, 50.0)];
+        let ok = vec![row("gnp", 1024, 85.0), row("regular", 1024, 49.0)];
+        let cmp = compare(&base, &ok, 0.20);
+        assert!(cmp.regressed.is_empty());
+        assert_eq!(cmp.matched.len(), 2);
+
+        let bad = vec![row("gnp", 1024, 79.9), row("regular", 1024, 49.0)];
+        let cmp = compare(&base, &bad, 0.20);
+        assert_eq!(cmp.regressed.len(), 1);
+        assert_eq!(cmp.regressed[0].0, "gnp");
+    }
+
+    #[test]
+    fn zero_rate_rows_still_match_for_reporting() {
+        // Non-positive rates are rejected at read time in main; compare()
+        // itself must not silently reclassify such a pair as unmatched.
+        let base = vec![row("gnp", 1024, 0.0)];
+        let cur = vec![row("gnp", 1024, 100.0)];
+        let cmp = compare(&base, &cur, 0.20);
+        assert_eq!(cmp.matched.len(), 1);
+        assert_eq!(cmp.unmatched, 0);
+    }
+
+    #[test]
+    fn disjoint_sizes_match_nothing() {
+        let base = vec![row("gnp", 16384, 100.0)];
+        let cur = vec![row("gnp", 1024, 1000.0)];
+        let cmp = compare(&base, &cur, 0.20);
+        assert!(cmp.matched.is_empty());
+        assert_eq!(cmp.unmatched, 2);
+    }
+
+    #[test]
+    fn improvements_never_trip_the_gate() {
+        let base = vec![row("gnp", 1024, 100.0)];
+        let cur = vec![row("gnp", 1024, 250.0)];
+        let cmp = compare(&base, &cur, 0.20);
+        assert!(cmp.regressed.is_empty());
+        assert!(cmp.matched[0].4 > 2.4);
+    }
+}

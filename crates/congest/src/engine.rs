@@ -14,12 +14,23 @@
 //!   (indexed by [`mis_graphs::EdgeId`]) instead of a global outbox —
 //!   a send addressed by neighbor rank is an O(1) write through the
 //!   precomputed reverse-edge table, duplicate-destination detection is
-//!   an O(1) stamp compare, and a receiver drains its slot range already
+//!   an O(1) stamp compare, and a receiver reads its slot range already
 //!   in ascending sender order.
+//!
+//! Delivery is **zero-copy end to end**: a payload is written exactly
+//! once (by the send that claims its edge slot) and never moved again —
+//! [`Protocol::recv`] receives a borrowed [`Inbox`] view that iterates
+//! `(sender, &msg)` straight out of the slot range, stamp-filtered, with
+//! no per-round re-materialization of inbox buffers. Per-node hot flags
+//! (awake / halted) are packed into `u64` bitset words
+//! ([`crate::bits::NodeBits`]), and CONGEST message/bit accounting is
+//! tallied locally per node and committed to the [`Metrics`] once per
+//! send half, not once per message.
 //!
 //! All reusable buffers live in an [`EngineScratch`], allocated once per
 //! run (or once across many runs via [`run_with_scratch`]).
 
+use crate::bits::NodeBits;
 use crate::error::SimError;
 use crate::message::Message;
 use crate::metrics::Metrics;
@@ -56,10 +67,125 @@ pub trait Protocol {
     /// Send half of an awake round: inspect state, optionally transmit.
     fn send(&self, state: &mut Self::State, api: &mut SendApi<'_, Self::Msg>);
 
-    /// Receive half of an awake round: `inbox` holds the messages sent to
-    /// this node in this round by awake neighbors, in ascending sender
-    /// order. Future wakeups and halting are requested here.
-    fn recv(&self, state: &mut Self::State, inbox: &[(NodeId, Self::Msg)], api: &mut RecvApi<'_>);
+    /// Receive half of an awake round: `inbox` is a borrowed view over
+    /// the messages sent to this node in this round by awake neighbors,
+    /// iterated in ascending sender order directly from the delivery
+    /// slots (no payload is copied). Future wakeups and halting are
+    /// requested here.
+    fn recv(&self, state: &mut Self::State, inbox: Inbox<'_, Self::Msg>, api: &mut RecvApi<'_>);
+}
+
+/// Borrowed view of one node's inbox for the current round.
+///
+/// The engine hands this to [`Protocol::recv`] instead of a materialized
+/// `&[(NodeId, Msg)]` slice: iteration walks the node's contiguous
+/// in-edge slot range, yields `(sender, &msg)` for every slot stamped
+/// this round, and skips the rest — ascending sender order falls out of
+/// the CSR slot layout for free. The payload stays in its delivery slot;
+/// after the send wrote it, it is never moved or cloned again.
+///
+/// The view is `Copy`, so it can be passed around freely inside `recv`.
+/// [`Inbox::count`] and [`Inbox::is_empty`] scan the slot range (cost
+/// `O(degree)`, like one iteration); protocols that need the count *and*
+/// the items should iterate once instead of calling both.
+pub struct Inbox<'a, M> {
+    /// The receiver's in-edge slots, `slots[k]` paired with `senders[k]`.
+    slots: &'a [EdgeSlot<M>],
+    /// The receiver's sorted neighbor list (slot `k` ⇔ `senders[k]`).
+    senders: &'a [NodeId],
+    /// Slots carrying this stamp hold a message delivered this round.
+    stamp: u64,
+}
+
+impl<M> Clone for Inbox<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<M> Copy for Inbox<'_, M> {}
+
+impl<M: std::fmt::Debug> std::fmt::Debug for Inbox<'_, M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<'a, M> Inbox<'a, M> {
+    /// Assembles a view over one node's slot range (engine internal).
+    pub(crate) fn new(slots: &'a [EdgeSlot<M>], senders: &'a [NodeId], stamp: u64) -> Inbox<'a, M> {
+        debug_assert_eq!(slots.len(), senders.len());
+        Inbox {
+            slots,
+            senders,
+            stamp,
+        }
+    }
+
+    /// Iterates `(sender, &msg)` in ascending sender order.
+    pub fn iter(&self) -> InboxIter<'a, M> {
+        InboxIter {
+            inner: self.slots.iter().zip(self.senders.iter()),
+            stamp: self.stamp,
+        }
+    }
+
+    /// Whether no message arrived this round (`O(degree)` scan, stopping
+    /// at the first hit).
+    pub fn is_empty(&self) -> bool {
+        self.iter().next().is_none()
+    }
+
+    /// Number of messages delivered this round (`O(degree)` scan).
+    pub fn count(&self) -> usize {
+        self.slots.iter().filter(|s| s.stamp == self.stamp).count()
+    }
+
+    /// The first (lowest-sender) message, if any.
+    pub fn first(&self) -> Option<(NodeId, &'a M)> {
+        self.iter().next()
+    }
+}
+
+impl<'a, M> IntoIterator for Inbox<'a, M> {
+    type Item = (NodeId, &'a M);
+    type IntoIter = InboxIter<'a, M>;
+    fn into_iter(self) -> InboxIter<'a, M> {
+        self.iter()
+    }
+}
+
+impl<'a, M> IntoIterator for &Inbox<'a, M> {
+    type Item = (NodeId, &'a M);
+    type IntoIter = InboxIter<'a, M>;
+    fn into_iter(self) -> InboxIter<'a, M> {
+        self.iter()
+    }
+}
+
+/// Iterator over an [`Inbox`]: filters the slot range by the round stamp.
+#[derive(Debug)]
+pub struct InboxIter<'a, M> {
+    inner: std::iter::Zip<std::slice::Iter<'a, EdgeSlot<M>>, std::slice::Iter<'a, NodeId>>,
+    stamp: u64,
+}
+
+impl<'a, M> Iterator for InboxIter<'a, M> {
+    type Item = (NodeId, &'a M);
+
+    fn next(&mut self) -> Option<(NodeId, &'a M)> {
+        for (slot, &src) in self.inner.by_ref() {
+            if slot.stamp == self.stamp {
+                let msg = slot.msg.as_ref().expect("stamped slot holds a message");
+                return Some((src, msg));
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (0, self.inner.size_hint().1)
+    }
 }
 
 /// Configuration of a simulation run.
@@ -297,11 +423,10 @@ pub(crate) enum Sink<'a, M> {
         /// `dst → src`. The slot stamp doubles as the
         /// duplicate-destination filter.
         slots: &'a mut [EdgeSlot<M>],
-        /// `awake_stamp[v] == tick` marks `v` awake this round; payloads
-        /// for sleeping receivers are dropped at send time (the model
-        /// loses them anyway), so slots never retain undelivered
-        /// messages.
-        awake_stamp: &'a [u64],
+        /// Bit `v` marks `v` awake this round; payloads for sleeping
+        /// receivers are dropped at send time (the model loses them
+        /// anyway), so slots never retain undelivered messages.
+        awake: &'a NodeBits,
     },
     /// One shard's view: local slots plus cross-shard staging buffers.
     Sharded(ShardSink<'a, M>),
@@ -318,8 +443,8 @@ pub(crate) struct ShardSink<'a, M> {
     /// (same index space as `slots`). The receiver-side stamp cannot be
     /// used here because the receiver may live on another shard.
     pub(crate) out_stamp: &'a mut [u64],
-    /// Awake stamps of this shard's nodes; index `NodeId - node_base`.
-    pub(crate) awake_stamp: &'a [u64],
+    /// Awake bits of this shard's nodes; bit `NodeId - node_base`.
+    pub(crate) awake: &'a NodeBits,
     /// First node owned by this shard.
     pub(crate) node_base: NodeId,
     /// One past this shard's last node.
@@ -345,6 +470,26 @@ enum Place {
     Lost,
 }
 
+/// Per-node, per-round CONGEST accounting, tallied locally during one
+/// node's send half and committed to the [`Metrics`] in one batch after
+/// the protocol returns ([`Metrics::commit_send`]) — the round loop never
+/// updates global counters per message.
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct SendTally {
+    /// Messages sent (including those lost to sleeping receivers).
+    pub(crate) sent: u64,
+    /// Messages stored for an awake receiver on this sink. Cross-shard
+    /// stages are *not* counted here; the owning shard counts them when
+    /// it applies the exchange (it alone knows the receiver's state).
+    pub(crate) delivered: u64,
+    /// Bits across all sent messages.
+    pub(crate) bits: u64,
+    /// Largest single message, in bits.
+    pub(crate) max_bits: usize,
+    /// Messages exceeding the (non-strict) bandwidth limit.
+    pub(crate) violations: u64,
+}
+
 /// API available during [`Protocol::send`].
 #[derive(Debug)]
 pub struct SendApi<'a, M: Message> {
@@ -359,7 +504,8 @@ pub struct SendApi<'a, M: Message> {
     /// Every node is awake this round: skip the per-message receiver
     /// check entirely (the dense-workload fast path).
     all_awake: bool,
-    metrics: &'a mut Metrics,
+    /// Local accounting, committed once when the send half ends.
+    tally: SendTally,
     bandwidth_bits: Option<usize>,
     strict_bandwidth: bool,
     /// First CONGEST violation observed during this node's send half;
@@ -380,7 +526,6 @@ impl<'a, M: Message> SendApi<'a, M> {
         tick: u64,
         sink: Sink<'a, M>,
         all_awake: bool,
-        metrics: &'a mut Metrics,
         cfg: &SimConfig,
         error: &'a mut Option<SimError>,
     ) -> SendApi<'a, M> {
@@ -392,11 +537,17 @@ impl<'a, M: Message> SendApi<'a, M> {
             tick,
             sink,
             all_awake,
-            metrics,
+            tally: SendTally::default(),
             bandwidth_bits: cfg.bandwidth_bits,
             strict_bandwidth: cfg.strict_bandwidth,
             error,
         }
+    }
+
+    /// Consumes the API, returning this node's batched round accounting
+    /// (engine internal; committed via [`Metrics::commit_send`]).
+    pub(crate) fn into_tally(self) -> SendTally {
+        self.tally
     }
 
     /// This node's id.
@@ -457,9 +608,9 @@ impl<'a, M: Message> SendApi<'a, M> {
             return; // duplicate destination recorded
         };
         let bits = msg.bits();
-        self.metrics.messages_sent += 1;
-        self.metrics.bits_sent += bits as u64;
-        self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
+        self.tally.sent += 1;
+        self.tally.bits += bits as u64;
+        self.tally.max_bits = self.tally.max_bits.max(bits);
         if let Some(limit) = self.bandwidth_bits {
             if bits > limit {
                 if self.strict_bandwidth {
@@ -471,7 +622,7 @@ impl<'a, M: Message> SendApi<'a, M> {
                     });
                     return;
                 }
-                self.metrics.bandwidth_violations += 1;
+                self.tally.violations += 1;
             }
         }
         self.place(place, msg);
@@ -514,9 +665,9 @@ impl<'a, M: Message> SendApi<'a, M> {
             return;
         }
         let bits = msg.bits();
-        self.metrics.messages_sent += deg as u64;
-        self.metrics.bits_sent += (bits * deg) as u64;
-        self.metrics.max_message_bits = self.metrics.max_message_bits.max(bits);
+        self.tally.sent += deg as u64;
+        self.tally.bits += (bits * deg) as u64;
+        self.tally.max_bits = self.tally.max_bits.max(bits);
         if let Some(limit) = self.bandwidth_bits {
             if bits > limit {
                 if self.strict_bandwidth {
@@ -528,7 +679,7 @@ impl<'a, M: Message> SendApi<'a, M> {
                     });
                     return;
                 }
-                self.metrics.bandwidth_violations += deg as u64;
+                self.tally.violations += deg as u64;
             }
         }
         let last = range.end - 1;
@@ -556,7 +707,7 @@ impl<'a, M: Message> SendApi<'a, M> {
     #[inline]
     fn claim(&mut self, eid: mis_graphs::EdgeId) -> Option<Place> {
         match &mut self.sink {
-            Sink::Direct { slots, awake_stamp } => {
+            Sink::Direct { slots, awake } => {
                 let rid = self.graph.reverse_edge(eid);
                 let slot = &mut slots[rid];
                 if slot.stamp == self.tick {
@@ -568,8 +719,7 @@ impl<'a, M: Message> SendApi<'a, M> {
                     return None;
                 }
                 slot.stamp = self.tick;
-                let awake = self.all_awake
-                    || awake_stamp[self.graph.edge_target(eid) as usize] == self.tick;
+                let awake = self.all_awake || awake.get(self.graph.edge_target(eid) as usize);
                 Some(if awake { Place::Slot(rid) } else { Place::Lost })
             }
             Sink::Sharded(s) => {
@@ -587,8 +737,7 @@ impl<'a, M: Message> SendApi<'a, M> {
                 let rid = self.graph.reverse_edge(eid);
                 if dst >= s.node_base && dst < s.node_end {
                     // Local receiver: deliver straight into our slots.
-                    let awake =
-                        self.all_awake || s.awake_stamp[(dst - s.node_base) as usize] == self.tick;
+                    let awake = self.all_awake || s.awake.get((dst - s.node_base) as usize);
                     Some(if awake {
                         Place::Slot(rid - s.slot_base)
                     } else {
@@ -605,8 +754,10 @@ impl<'a, M: Message> SendApi<'a, M> {
     }
 
     /// Stores a claimed payload: write the slot (stamping it so the
-    /// receiver's drain sees it), stage it for the cross-shard exchange,
-    /// or drop it (sleeping receiver).
+    /// receiver's [`Inbox`] sees it), stage it for the cross-shard
+    /// exchange, or drop it (sleeping receiver). A stored slot *is* the
+    /// delivery — the receiver borrows it in place — so `delivered` is
+    /// tallied here rather than in the receive half.
     #[inline]
     fn place(&mut self, place: Place, msg: M) {
         match place {
@@ -617,6 +768,7 @@ impl<'a, M: Message> SendApi<'a, M> {
                 };
                 slot.stamp = self.tick;
                 slot.msg = Some(msg);
+                self.tally.delivered += 1;
             }
             Place::Stage(shard, rid) => match &mut self.sink {
                 Sink::Sharded(s) => s.out[shard].push((rid, msg)),
@@ -740,11 +892,12 @@ impl<'a> RecvApi<'a> {
 /// Reusable buffers of the engine hot loop, sized for one graph.
 ///
 /// The steady-state round loop allocates nothing: wake buckets, the awake
-/// list, per-edge message slots and stamps, and the per-node inbox buffer
-/// all live here and are recycled round over round (and run over run with
-/// [`run_with_scratch`]). Stamps are compared against a monotonically
-/// increasing tick, so reuse never requires clearing the O(m) slot
-/// arrays.
+/// list, per-node flag words, and per-edge message slots all live here
+/// and are recycled round over round (and run over run with
+/// [`run_with_scratch`]). There is **no inbox buffer**: receivers borrow
+/// messages in place from `slots` through the [`Inbox`] view. Slot stamps
+/// are compared against a monotonically increasing tick, so reuse never
+/// requires clearing the O(m) slot array.
 #[derive(Debug)]
 pub struct EngineScratch<M> {
     sched: BucketScheduler,
@@ -754,20 +907,21 @@ pub struct EngineScratch<M> {
     /// Monotone busy-round counter; never reset, so stale stamps from
     /// earlier rounds (or earlier runs) can never collide.
     tick: u64,
-    halted: Vec<bool>,
-    /// `awake_stamp[v] == tick` marks v awake in the current round (also
-    /// the duplicate-wakeup filter when draining a bucket).
-    awake_stamp: Vec<u64>,
+    /// Bit `v` set iff node `v` has halted (packed, 64 nodes per word).
+    halted: NodeBits,
+    /// Bit `v` set iff `v` is awake in the current round (also the
+    /// duplicate-wakeup filter when draining a bucket). Set while
+    /// draining, cleared per active node at the end of the round.
+    awake: NodeBits,
     /// Awake, non-halted nodes of the current round.
     active: Vec<NodeId>,
     /// Wakeups requested by the node currently in `init`/`recv`.
     wakes: Vec<Round>,
-    /// Inbox assembled for the node currently in `recv`.
-    inbox: Vec<(NodeId, M)>,
     /// Per-directed-edge delivery slots, indexed by receiver-side
     /// [`mis_graphs::EdgeId`]; `slots[e].stamp == tick` marks a message
     /// sent this round. Stamp and payload share one struct so a send
-    /// touches a single cache line per destination.
+    /// touches a single cache line per destination, and the receiver's
+    /// [`Inbox`] view reads the payload from the same line.
     slots: Vec<EdgeSlot<M>>,
 }
 
@@ -786,34 +940,31 @@ impl<M: Message> EngineScratch<M> {
             sched: BucketScheduler::new(),
             rngs: Vec::new(),
             tick: 0,
-            halted: Vec::new(),
-            awake_stamp: Vec::new(),
+            halted: NodeBits::new(),
+            awake: NodeBits::new(),
             active: Vec::new(),
             wakes: Vec::new(),
-            inbox: Vec::new(),
             slots: Vec::new(),
         }
     }
 
     /// Resizes for `graph` and resets per-run state (halts, queue). The
-    /// tick — and therefore all stamp arrays — carries over untouched.
+    /// tick — and therefore the slot stamps — carries over untouched.
     fn fit_to(&mut self, graph: &Graph) {
         let n = graph.n();
         let dm = graph.directed_m();
-        self.halted.clear();
-        self.halted.resize(n, false);
-        // Growth fills with stamp 0, which is always < tick + 1: safe.
-        self.awake_stamp.resize(n, 0);
+        self.halted.fit(n);
+        self.awake.fit(n);
         self.slots.resize_with(dm, EdgeSlot::vacant);
-        // A run that ended in an error can leave in-flight payloads; a
-        // completed run cannot (awake receivers drain their slots, and
-        // payloads for sleeping receivers are never stored).
+        // Zero-copy delivery parks payloads in their slots until the edge
+        // is next written, so a finished run (and, a fortiori, an aborted
+        // one) leaves messages behind; drop them so a reused scratch
+        // never outlives payloads from an earlier run.
         for slot in &mut self.slots {
             slot.msg = None;
         }
         self.sched.clear();
         self.active.clear();
-        self.inbox.clear();
         self.wakes.clear();
     }
 
@@ -824,19 +975,29 @@ impl<M: Message> EngineScratch<M> {
     /// allocation oracle for the no-steady-state-allocation test (the
     /// workspace forbids `unsafe`, so a counting `GlobalAlloc` is not an
     /// option).
+    ///
+    /// The fixed order is: RNGs, halted words, awake words, active list,
+    /// wake list, edge slots, then the scheduler's buffers — one entry
+    /// per growable buffer, [`EngineScratch::FIXED_BUFFERS`] before the
+    /// scheduler. (The pre-zero-copy engine had one more: a per-node
+    /// inbox buffer, retired when [`Inbox`] made delivery borrow in
+    /// place.)
     pub fn capacity_signature(&self) -> Vec<usize> {
-        let mut out = vec![
-            self.rngs.capacity(),
-            self.halted.capacity(),
-            self.awake_stamp.capacity(),
-            self.active.capacity(),
-            self.wakes.capacity(),
-            self.inbox.capacity(),
-            self.slots.capacity(),
-        ];
+        let mut out = Vec::with_capacity(8);
+        out.push(self.rngs.capacity());
+        self.halted.capacity_signature(&mut out);
+        self.awake.capacity_signature(&mut out);
+        out.push(self.active.capacity());
+        out.push(self.wakes.capacity());
+        out.push(self.slots.capacity());
         self.sched.capacity_signature(&mut out);
         out
     }
+
+    /// Number of scratch buffers outside the scheduler (the leading
+    /// entries of [`EngineScratch::capacity_signature`]); pinned by tests
+    /// so a retired buffer cannot silently come back.
+    pub const FIXED_BUFFERS: usize = 6;
 }
 
 /// Runs `protocol` on `graph` under `cfg` until no node has a pending
@@ -929,10 +1090,9 @@ fn run_inner<P: Protocol>(
         rngs,
         tick,
         halted,
-        awake_stamp,
+        awake,
         active,
         wakes,
-        inbox,
         slots,
     } = scratch;
 
@@ -958,17 +1118,20 @@ fn run_inner<P: Protocol>(
         *tick += 1;
         let stamp = *tick;
 
-        // Drain the wake bucket: the stamp dedups repeated wakeups and
-        // drops halted nodes; no sort needed (processing order within a
-        // round is unobservable — per-node RNGs, slot-indexed delivery).
+        // Drain the wake bucket: the awake bit dedups repeated wakeups
+        // and the halted bit drops dead nodes; no sort needed (processing
+        // order within a round is unobservable — per-node RNGs,
+        // slot-indexed delivery). Both flags are single bits in packed
+        // u64 words, so this scan touches n/64th the memory of a
+        // stamp-per-node filter.
         let bucket = sched.take_bucket(round);
         active.clear();
         for &v in &bucket {
             let vi = v as usize;
-            if halted[vi] || awake_stamp[vi] == stamp {
+            if halted.get(vi) || awake.get(vi) {
                 continue;
             }
-            awake_stamp[vi] = stamp;
+            awake.set(vi);
             active.push(v);
         }
         sched.restore_bucket(round, bucket);
@@ -987,13 +1150,15 @@ fn run_inner<P: Protocol>(
             metrics.bits_sent,
         );
 
-        // Send half: messages go straight into per-edge slots.
+        // Send half: messages go straight into per-edge slots; each
+        // node's CONGEST accounting is tallied locally and committed to
+        // the metrics in one batch per node, not one update per message.
         let all_awake = active.len() == n;
         let mut error: Option<SimError> = None;
         for &v in active.iter() {
             let sink = Sink::Direct {
                 slots: &mut slots[..],
-                awake_stamp: &awake_stamp[..],
+                awake: &*awake,
             };
             let mut api = SendApi::new(
                 v,
@@ -1003,35 +1168,27 @@ fn run_inner<P: Protocol>(
                 stamp,
                 sink,
                 all_awake,
-                &mut metrics,
                 cfg,
                 &mut error,
             );
             protocol.send(&mut states[v as usize], &mut api);
+            metrics.commit_send(api.into_tally());
             if let Some(e) = error.take() {
                 return Err(e);
             }
         }
 
-        // Receive half: drain each awake node's slot range (ascending
-        // sender order by CSR construction), then let it react.
+        // Receive half: each awake node reacts to a borrowed view of its
+        // slot range (ascending sender order by CSR construction) —
+        // payloads are read in place, never copied out.
         for &v in active.iter() {
-            inbox.clear();
-            let range = graph.edge_range(v);
-            let nbrs = graph.neighbors(v);
-            for (k, slot) in slots[range].iter_mut().enumerate() {
-                if slot.stamp == stamp {
-                    metrics.messages_delivered += 1;
-                    let msg = slot.msg.take().expect("stamped slot holds a message");
-                    inbox.push((nbrs[k], msg));
-                }
-            }
+            let inbox = Inbox::new(&slots[graph.edge_range(v)], graph.neighbors(v), stamp);
             wakes.clear();
             let mut halt = false;
             let mut api = RecvApi::new(v, round, graph, &mut rngs[v as usize], wakes, &mut halt);
             protocol.recv(&mut states[v as usize], inbox, &mut api);
             if halt {
-                halted[v as usize] = true;
+                halted.set(v as usize);
             } else {
                 for &r in wakes.iter() {
                     sched.schedule(r, v);
@@ -1047,6 +1204,13 @@ fn run_inner<P: Protocol>(
                 messages_delivered: metrics.messages_delivered - delivered_before,
                 bits_sent: metrics.bits_sent - bits_before,
             });
+        }
+
+        // Reset the awake bits for the next round, touching only the
+        // words of nodes that were actually active (sparse rounds stay
+        // O(active), dense rounds one bit per node).
+        for &v in active.iter() {
+            awake.clear(v as usize);
         }
     }
 
@@ -1091,7 +1255,7 @@ mod tests {
             }
         }
 
-        fn recv(&self, state: &mut FloodState, inbox: &[(NodeId, ())], api: &mut RecvApi<'_>) {
+        fn recv(&self, state: &mut FloodState, inbox: Inbox<'_, ()>, api: &mut RecvApi<'_>) {
             if state.infected_at.is_none() && !inbox.is_empty() {
                 state.infected_at = Some(api.round() + 1);
             }
@@ -1129,7 +1293,7 @@ mod tests {
         type Msg = ();
         fn init(&self, _node: NodeId, _api: &mut InitApi<'_>) {}
         fn send(&self, _state: &mut (), _api: &mut SendApi<'_, ()>) {}
-        fn recv(&self, _state: &mut (), _inbox: &[(NodeId, ())], _api: &mut RecvApi<'_>) {}
+        fn recv(&self, _state: &mut (), _inbox: Inbox<'_, ()>, _api: &mut RecvApi<'_>) {}
     }
 
     #[test]
@@ -1159,8 +1323,8 @@ mod tests {
                 api.broadcast(());
             }
         }
-        fn recv(&self, state: &mut usize, inbox: &[(NodeId, ())], _api: &mut RecvApi<'_>) {
-            *state += inbox.len();
+        fn recv(&self, state: &mut usize, inbox: Inbox<'_, ()>, _api: &mut RecvApi<'_>) {
+            *state += inbox.count();
         }
     }
 
@@ -1182,7 +1346,7 @@ mod tests {
             api.wake_at(0);
         }
         fn send(&self, _state: &mut (), _api: &mut SendApi<'_, ()>) {}
-        fn recv(&self, _state: &mut (), _inbox: &[(NodeId, ())], api: &mut RecvApi<'_>) {
+        fn recv(&self, _state: &mut (), _inbox: Inbox<'_, ()>, api: &mut RecvApi<'_>) {
             let next = api.round() + 1;
             api.wake_at(next);
         }
@@ -1214,7 +1378,7 @@ mod tests {
                 api.send(3, ()); // not adjacent on a path of 4
             }
         }
-        fn recv(&self, _state: &mut (), _inbox: &[(NodeId, ())], _api: &mut RecvApi<'_>) {}
+        fn recv(&self, _state: &mut (), _inbox: Inbox<'_, ()>, _api: &mut RecvApi<'_>) {}
     }
 
     #[test]
@@ -1240,7 +1404,7 @@ mod tests {
                 api.send(1, ());
             }
         }
-        fn recv(&self, _state: &mut (), _inbox: &[(NodeId, ())], _api: &mut RecvApi<'_>) {}
+        fn recv(&self, _state: &mut (), _inbox: Inbox<'_, ()>, _api: &mut RecvApi<'_>) {}
     }
 
     #[test]
@@ -1267,7 +1431,7 @@ mod tests {
                 api.send(1, ()); // same neighbor, by id
             }
         }
-        fn recv(&self, _state: &mut (), _inbox: &[(NodeId, ())], _api: &mut RecvApi<'_>) {}
+        fn recv(&self, _state: &mut (), _inbox: Inbox<'_, ()>, _api: &mut RecvApi<'_>) {}
     }
 
     #[test]
@@ -1297,8 +1461,8 @@ mod tests {
                 }
             }
         }
-        fn recv(&self, state: &mut Self::State, inbox: &[(NodeId, u32)], _api: &mut RecvApi<'_>) {
-            state.extend(inbox.iter().copied());
+        fn recv(&self, state: &mut Self::State, inbox: Inbox<'_, u32>, _api: &mut RecvApi<'_>) {
+            state.extend(inbox.iter().map(|(src, &v)| (src, v)));
         }
     }
 
@@ -1324,7 +1488,7 @@ mod tests {
                 api.send(1, u64::MAX); // 64 bits
             }
         }
-        fn recv(&self, _state: &mut (), _inbox: &[(NodeId, u64)], _api: &mut RecvApi<'_>) {}
+        fn recv(&self, _state: &mut (), _inbox: Inbox<'_, u64>, _api: &mut RecvApi<'_>) {}
     }
 
     #[test]
@@ -1365,7 +1529,7 @@ mod tests {
                 api.rng().gen()
             }
             fn send(&self, _state: &mut u64, _api: &mut SendApi<'_, ()>) {}
-            fn recv(&self, _state: &mut u64, _inbox: &[(NodeId, ())], _api: &mut RecvApi<'_>) {}
+            fn recv(&self, _state: &mut u64, _inbox: Inbox<'_, ()>, _api: &mut RecvApi<'_>) {}
         }
         let g = generators::cycle(16);
         let a = run(&g, &Sampler, &SimConfig::seeded(7)).unwrap();
@@ -1419,7 +1583,7 @@ mod tests {
                 }
             }
             fn send(&self, _state: &mut (), _api: &mut SendApi<'_, ()>) {}
-            fn recv(&self, _state: &mut (), _inbox: &[(NodeId, ())], _api: &mut RecvApi<'_>) {}
+            fn recv(&self, _state: &mut (), _inbox: Inbox<'_, ()>, _api: &mut RecvApi<'_>) {}
         }
         let g = generators::path(2);
         let res = run(&g, &Sparse, &SimConfig::default()).unwrap();
@@ -1439,7 +1603,7 @@ mod tests {
             api.wake_at(3);
         }
         fn send(&self, _state: &mut (), _api: &mut SendApi<'_, ()>) {}
-        fn recv(&self, _state: &mut (), _inbox: &[(NodeId, ())], _api: &mut RecvApi<'_>) {}
+        fn recv(&self, _state: &mut (), _inbox: Inbox<'_, ()>, _api: &mut RecvApi<'_>) {}
     }
 
     #[test]
@@ -1471,7 +1635,7 @@ mod tests {
             Vec::new()
         }
         fn send(&self, _state: &mut Vec<Round>, _api: &mut SendApi<'_, ()>) {}
-        fn recv(&self, state: &mut Vec<Round>, _inbox: &[(NodeId, ())], api: &mut RecvApi<'_>) {
+        fn recv(&self, state: &mut Vec<Round>, _inbox: Inbox<'_, ()>, api: &mut RecvApi<'_>) {
             state.push(api.round());
         }
     }
@@ -1499,7 +1663,7 @@ mod tests {
             0
         }
         fn send(&self, _state: &mut u64, _api: &mut SendApi<'_, ()>) {}
-        fn recv(&self, state: &mut u64, _inbox: &[(NodeId, ())], api: &mut RecvApi<'_>) {
+        fn recv(&self, state: &mut u64, _inbox: Inbox<'_, ()>, api: &mut RecvApi<'_>) {
             *state += 1;
             api.halt();
         }
@@ -1545,6 +1709,21 @@ mod tests {
         }
     }
 
+    /// The signature layout is exactly the fixed buffers plus the
+    /// scheduler's entries — pinning that the slice-era per-node inbox
+    /// buffer is gone (it would show up as an extra leading entry).
+    #[test]
+    fn capacity_signature_is_fixed_buffers_plus_scheduler() {
+        let g = generators::grid2d(4, 4);
+        let s: EngineScratch<u32> = EngineScratch::new(&g);
+        let mut sched_sig = Vec::new();
+        s.sched.capacity_signature(&mut sched_sig);
+        assert_eq!(
+            s.capacity_signature().len(),
+            EngineScratch::<u32>::FIXED_BUFFERS + sched_sig.len()
+        );
+    }
+
     /// Payloads addressed to sleeping receivers are dropped at send
     /// time, not parked in delivery slots until the edge is next used.
     #[test]
@@ -1569,7 +1748,7 @@ mod tests {
             fn send(&self, _state: &mut (), api: &mut SendApi<'_, Tracked>) {
                 api.broadcast(Tracked(self.0.clone()));
             }
-            fn recv(&self, _state: &mut (), _inbox: &[(NodeId, Tracked)], _api: &mut RecvApi<'_>) {}
+            fn recv(&self, _state: &mut (), _inbox: Inbox<'_, Tracked>, _api: &mut RecvApi<'_>) {}
         }
         let g = generators::star(5);
         let handle = Rc::new(());
@@ -1635,7 +1814,7 @@ mod tests {
                 api.wake_range(7..7);
             }
             fn send(&self, _state: &mut (), _api: &mut SendApi<'_, ()>) {}
-            fn recv(&self, _state: &mut (), _inbox: &[(NodeId, ())], _api: &mut RecvApi<'_>) {}
+            fn recv(&self, _state: &mut (), _inbox: Inbox<'_, ()>, _api: &mut RecvApi<'_>) {}
         }
         let g = generators::path(2);
         let _ = run(&g, &EmptyRange, &SimConfig::default());

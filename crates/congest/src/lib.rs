@@ -28,7 +28,7 @@
 //! # Example: a one-round "hello" protocol
 //!
 //! ```
-//! use congest_sim::{run, InitApi, Message, Protocol, RecvApi, SendApi, SimConfig};
+//! use congest_sim::{run, Inbox, InitApi, Message, Protocol, RecvApi, SendApi, SimConfig};
 //! use mis_graphs::{generators, NodeId};
 //!
 //! struct Hello;
@@ -46,8 +46,8 @@
 //!         api.broadcast(());
 //!     }
 //!
-//!     fn recv(&self, state: &mut usize, inbox: &[(NodeId, ())], _api: &mut RecvApi<'_>) {
-//!         *state += inbox.len();
+//!     fn recv(&self, state: &mut usize, inbox: Inbox<'_, ()>, _api: &mut RecvApi<'_>) {
+//!         *state += inbox.count();
 //!     }
 //! }
 //!
@@ -60,6 +60,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bits;
 mod engine;
 mod error;
 mod message;
@@ -72,8 +73,8 @@ mod sched;
 pub mod schedule;
 
 pub use engine::{
-    run, run_observed, run_with_scratch, run_with_scratch_observed, EngineScratch, InitApi,
-    Protocol, RecvApi, SendApi, SimConfig, SimResult,
+    run, run_observed, run_with_scratch, run_with_scratch_observed, EngineScratch, Inbox,
+    InboxIter, InitApi, Protocol, RecvApi, SendApi, SimConfig, SimResult,
 };
 pub use error::SimError;
 pub use message::{Message, PackedBits};

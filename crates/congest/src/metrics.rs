@@ -91,6 +91,17 @@ impl Metrics {
         self.bandwidth_violations += phase.bandwidth_violations;
     }
 
+    /// Folds one node's batched send-half accounting into the totals —
+    /// the engine calls this once per awake node per round instead of
+    /// bumping counters per message (see `SendTally` in the engine).
+    pub(crate) fn commit_send(&mut self, t: crate::engine::SendTally) {
+        self.messages_sent += t.sent;
+        self.messages_delivered += t.delivered;
+        self.bits_sent += t.bits;
+        self.max_message_bits = self.max_message_bits.max(t.max_bits);
+        self.bandwidth_violations += t.violations;
+    }
+
     /// Histogram of awake-round counts: `hist[b]` = number of nodes awake
     /// for exactly `b` rounds, up to `max_awake`. Useful for seeing the
     /// paper's energy story at a glance: almost all mass at tiny values,

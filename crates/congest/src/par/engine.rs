@@ -339,7 +339,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{run, InitApi, RecvApi, SendApi};
+    use crate::engine::{run, Inbox, InitApi, RecvApi, SendApi};
     use crate::NodeId;
     use mis_graphs::generators;
     use rand::Rng;
@@ -382,12 +382,12 @@ mod tests {
             }
         }
 
-        fn recv(&self, state: &mut GossipState, inbox: &[(NodeId, u32)], api: &mut RecvApi<'_>) {
+        fn recv(&self, state: &mut GossipState, inbox: Inbox<'_, u32>, api: &mut RecvApi<'_>) {
             for (src, v) in inbox {
                 state.sum = state
                     .sum
                     .wrapping_mul(31)
-                    .wrapping_add(u64::from(*src) ^ u64::from(*v));
+                    .wrapping_add(u64::from(src) ^ u64::from(*v));
                 state.heard += 1;
             }
             state.draws = state.draws.wrapping_add(api.rng().gen::<u64>());
@@ -534,7 +534,7 @@ mod tests {
                 api.send_to_rank(last, ());
             }
         }
-        fn recv(&self, _s: &mut (), _i: &[(NodeId, ())], _api: &mut RecvApi<'_>) {}
+        fn recv(&self, _s: &mut (), _i: Inbox<'_, ()>, _api: &mut RecvApi<'_>) {}
     }
 
     #[test]
@@ -561,7 +561,7 @@ mod tests {
                 api.wake_at(0);
             }
             fn send(&self, _s: &mut (), _api: &mut SendApi<'_, ()>) {}
-            fn recv(&self, _s: &mut (), _i: &[(NodeId, ())], api: &mut RecvApi<'_>) {
+            fn recv(&self, _s: &mut (), _i: Inbox<'_, ()>, api: &mut RecvApi<'_>) {
                 let next = api.round() + 1;
                 api.wake_at(next);
             }
@@ -594,7 +594,7 @@ mod tests {
                 }
             }
             fn send(&self, _s: &mut (), _api: &mut SendApi<'_, ()>) {}
-            fn recv(&self, _s: &mut (), _i: &[(NodeId, ())], _api: &mut RecvApi<'_>) {}
+            fn recv(&self, _s: &mut (), _i: Inbox<'_, ()>, _api: &mut RecvApi<'_>) {}
         }
         let g = generators::path(4);
         let cfg = SimConfig::default();
@@ -620,7 +620,7 @@ mod tests {
             fn send(&self, _s: &mut (), api: &mut SendApi<'_, ()>) {
                 assert!(api.node() != 3, "boom at node 3");
             }
-            fn recv(&self, _s: &mut (), _i: &[(NodeId, ())], _api: &mut RecvApi<'_>) {}
+            fn recv(&self, _s: &mut (), _i: Inbox<'_, ()>, _api: &mut RecvApi<'_>) {}
         }
         let g = generators::path(10);
         for threads in [1, 2, 4] {
@@ -648,7 +648,7 @@ mod tests {
                     api.send_to_rank(last, 9); // duplicate of the broadcast
                 }
             }
-            fn recv(&self, _s: &mut (), _i: &[(NodeId, u32)], _api: &mut RecvApi<'_>) {}
+            fn recv(&self, _s: &mut (), _i: Inbox<'_, u32>, _api: &mut RecvApi<'_>) {}
         }
         let g = generators::cycle(24);
         let cfg = SimConfig::default();
@@ -676,7 +676,7 @@ mod tests {
             fn send(&self, _s: &mut (), api: &mut SendApi<'_, u64>) {
                 api.broadcast(u64::MAX);
             }
-            fn recv(&self, _s: &mut (), _i: &[(NodeId, u64)], _api: &mut RecvApi<'_>) {}
+            fn recv(&self, _s: &mut (), _i: Inbox<'_, u64>, _api: &mut RecvApi<'_>) {}
         }
         let g = generators::cycle(20);
         let lax = SimConfig {

@@ -17,7 +17,7 @@ use mis_graphs::Graph;
 /// # Example
 ///
 /// ```
-/// use congest_sim::{InitApi, Pipeline, Protocol, RecvApi, SendApi, SimConfig};
+/// use congest_sim::{Inbox, InitApi, Pipeline, Protocol, RecvApi, SendApi, SimConfig};
 /// use mis_graphs::{generators, NodeId};
 ///
 /// struct OneRound;
@@ -26,7 +26,7 @@ use mis_graphs::Graph;
 ///     type Msg = ();
 ///     fn init(&self, _n: NodeId, api: &mut InitApi<'_>) { api.wake_at(0); }
 ///     fn send(&self, _s: &mut (), _api: &mut SendApi<'_, ()>) {}
-///     fn recv(&self, _s: &mut (), _i: &[(NodeId, ())], _api: &mut RecvApi<'_>) {}
+///     fn recv(&self, _s: &mut (), _i: Inbox<'_, ()>, _api: &mut RecvApi<'_>) {}
 /// }
 ///
 /// let g = generators::cycle(5);
@@ -136,7 +136,7 @@ impl<'g, 'o> Pipeline<'g, 'o> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::{InitApi, RecvApi, SendApi};
+    use crate::engine::{Inbox, InitApi, RecvApi, SendApi};
     use crate::NodeId;
     use mis_graphs::generators;
     use rand::Rng;
@@ -152,7 +152,7 @@ mod tests {
             api.wake_range(0..self.rounds);
         }
         fn send(&self, _s: &mut (), _api: &mut SendApi<'_, ()>) {}
-        fn recv(&self, _s: &mut (), _i: &[(NodeId, ())], _api: &mut RecvApi<'_>) {}
+        fn recv(&self, _s: &mut (), _i: Inbox<'_, ()>, _api: &mut RecvApi<'_>) {}
     }
 
     #[test]
@@ -198,7 +198,7 @@ mod tests {
                 api.rng().gen()
             }
             fn send(&self, _s: &mut u64, _api: &mut SendApi<'_, ()>) {}
-            fn recv(&self, _s: &mut u64, _i: &[(NodeId, ())], _api: &mut RecvApi<'_>) {}
+            fn recv(&self, _s: &mut u64, _i: Inbox<'_, ()>, _api: &mut RecvApi<'_>) {}
         }
         let g = generators::path(8);
         let mut pipe = Pipeline::new(&g, SimConfig::seeded(5));

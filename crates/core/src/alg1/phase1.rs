@@ -22,7 +22,7 @@
 //! see `schedule` in `congest-sim` and the property tests below.
 
 use congest_sim::schedule::AwakeSchedule;
-use congest_sim::{InitApi, NodeId, Protocol, RecvApi, SendApi};
+use congest_sim::{Inbox, InitApi, NodeId, Protocol, RecvApi, SendApi};
 use rand::Rng;
 
 /// Phase I protocol; see the module docs.
@@ -172,7 +172,7 @@ impl Protocol for Phase1Protocol<'_> {
         }
     }
 
-    fn recv(&self, state: &mut Phase1State, inbox: &[(NodeId, bool)], api: &mut RecvApi<'_>) {
+    fn recv(&self, state: &mut Phase1State, inbox: Inbox<'_, bool>, api: &mut RecvApi<'_>) {
         match api.round() % 3 {
             0 => {
                 state.saw_marked_neighbor = !inbox.is_empty();
@@ -189,7 +189,7 @@ impl Protocol for Phase1Protocol<'_> {
                     api.halt();
                 }
                 debug_assert!(
-                    !(state.joined && !inbox.is_empty() && inbox.iter().any(|&(_, b)| b)),
+                    !(state.joined && !inbox.is_empty() && inbox.iter().any(|(_, &b)| b)),
                     "two adjacent nodes joined: schedule strictness violated"
                 );
             }

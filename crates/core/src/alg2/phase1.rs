@@ -22,7 +22,7 @@
 //! `4∆^0.6` surviving neighbors joins the MIS.
 
 use congest_sim::schedule::AwakeSchedule;
-use congest_sim::{InitApi, Message, NodeId, Protocol, RecvApi, SendApi};
+use congest_sim::{Inbox, InitApi, Message, NodeId, Protocol, RecvApi, SendApi};
 use rand::Rng;
 
 /// Message of the iteration protocol.
@@ -202,11 +202,11 @@ impl Protocol for Alg2Phase1Iteration<'_> {
         }
     }
 
-    fn recv(&self, state: &mut A2State, inbox: &[(NodeId, A2Msg)], api: &mut RecvApi<'_>) {
+    fn recv(&self, state: &mut A2State, inbox: Inbox<'_, A2Msg>, api: &mut RecvApi<'_>) {
         match api.round() % 4 {
             0 => {
                 state.tagged_neighbors =
-                    inbox.iter().filter(|(_, m)| *m == A2Msg::Tag).count() as u32;
+                    inbox.iter().filter(|&(_, m)| *m == A2Msg::Tag).count() as u32;
             }
             1 => {
                 if state.marked {
@@ -215,7 +215,7 @@ impl Protocol for Alg2Phase1Iteration<'_> {
                     let me = (state.my_estimate, api.node());
                     for (src, msg) in inbox {
                         if let A2Msg::Mark(av) = msg {
-                            if (*av, *src) > me {
+                            if (*av, src) > me {
                                 state.marked = false;
                             }
                         }
@@ -305,7 +305,7 @@ impl Protocol for Alg2Cleanup<'_> {
         }
     }
 
-    fn recv(&self, state: &mut CleanupState, inbox: &[(NodeId, bool)], api: &mut RecvApi<'_>) {
+    fn recv(&self, state: &mut CleanupState, inbox: Inbox<'_, bool>, api: &mut RecvApi<'_>) {
         let v = api.node() as usize;
         match api.round() {
             0 => {
@@ -315,7 +315,7 @@ impl Protocol for Alg2Cleanup<'_> {
             }
             1 => {
                 state.remaining_degree =
-                    inbox.iter().filter(|&&(_, spoiled)| !spoiled).count() as u32;
+                    inbox.iter().filter(|&(_, &spoiled)| !spoiled).count() as u32;
                 state.over = !self.in_mis[v]
                     && !state.removed
                     && f64::from(state.remaining_degree) > self.threshold;

@@ -26,7 +26,8 @@ use crate::report::MisReport;
 use crate::status::{StatusBoard, StatusSync};
 use crate::tail::{run_tail, TailConfig};
 use congest_sim::{
-    InitApi, NodeId, Pipeline, Protocol, RecvApi, RoundObserver, SendApi, SimConfig, SimError,
+    Inbox, InitApi, NodeId, Pipeline, Protocol, RecvApi, RoundObserver, SendApi, SimConfig,
+    SimError,
 };
 use mis_graphs::{props, Graph};
 
@@ -96,15 +97,15 @@ impl Protocol for FailureCheck<'_> {
         }
     }
 
-    fn recv(&self, state: &mut FailState, inbox: &[(NodeId, bool)], api: &mut RecvApi<'_>) {
+    fn recv(&self, state: &mut FailState, inbox: Inbox<'_, bool>, api: &mut RecvApi<'_>) {
         let v = api.node() as usize;
         match api.round() {
             0 if !self.in_mis[v] && !inbox.is_empty() => {
                 state.removed = true;
             }
             1 => {
-                state.spoiled_neighbors = inbox.iter().filter(|&&(_, s)| s).count() as u32;
-                state.active_neighbors = inbox.iter().filter(|&&(_, s)| !s).count() as u32;
+                state.spoiled_neighbors = inbox.iter().filter(|&(_, &s)| s).count() as u32;
+                state.active_neighbors = inbox.iter().filter(|&(_, &s)| !s).count() as u32;
                 if !self.in_mis[v] && !state.removed {
                     state.failed = f64::from(state.spoiled_neighbors) > self.spoil_threshold
                         || f64::from(state.active_neighbors) > self.degree_threshold;

@@ -28,7 +28,9 @@
 use crate::cluster::coloring;
 use crate::cluster::tree::{Broadcast, Convergecast, RerootDown, RerootUp, RerootVal};
 use crate::cluster::ClusterForest;
-use congest_sim::{InitApi, Message, NodeId, Pipeline, Protocol, RecvApi, SendApi, SimError};
+use congest_sim::{
+    Inbox, InitApi, Message, NodeId, Pipeline, Protocol, RecvApi, SendApi, SimError,
+};
 
 /// Coloring mode for the matching step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,8 +117,8 @@ impl Protocol for AnnounceIds<'_> {
         api.broadcast(self.forest.cluster[api.node() as usize]);
     }
 
-    fn recv(&self, state: &mut Self::State, inbox: &[(NodeId, u32)], _api: &mut RecvApi<'_>) {
-        state.extend(inbox.iter().copied());
+    fn recv(&self, state: &mut Self::State, inbox: Inbox<'_, u32>, _api: &mut RecvApi<'_>) {
+        state.extend(inbox.iter().map(|(src, &id)| (src, id)));
     }
 }
 
@@ -145,8 +147,8 @@ impl<V: Message> Protocol for PortRound<'_, V> {
         }
     }
 
-    fn recv(&self, state: &mut Self::State, inbox: &[(NodeId, V)], _api: &mut RecvApi<'_>) {
-        state.extend(inbox.iter().cloned());
+    fn recv(&self, state: &mut Self::State, inbox: Inbox<'_, V>, _api: &mut RecvApi<'_>) {
+        state.extend(inbox.iter().map(|(src, val)| (src, val.clone())));
     }
 }
 

@@ -15,7 +15,7 @@
 //!   depths and cluster ids in `O(D)` rounds at `O(1)` energy.
 
 use crate::cluster::ClusterForest;
-use congest_sim::{InitApi, Message, NodeId, Protocol, RecvApi, SendApi};
+use congest_sim::{Inbox, InitApi, Message, NodeId, Protocol, RecvApi, SendApi};
 
 /// Convergecast: every active node contributes an optional value; each
 /// root ends up with the `combine`-fold of its cluster's contributions.
@@ -90,7 +90,7 @@ where
         }
     }
 
-    fn recv(&self, state: &mut CvcState<V>, inbox: &[(NodeId, V)], api: &mut RecvApi<'_>) {
+    fn recv(&self, state: &mut CvcState<V>, inbox: Inbox<'_, V>, api: &mut RecvApi<'_>) {
         let v = api.node() as usize;
         let d = self.forest.depth[v];
         if api.round() == u64::from(self.depth_cap - d - 1) {
@@ -164,13 +164,13 @@ impl<V: Message> Protocol for Broadcast<'_, V> {
         }
     }
 
-    fn recv(&self, state: &mut BcState<V>, inbox: &[(NodeId, V)], api: &mut RecvApi<'_>) {
+    fn recv(&self, state: &mut BcState<V>, inbox: Inbox<'_, V>, api: &mut RecvApi<'_>) {
         let v = api.node() as usize;
         let d = self.forest.depth[v];
         if d > 0 && api.round() == u64::from(d) - 1 {
             if let Some(p) = self.forest.parent[v] {
                 for (src, val) in inbox {
-                    if *src == p {
+                    if src == p {
                         state.value = Some(val.clone());
                     }
                 }
@@ -253,12 +253,7 @@ impl Protocol for RerootUp<'_> {
         }
     }
 
-    fn recv(
-        &self,
-        state: &mut RerootUpState,
-        inbox: &[(NodeId, RerootVal)],
-        api: &mut RecvApi<'_>,
-    ) {
+    fn recv(&self, state: &mut RerootUpState, inbox: Inbox<'_, RerootVal>, api: &mut RecvApi<'_>) {
         let v = api.node() as usize;
         let d = self.forest.depth[v];
         if api.round() == u64::from(self.depth_cap - d - 1) {
@@ -268,7 +263,7 @@ impl Protocol for RerootUp<'_> {
                     "two attach paths met at node {v}: a leaf cluster must have one attach point"
                 );
                 state.path_val = Some(*val);
-                state.from_child = Some(*src);
+                state.from_child = Some(src);
             }
         }
     }
@@ -336,16 +331,16 @@ impl Protocol for RerootDown<'_> {
     fn recv(
         &self,
         state: &mut RerootDownState,
-        inbox: &[(NodeId, (u32, u32))],
+        inbox: Inbox<'_, (u32, u32)>,
         api: &mut RecvApi<'_>,
     ) {
         let v = api.node() as usize;
         let d = self.forest.depth[v];
         if d > 0 && api.round() == u64::from(d) - 1 && state.new_cluster.is_none() {
             if let Some(p) = self.forest.parent[v] {
-                for (src, (c, pd)) in inbox {
-                    if *src == p {
-                        state.new_cluster = Some(*c);
+                for (src, &(c, pd)) in inbox {
+                    if src == p {
+                        state.new_cluster = Some(c);
                         state.new_depth = pd + 1;
                     }
                 }

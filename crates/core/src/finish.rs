@@ -13,7 +13,9 @@
 use crate::cluster::tree::{Broadcast, Convergecast};
 use crate::cluster::ClusterForest;
 use crate::ghaffari::{GhaffariMis, GhaffariState};
-use congest_sim::{InitApi, NodeId, PackedBits, Pipeline, Protocol, RecvApi, SendApi, SimError};
+use congest_sim::{
+    Inbox, InitApi, NodeId, PackedBits, Pipeline, Protocol, RecvApi, SendApi, SimError,
+};
 
 /// Parameters of the finish step.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,10 +66,10 @@ impl Protocol for SuccessCheck<'_> {
         api.broadcast(self.joined[api.node() as usize].clone());
     }
 
-    fn recv(&self, state: &mut PackedBits, inbox: &[(NodeId, PackedBits)], api: &mut RecvApi<'_>) {
+    fn recv(&self, state: &mut PackedBits, inbox: Inbox<'_, PackedBits>, api: &mut RecvApi<'_>) {
         let mut nbr = PackedBits::new(self.executions);
         for (src, bits) in inbox {
-            if self.participating[*src as usize] {
+            if self.participating[src as usize] {
                 nbr.or_assign(bits);
             }
         }

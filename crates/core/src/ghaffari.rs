@@ -11,7 +11,7 @@
 //! `O(log n)`-bit CONGEST message ([`congest_sim::PackedBits`]) — exactly
 //! the parallel-execution trick of Lemma 2.7.
 
-use congest_sim::{InitApi, NodeId, PackedBits, Protocol, RecvApi, SendApi};
+use congest_sim::{Inbox, InitApi, NodeId, PackedBits, Protocol, RecvApi, SendApi};
 use rand::Rng;
 
 /// Ghaffari's MIS, possibly many executions in parallel.
@@ -117,12 +117,7 @@ impl Protocol for GhaffariMis<'_> {
         }
     }
 
-    fn recv(
-        &self,
-        state: &mut GhaffariState,
-        inbox: &[(NodeId, PackedBits)],
-        api: &mut RecvApi<'_>,
-    ) {
+    fn recv(&self, state: &mut GhaffariState, inbox: Inbox<'_, PackedBits>, api: &mut RecvApi<'_>) {
         let sub = api.round() % 2;
         if sub == 0 {
             let mut seen = PackedBits::new(self.executions);

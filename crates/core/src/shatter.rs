@@ -13,7 +13,7 @@
 //! `O(log log n)`, spanning tree with known depths). See DESIGN.md §7.
 
 use crate::cluster::ClusterForest;
-use congest_sim::{InitApi, NodeId, Protocol, RecvApi, SendApi};
+use congest_sim::{Inbox, InitApi, NodeId, Protocol, RecvApi, SendApi};
 use rand::Rng;
 
 /// Cluster-growing protocol: every participating node draws a random
@@ -72,16 +72,16 @@ impl Protocol for ClusterGrow<'_> {
         }
     }
 
-    fn recv(&self, state: &mut GrowState, inbox: &[(NodeId, (u32, u32))], api: &mut RecvApi<'_>) {
+    fn recv(&self, state: &mut GrowState, inbox: Inbox<'_, (u32, u32)>, api: &mut RecvApi<'_>) {
         if state.cluster.is_some() {
             return;
         }
         // Adopt the smallest proposed cluster, if any.
         let best = inbox
             .iter()
-            .filter(|(src, _)| self.participating[*src as usize])
-            .min_by_key(|(src, (c, _))| (*c, *src));
-        if let Some(&(src, (c, d))) = best {
+            .filter(|&(src, _)| self.participating[src as usize])
+            .min_by_key(|&(src, &(c, _))| (c, src));
+        if let Some((src, &(c, d))) = best {
             state.cluster = Some(c);
             state.parent = Some(src);
             state.depth = d + 1;

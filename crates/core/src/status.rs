@@ -1,7 +1,8 @@
 //! Shared per-node status tracking across phases.
 
 use congest_sim::{
-    run, InitApi, Message, NodeId, Protocol, RecvApi, SendApi, SimConfig, SimError, SimResult,
+    run, Inbox, InitApi, Message, NodeId, Protocol, RecvApi, SendApi, SimConfig, SimError,
+    SimResult,
 };
 use mis_graphs::Graph;
 
@@ -150,8 +151,8 @@ impl Protocol for StatusSync<'_> {
         }
     }
 
-    fn recv(&self, state: &mut SyncOutcome, inbox: &[(NodeId, bool)], _api: &mut RecvApi<'_>) {
-        state.covered = inbox.iter().any(|&(_, b)| b);
+    fn recv(&self, state: &mut SyncOutcome, inbox: Inbox<'_, bool>, _api: &mut RecvApi<'_>) {
+        state.covered = inbox.iter().any(|(_, &b)| b);
     }
 }
 

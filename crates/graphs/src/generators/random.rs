@@ -53,17 +53,54 @@ pub fn gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
 
 /// Maps a flat index in `0..n(n-1)/2` to the pair `(a, b)`, `a < b`,
 /// enumerated row by row: (0,1), (0,2), …, (0,n-1), (1,2), ….
+///
+/// Row `a` starts at flat index `C(a) = a(n-1) - a(a-1)/2`; inverting
+/// that quadratic with an integer square root finds the row in O(1), so
+/// skip-sampled `gnp` is truly `O(n + m)` (the old implementation walked
+/// rows linearly, making generation `O(n)` *per edge* in the worst case).
+/// The float-seeded root is corrected with exact integer comparisons, so
+/// the result is exact for every representable `n`.
 fn pair_from_index(n: usize, idx: u128) -> (NodeId, NodeId) {
-    let mut a = 0u128;
-    let mut remaining = idx;
-    let mut row = n as u128 - 1;
-    while remaining >= row {
-        remaining -= row;
-        a += 1;
-        row -= 1;
+    let nn = n as u128;
+    debug_assert!(idx < nn * (nn - 1) / 2, "idx out of range");
+    // C(a) <= idx solves to a = ((2n-1) - sqrt((2n-1)^2 - 8 idx)) / 2.
+    // C(a) = a(n-1) - a(a-1)/2 = a(2n-1-a)/2; the product is always even
+    // (the factors have opposite parity) and the form never underflows.
+    let row_start = |a: u128| a * (2 * nn - 1 - a) / 2;
+    let m = 2 * nn - 1;
+    let mut a = (m - isqrt(m * m - 8 * idx)) / 2;
+    // The isqrt is exact, but guard the derivation with the definition
+    // itself: a is the unique row with C(a) <= idx < C(a + 1).
+    while a > 0 && row_start(a) > idx {
+        a -= 1;
     }
-    let b = a + 1 + remaining;
+    while row_start(a + 1) <= idx {
+        a += 1;
+    }
+    let b = a + 1 + (idx - row_start(a));
     (a as NodeId, b as NodeId)
+}
+
+/// Integer square root: the largest `r` with `r * r <= x`. Seeded by the
+/// float root and corrected by exact integer steps (the f64 mantissa
+/// cannot represent large u128 exactly, so the seed may be off by a few
+/// ulps in either direction).
+fn isqrt(x: u128) -> u128 {
+    if x == 0 {
+        return 0;
+    }
+    let mut r = (x as f64).sqrt() as u128;
+    #[allow(
+        clippy::unnecessary_map_or,
+        reason = "Option::is_none_or is past our MSRV"
+    )]
+    while r.checked_mul(r).map_or(true, |sq| sq > x) {
+        r -= 1;
+    }
+    while (r + 1).checked_mul(r + 1).is_some_and(|sq| sq <= x) {
+        r += 1;
+    }
+    r
 }
 
 /// `G(n, m)`: a uniformly random simple graph with exactly `m` edges
@@ -110,10 +147,14 @@ pub fn random_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> Graph {
     let mut stubs: Vec<NodeId> = (0..n as u32)
         .flat_map(|v| std::iter::repeat(v).take(d))
         .collect();
+    // One dedup set for all pairing attempts: `clear()` keeps the
+    // allocated table, so retries (common at higher d/n ratios) cost no
+    // allocation churn beyond the first attempt's growth.
+    let mut seen = std::collections::HashSet::with_capacity(stubs.len());
     for attempt in 0..60 {
         shuffle(&mut stubs, rng);
+        seen.clear();
         let mut ok = true;
-        let mut seen = std::collections::HashSet::with_capacity(stubs.len());
         for pair in stubs.chunks_exact(2) {
             let (a, c) = (pair[0], pair[1]);
             if a == c || !seen.insert((a.min(c), a.max(c))) {
@@ -122,7 +163,7 @@ pub fn random_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> Graph {
             }
         }
         if ok || attempt == 59 {
-            let mut seen = std::collections::HashSet::with_capacity(stubs.len());
+            seen.clear();
             for pair in stubs.chunks_exact(2) {
                 let (a, c) = (pair[0], pair[1]);
                 if a != c && seen.insert((a.min(c), a.max(c))) {
@@ -303,6 +344,21 @@ mod tests {
         assert_eq!(gnp(1, 0.5, &mut rng).m(), 0);
     }
 
+    /// The retired row-walk implementation, kept as the ground truth the
+    /// closed-form inversion is checked against.
+    fn pair_from_index_walk(n: usize, idx: u128) -> (NodeId, NodeId) {
+        let mut a = 0u128;
+        let mut remaining = idx;
+        let mut row = n as u128 - 1;
+        while remaining >= row {
+            remaining -= row;
+            a += 1;
+            row -= 1;
+        }
+        let b = a + 1 + remaining;
+        (a as NodeId, b as NodeId)
+    }
+
     #[test]
     fn pair_from_index_enumerates_all_pairs() {
         let n = 7;
@@ -315,6 +371,55 @@ mod tests {
             assert!(seen.insert((a, b)), "pair ({a},{b}) repeated");
         }
         assert_eq!(seen.len(), total);
+    }
+
+    /// Exhaustive equivalence of the O(1) triangular inversion against
+    /// the O(n) row walk, for every index of every small n.
+    #[test]
+    fn pair_from_index_matches_row_walk_exhaustively() {
+        for n in 2..=64usize {
+            let total = (n * (n - 1) / 2) as u128;
+            for idx in 0..total {
+                assert_eq!(
+                    pair_from_index(n, idx),
+                    pair_from_index_walk(n, idx),
+                    "n = {n}, idx = {idx}"
+                );
+            }
+        }
+    }
+
+    /// The inversion stays exact at sizes where the f64 sqrt seed is no
+    /// longer exact: first and last index of each row near the extremes.
+    #[test]
+    fn pair_from_index_large_n_row_boundaries() {
+        let n: usize = 1 << 20;
+        let nn = n as u128;
+        let total = nn * (nn - 1) / 2;
+        let row_start = |a: u128| a * (2 * nn - 1 - a) / 2;
+        for a in [0u128, 1, 2, nn / 2, nn - 3, nn - 2] {
+            let start = row_start(a);
+            assert_eq!(pair_from_index(n, start), (a as NodeId, a as NodeId + 1));
+            let end = row_start(a + 1) - 1;
+            assert_eq!(pair_from_index(n, end), (a as NodeId, n as NodeId - 1));
+        }
+        assert_eq!(
+            pair_from_index(n, total - 1),
+            (n as NodeId - 2, n as NodeId - 1)
+        );
+    }
+
+    #[test]
+    fn isqrt_exact_at_boundaries() {
+        for x in 0u128..=1025 {
+            let r = isqrt(x);
+            assert!(r * r <= x && (r + 1) * (r + 1) > x, "x = {x}");
+        }
+        for r in [u64::MAX as u128, 1 << 63, (1 << 35) - 1] {
+            assert_eq!(isqrt(r * r), r);
+            assert_eq!(isqrt(r * r + 1), r);
+            assert_eq!(isqrt(r * r - 1), r - 1);
+        }
     }
 
     #[test]

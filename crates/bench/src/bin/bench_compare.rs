@@ -24,7 +24,11 @@
 //!
 //! The parser is a purpose-built scanner for the emitter's own fixed
 //! schema (the workspace vendors no JSON dependency); it is unit-tested
-//! against the emitter's exact output shape below.
+//! against the emitter's exact output shape below. Sections it does not
+//! know about (`thread_sweep`, `churn`, anything future emitters add)
+//! are skipped, not fatal: the gate compares the `workloads` rows it
+//! understands and ignores the rest, so a baseline recorded before a
+//! new section existed keeps gating.
 
 use std::process::ExitCode;
 
@@ -256,6 +260,43 @@ mod tests {
     #[test]
     fn missing_section_is_an_error_not_empty() {
         assert!(parse_workloads("{\"schema\": \"bench-engine-v1\"}").is_none());
+    }
+
+    #[test]
+    fn unknown_sections_are_ignored_not_fatal() {
+        // Newer emitters add sections (e.g. "churn") that an older gate
+        // does not know about; the gate must keep comparing the rows it
+        // understands instead of exiting 2 on schema drift it can skim
+        // past. This mirrors the emitter's section order: churn follows
+        // thread_sweep.
+        let doc = DOC.trim_end().trim_end_matches('}').to_string()
+            + r#"  ,
+  "churn": {
+    "base_family": "gnp",
+    "entries": [
+      {"algo": "inc-luby", "n": 1024, "batches": 32, "edits": 120, "repair_secs": 0.001, "repair_secs_per_edit": 0.000008, "avg_affected": 1.2, "max_affected": 6, "full_solve_secs": 0.5, "speedup_vs_resolve": 500.0, "verified": true}
+    ]
+  }
+}"#;
+        let rows = parse_workloads(&doc).unwrap();
+        assert_eq!(rows.len(), 2, "churn entries must not leak into workloads");
+        assert!(rows
+            .iter()
+            .all(|r| r.family == "gnp" || r.family == "regular"));
+    }
+
+    #[test]
+    fn unknown_sections_before_workloads_are_skipped() {
+        let doc = r#"{
+  "schema": "bench-engine-v2",
+  "future_section": {"entries": [{"n": 7, "rounds_per_sec": 1.0}]},
+  "workloads": [
+    {"family": "gnp", "n": 1024, "rounds": 10, "messages": 10, "secs": 1.0, "rounds_per_sec": 10.0, "messages_per_sec": 10.0}
+  ]
+}"#;
+        let rows = parse_workloads(doc).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].n, 1024);
     }
 
     fn row(family: &str, n: u64, rps: f64) -> WorkloadRow {

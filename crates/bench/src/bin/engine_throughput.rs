@@ -14,6 +14,11 @@
 //! records `available_parallelism`, because a speedup curve measured on
 //! fewer cores than workers says more about the host than the engine.
 //!
+//! The emitter also measures a **churn** section: repair latency per
+//! edit and awake nodes per repair for the incremental algorithms,
+//! against a full re-solve of the final topology (see
+//! `mis_bench::churn`).
+//!
 //! Usage: `engine_throughput [--tiny] [--out PATH]`
 //!
 //! * `--tiny` shrinks the sweep to CI scale (n ∈ {2^10, 2^12}; thread
@@ -266,6 +271,42 @@ fn main() {
             rps,
             speedup,
             if i + 1 == sweep.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("    ]\n  },\n");
+
+    // Churn: repair latency and awake-set size per edit batch vs a full
+    // re-solve of the final topology (the incremental-MIS perf story;
+    // `experiments churn` prints the same rows as a table). Consumers
+    // that predate this section — bench_compare included — scan for the
+    // sections they know and ignore the rest.
+    let churn_n = if tiny { 1 << 10 } else { 1 << 16 };
+    json.push_str("  \"churn\": {\n    \"base_family\": \"gnp\",\n    \"entries\": [\n");
+    let churn_rows = mis_bench::churn::churn_rows(churn_n, 0, &["inc-luby", "inc-alg1"], 32, 4);
+    for (i, r) in churn_rows.iter().enumerate() {
+        println!(
+            "{:>8} n={:<8} {:<10} {:>8.1} µs/edit  avg awake {:>6.1}  ({:.0}x vs re-solve)",
+            "churn",
+            r.n,
+            r.algo,
+            r.repair_secs_per_edit() * 1e6,
+            r.stats.avg_affected(),
+            r.speedup_vs_resolve()
+        );
+        json.push_str(&format!(
+            "      {{\"algo\": \"{}\", \"n\": {}, \"batches\": {}, \"edits\": {}, \"repair_secs\": {:.6}, \"repair_secs_per_edit\": {:.9}, \"avg_affected\": {:.3}, \"max_affected\": {}, \"full_solve_secs\": {:.6}, \"speedup_vs_resolve\": {:.1}, \"verified\": {}}}{}\n",
+            r.algo,
+            r.n,
+            r.stats.batches,
+            r.stats.edits,
+            r.repair_secs,
+            r.repair_secs_per_edit(),
+            r.stats.avg_affected(),
+            r.stats.max_affected,
+            r.full_secs,
+            r.speedup_vs_resolve(),
+            r.verified,
+            if i + 1 == churn_rows.len() { "" } else { "," }
         ));
     }
     json.push_str("    ]\n  }\n}\n");

@@ -15,6 +15,14 @@
 //! # The whole registry on the whole tiny workload suite (the CI smoke):
 //! cargo run --release -p mis-bench --bin experiments -- \
 //!     scenario --algo all --workload all --seeds 0..2 --threads 2
+//! # Churn cells: incremental algorithms on edit-stream workloads.
+//! cargo run --release -p mis-bench --bin experiments -- \
+//!     scenario --algo inc-luby --workload edits:base=gnp:n=4096,deg=8;batches=16;ops=8
+//! cargo run --release -p mis-bench --bin experiments -- \
+//!     scenario --algo inc-luby,inc-alg1 --workload churn --seeds 0..3
+//!
+//! # Churn bench: repair latency/awake set vs full re-solve (BENCH_engine.json section).
+//! cargo run --release -p mis-bench --bin experiments -- churn --tiny
 //! ```
 //!
 //! `--threads N` (also `--threads=N`; default 1; 0 = the sequential
@@ -40,6 +48,12 @@ fn main() {
 
     if selected.first().map(String::as_str) == Some("scenario") {
         std::process::exit(scenario_mode(&args, threads));
+    }
+    if selected.first().map(String::as_str) == Some("churn") {
+        std::process::exit(mis_bench::churn::run(
+            cli::has_flag(&args, "--tiny"),
+            threads,
+        ));
     }
 
     let quick = cli::has_flag(&args, "--quick");
@@ -87,9 +101,12 @@ fn main() {
 }
 
 /// The declarative matrix mode: `--algo <name|a,b|all> --workload
-/// <SPEC|all> --seeds <A..B|A>` (+ the shared `--threads`, and
+/// <SPEC|all|churn> --seeds <A..B|A>` (+ the shared `--threads`, and
 /// `--rounds` to collect and summarize the per-round time series).
-/// Returns the process exit code: 0 iff every run verified.
+/// `--workload churn` selects the tiny churn suite; `--algo all`
+/// resolves per workload (static registry for static workloads,
+/// incremental registry for `edits:` workloads). Returns the process
+/// exit code: 0 iff every run verified.
 fn scenario_mode(args: &[String], threads: usize) -> i32 {
     let fail = |msg: String| -> i32 {
         eprintln!("scenario: {msg}");
@@ -106,23 +123,39 @@ fn scenario_mode(args: &[String], threads: usize) -> i32 {
     };
     let collect_rounds = cli::has_flag(args, "--rounds");
 
-    let algos: Vec<String> = if algo_arg == "all" {
-        registry::names().iter().map(ToString::to_string).collect()
-    } else {
-        algo_arg.split(',').map(ToString::to_string).collect()
-    };
-    let workloads: Vec<WorkloadSpec> = if workload_arg == "all" {
-        WorkloadSpec::tiny_suite()
-    } else {
-        match workload_arg.parse() {
+    let workloads: Vec<WorkloadSpec> = match workload_arg.as_str() {
+        "all" => WorkloadSpec::tiny_suite(),
+        "churn" => WorkloadSpec::tiny_churn_suite(),
+        spec => match spec.parse() {
             Ok(spec) => vec![spec],
-            Err(e) => return fail(e.to_string()),
+            // Route through SimError so malformed specs fail the same
+            // way everywhere: exit 2 with the offending token quoted.
+            Err(e) => return fail(congest_sim::SimError::from(e).to_string()),
+        },
+    };
+    // `--algo all` resolves against the registry each workload calls
+    // for: static workloads sweep the static registry, churn workloads
+    // the incremental one.
+    let algos_for = |workload: &WorkloadSpec| -> Vec<String> {
+        if algo_arg != "all" {
+            algo_arg.split(',').map(ToString::to_string).collect()
+        } else if workload.churn.is_some() {
+            mis_runner::incremental::names()
+                .iter()
+                .map(ToString::to_string)
+                .collect()
+        } else {
+            registry::names().iter().map(ToString::to_string).collect()
         }
     };
 
     println!(
-        "# Scenario matrix: {} algorithm(s) × {} workload(s) × seeds {:?} ({} engine)",
-        algos.len(),
+        "# Scenario matrix: {} × {} workload(s) × seeds {:?} ({} engine)",
+        if algo_arg == "all" {
+            "full registry".to_string()
+        } else {
+            format!("{} algorithm(s)", algo_arg.split(',').count())
+        },
         workloads.len(),
         seeds,
         if threads == 0 {
@@ -140,7 +173,7 @@ fn scenario_mode(args: &[String], threads: usize) -> i32 {
         // One graph per workload, shared by every algorithm of the
         // matrix (graph generation dominates at large n).
         let g = workload.build();
-        for algo in &algos {
+        for algo in &algos_for(workload) {
             let scenario = Scenario::new(algo, *workload)
                 .seeds(seeds.clone())
                 .threads(threads)
@@ -155,6 +188,13 @@ fn scenario_mode(args: &[String], threads: usize) -> i32 {
                     failures += 1;
                 }
                 let mut verified = if r.is_mis() { "✓" } else { "✗ NOT AN MIS" }.to_string();
+                if let Some(rep) = &r.repair {
+                    verified.push_str(&format!(
+                        " ({} repairs, avg awake {:.1})",
+                        rep.batches,
+                        rep.avg_affected()
+                    ));
+                }
                 if let Some(log) = &r.rounds {
                     verified.push_str(&format!(
                         " (peak awake {}/{} busy rounds)",

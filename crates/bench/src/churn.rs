@@ -1,0 +1,179 @@
+//! Churn benchmark: the cost of *maintaining* an MIS under an edit
+//! stream versus re-solving from scratch.
+//!
+//! This is the measured half of the incremental-MIS story: the planner
+//! wakes `O(affected)` nodes per batch, so repair latency should sit
+//! orders of magnitude under a full re-solve at bench scale. The rows
+//! feed two surfaces: the human table of `experiments churn`, and the
+//! `churn` section of `BENCH_engine.json` (the `engine_throughput`
+//! emitter), next to the engine-throughput trajectory.
+
+use crate::table::{f2, Table};
+use congest_sim::SimConfig;
+use mis_graphs::DeltaGraph;
+use mis_runner::{incremental, ChurnSpec, ChurnStream, RepairStats, RunConfig, WorkloadSpec};
+use std::time::Instant;
+
+/// One measured churn cell: an incremental algorithm maintaining an MIS
+/// on a G(n, p) base through a fixed edit stream.
+#[derive(Debug, Clone)]
+pub struct ChurnRow {
+    /// Incremental registry name.
+    pub algo: String,
+    /// Base graph size.
+    pub n: usize,
+    /// Repair accounting (batches, edits, affected sets, awake costs).
+    pub stats: RepairStats,
+    /// Total wall time across all repairs (planning + sub-run + periodic
+    /// compaction), seconds.
+    pub repair_secs: f64,
+    /// Wall time of one full re-solve on the final topology, seconds.
+    pub full_secs: f64,
+    /// Whether the maintained set verified as an MIS of the final
+    /// topology.
+    pub verified: bool,
+}
+
+impl ChurnRow {
+    /// Mean repair latency per edit operation, seconds.
+    pub fn repair_secs_per_edit(&self) -> f64 {
+        if self.stats.edits == 0 {
+            0.0
+        } else {
+            self.repair_secs / self.stats.edits as f64
+        }
+    }
+
+    /// Mean repair latency per batch, seconds.
+    pub fn repair_secs_per_batch(&self) -> f64 {
+        if self.stats.batches == 0 {
+            0.0
+        } else {
+            self.repair_secs / self.stats.batches as f64
+        }
+    }
+
+    /// How many times faster one repair is than one full re-solve of the
+    /// final topology.
+    pub fn speedup_vs_resolve(&self) -> f64 {
+        let per_batch = self.repair_secs_per_batch();
+        if per_batch == 0.0 {
+            0.0
+        } else {
+            self.full_secs / per_batch
+        }
+    }
+}
+
+/// Measures one churn cell per algorithm on a shared `gnp:n=<n>,deg=8`
+/// base: solve once, repair through `batches × ops` edits (mirroring
+/// [`incremental::run_churn_on`]'s compaction policy), then time a full
+/// re-solve of the final topology for comparison.
+pub fn churn_rows(
+    n: usize,
+    threads: usize,
+    algos: &[&str],
+    batches: u32,
+    ops: u32,
+) -> Vec<ChurnRow> {
+    let spec: WorkloadSpec = format!("gnp:n={n},deg=8,seed=1")
+        .parse()
+        .expect("valid base spec");
+    let churn = ChurnSpec {
+        batches,
+        ops,
+        seed: 7,
+    };
+    let g = spec.build();
+    let mut rows = Vec::new();
+    for name in algos {
+        let alg = incremental::from_name(name).expect("registered incremental algorithm");
+        let cfg = RunConfig::from(SimConfig::seeded(1).with_threads(threads));
+        let mut dg = DeltaGraph::new(g.clone());
+        let mut report = alg.solve(&dg, &cfg).expect("initial solve");
+        let mut stream = ChurnStream::new(churn);
+        let mut stats = RepairStats::default();
+        let mut repair_secs = 0.0;
+        for b in 0..u64::from(batches) {
+            let applied = stream.next_batch(&mut dg).expect("generated ops are valid");
+            let mut sub_cfg = cfg.clone();
+            sub_cfg.sim = cfg
+                .sim
+                .with_salt(cfg.sim.salt ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(b + 1));
+            let t0 = Instant::now();
+            let out = alg
+                .repair(&dg, &applied, &report.in_mis, &sub_cfg)
+                .expect("repair");
+            if dg.overlay_edits() >= (dg.base().n() / 16).max(32) {
+                dg.compact();
+            }
+            repair_secs += t0.elapsed().as_secs_f64();
+            stats.record(
+                applied.changes() as u64,
+                out.demoted as u64,
+                out.affected as u64,
+                &out.metrics,
+            );
+            report.in_mis = out.in_mis;
+        }
+        let verified = dg.check_mis(&report.in_mis).is_mis();
+        let t0 = Instant::now();
+        let resolve = alg.solve(&dg, &cfg).expect("full re-solve");
+        let full_secs = t0.elapsed().as_secs_f64();
+        rows.push(ChurnRow {
+            algo: (*name).to_string(),
+            n,
+            stats,
+            repair_secs,
+            full_secs,
+            verified: verified && resolve.is_mis(),
+        });
+    }
+    rows
+}
+
+/// The `experiments churn` mode: measures [`churn_rows`] at bench scale
+/// (`--tiny`: n = 2^12, else n = 2^16) and prints the comparison table.
+/// Returns the process exit code: 0 iff every maintained set verified.
+pub fn run(tiny: bool, threads: usize) -> i32 {
+    let n = if tiny { 1 << 12 } else { 1 << 16 };
+    let (batches, ops) = (32, 4);
+    let rows = churn_rows(n, threads, &["inc-luby", "inc-alg1"], batches, ops);
+    let mut t = Table::new([
+        "algo",
+        "n",
+        "repairs",
+        "edits",
+        "µs/edit",
+        "awake/repair",
+        "max awake",
+        "re-solve ms",
+        "speedup",
+        "verified",
+    ]);
+    let mut ok = true;
+    for r in &rows {
+        ok &= r.verified;
+        t.row([
+            r.algo.clone(),
+            r.n.to_string(),
+            r.stats.batches.to_string(),
+            r.stats.edits.to_string(),
+            f2(r.repair_secs_per_edit() * 1e6),
+            f2(r.stats.avg_affected()),
+            r.stats.max_affected.to_string(),
+            f2(r.full_secs * 1e3),
+            format!("{:.1}x", r.speedup_vs_resolve()),
+            if r.verified { "✓" } else { "✗ NOT AN MIS" }.to_string(),
+        ]);
+    }
+    t.print(&format!(
+        "Churn — O(affected) repair vs full re-solve, gnp:n={n},deg=8, {batches} batches × {ops} ops"
+    ));
+    println!(
+        "\nverdict: {}/{} maintained sets verified as MIS of the final topology",
+        rows.iter().filter(|r| r.verified).count(),
+        rows.len()
+    );
+    i32::from(!ok)
+}

@@ -1,0 +1,71 @@
+//! Exit-code contract of the `experiments` binary's scenario mode:
+//! malformed input exits 2 with the offending token quoted on stderr
+//! (routed uniformly through `SimError`), valid churn matrices exit 0.
+
+use std::process::Command;
+
+fn experiments(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(args)
+        .output()
+        .expect("spawn experiments binary")
+}
+
+#[test]
+fn bad_workload_family_exits_2_and_names_the_token() {
+    let out = experiments(&["scenario", "--workload", "hypercube:n=64"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("invalid input:"), "stderr: {err}");
+    assert!(err.contains("hypercube"), "stderr: {err}");
+}
+
+#[test]
+fn bad_edits_key_exits_2_and_names_the_token() {
+    let out = experiments(&[
+        "scenario",
+        "--workload",
+        "edits:base=gnp:n=64,deg=4;batches=2;oops=1",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("invalid input:"), "stderr: {err}");
+    assert!(err.contains("\"oops\""), "stderr: {err}");
+}
+
+#[test]
+fn static_algo_on_churn_workload_exits_2_with_suggestion() {
+    let out = experiments(&[
+        "scenario",
+        "--algo",
+        "luby",
+        "--workload",
+        "edits:base=cycle:n=32;batches=1;ops=2",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("inc-luby"), "stderr: {err}");
+}
+
+#[test]
+fn churn_matrix_runs_verified() {
+    let out = experiments(&[
+        "scenario",
+        "--algo",
+        "inc-luby",
+        "--workload",
+        "edits:base=cycle:n=32;batches=2;ops=3",
+        "--seeds",
+        "0..2",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("2/2 runs produced a verified MIS"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("repairs"),
+        "repair summary missing: {stdout}"
+    );
+}

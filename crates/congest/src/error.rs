@@ -40,6 +40,28 @@ pub enum SimError {
         /// The invalid destination.
         dst: NodeId,
     },
+    /// Caller-supplied input was rejected before any simulation ran: a
+    /// malformed workload/edit spec, an invalid graph edit, or an
+    /// inconsistent repair request. The message quotes the offending
+    /// token so CLI surfaces can route every input error through one
+    /// variant (`experiments scenario` exits 2 on it).
+    InvalidInput {
+        /// What was rejected, quoting the offending token.
+        what: String,
+    },
+}
+
+impl SimError {
+    /// Wraps a caller-input rejection ([`SimError::InvalidInput`]).
+    pub fn invalid_input(what: impl Into<String>) -> SimError {
+        SimError::InvalidInput { what: what.into() }
+    }
+}
+
+impl From<mis_graphs::DeltaError> for SimError {
+    fn from(e: mis_graphs::DeltaError) -> SimError {
+        SimError::invalid_input(e.to_string())
+    }
 }
 
 impl std::fmt::Display for SimError {
@@ -63,6 +85,7 @@ impl std::fmt::Display for SimError {
             SimError::NotANeighbor { src, dst } => {
                 write!(f, "node {src} addressed non-neighbor {dst}")
             }
+            SimError::InvalidInput { what } => write!(f, "invalid input: {what}"),
         }
     }
 }

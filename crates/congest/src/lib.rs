@@ -68,6 +68,7 @@ mod metrics;
 pub mod observer;
 pub mod par;
 mod pipeline;
+pub mod repair;
 pub mod rng;
 mod sched;
 pub mod schedule;
@@ -85,6 +86,7 @@ pub use par::{
     ParScratch,
 };
 pub use pipeline::Pipeline;
+pub use repair::{plan_repair, RepairPlan};
 
 /// A round index; the algorithm starts at round 0.
 pub type Round = u64;

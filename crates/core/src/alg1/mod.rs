@@ -26,6 +26,11 @@ use phase1::Phase1Protocol;
 /// # Errors
 ///
 /// Propagates [`SimError`] from the engine.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the registry: `<dyn Algorithm>::from_name(\"alg1\")?.run(&g, &RunConfig::seeded(seed))`, \
+            or `run_algorithm1_with(g, params, &SimConfig::seeded(seed))` for custom params"
+)]
 pub fn run_algorithm1(g: &Graph, params: &Alg1Params, seed: u64) -> Result<MisReport, SimError> {
     run_algorithm1_with(g, params, &SimConfig::seeded(seed))
 }
@@ -137,6 +142,10 @@ fn alg1_pipeline(
 
 #[cfg(test)]
 mod tests {
+    // The deprecated seed-only shim stays pinned by these tests until
+    // removal.
+    #![allow(deprecated)]
+
     use super::*;
     use mis_graphs::generators;
     use rand::rngs::SmallRng;

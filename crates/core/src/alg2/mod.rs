@@ -23,6 +23,11 @@ use phase1::{Alg2Cleanup, Alg2Phase1Iteration};
 /// # Errors
 ///
 /// Propagates [`SimError`] from the engine.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the registry: `<dyn Algorithm>::from_name(\"alg2\")?.run(&g, &RunConfig::seeded(seed))`, \
+            or `run_algorithm2_with(g, params, &SimConfig::seeded(seed))` for custom params"
+)]
 pub fn run_algorithm2(g: &Graph, params: &Alg2Params, seed: u64) -> Result<MisReport, SimError> {
     run_algorithm2_with(g, params, &SimConfig::seeded(seed))
 }
@@ -135,6 +140,10 @@ fn alg2_pipeline(
 
 #[cfg(test)]
 mod tests {
+    // The deprecated seed-only shim stays pinned by these tests until
+    // removal.
+    #![allow(deprecated)]
+
     use super::*;
     use mis_graphs::generators;
     use rand::rngs::SmallRng;

@@ -138,6 +138,11 @@ pub struct PhaseI2Stats {
 /// # Errors
 ///
 /// Propagates [`SimError`] from the engine.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the registry: `<dyn Algorithm>::from_name(\"avg1\")?.run(&g, &RunConfig::seeded(seed))`, \
+            or `run_avg_energy_with(g, base, ae, &SimConfig::seeded(seed))` for custom params"
+)]
 pub fn run_avg_energy(
     g: &Graph,
     base: &Alg1Params,
@@ -251,6 +256,11 @@ fn avg1_pipeline(
 /// # Errors
 ///
 /// Propagates [`SimError`] from the engine.
+#[deprecated(
+    since = "0.1.0",
+    note = "use the registry: `<dyn Algorithm>::from_name(\"avg2\")?.run(&g, &RunConfig::seeded(seed))`, \
+            or `run_avg_energy2_with(g, base, ae, &SimConfig::seeded(seed))` for custom params"
+)]
 pub fn run_avg_energy2(
     g: &Graph,
     base: &crate::params::Alg2Params,
@@ -520,6 +530,10 @@ fn spoiled_mask(board: &StatusBoard, sampled: &[bool]) -> Vec<bool> {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated seed-only shims stay pinned by these tests until
+    // removal.
+    #![allow(deprecated)]
+
     use super::*;
     use congest_sim::run;
     use mis_graphs::generators;

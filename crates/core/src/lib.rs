@@ -28,7 +28,9 @@
 //!
 //! let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
 //! let g = generators::gnp(500, 8.0 / 500.0, &mut rng);
-//! let report = alg1::run_algorithm1(&g, &Alg1Params::default(), 42).unwrap();
+//! let report =
+//!     alg1::run_algorithm1_with(&g, &Alg1Params::default(), &congest_sim::SimConfig::seeded(42))
+//!         .unwrap();
 //! assert!(report.is_mis());
 //! println!(
 //!     "rounds = {}, worst-case energy = {}",

@@ -33,11 +33,13 @@
 #![warn(missing_docs)]
 
 mod builder;
+pub mod delta;
 pub mod generators;
 mod graph;
 mod partition;
 pub mod props;
 
 pub use builder::GraphBuilder;
+pub use delta::{AppliedBatch, DeltaError, DeltaGraph, Edit, EditBatch};
 pub use graph::{EdgeId, Graph, GraphError, NodeId};
 pub use partition::Partition;

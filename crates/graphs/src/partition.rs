@@ -77,6 +77,15 @@ impl Partition {
         self.node_starts.len() - 1
     }
 
+    /// The `k + 1` node boundaries: shard `s` owns
+    /// `boundaries[s]..boundaries[s + 1]`. Exposed so churn-time refits
+    /// ([`crate::DeltaGraph::compact_with_partition`]) can report how
+    /// many nodes changed shard.
+    #[inline]
+    pub fn node_boundaries(&self) -> &[NodeId] {
+        &self.node_starts
+    }
+
     /// The contiguous node range owned by shard `s`.
     ///
     /// # Panics

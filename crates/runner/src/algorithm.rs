@@ -111,20 +111,81 @@ impl dyn Algorithm {
 pub struct UnknownAlgorithm {
     /// The name that failed to resolve.
     pub name: String,
+    /// The nearest registered name, when one is close enough to look
+    /// like a typo (`"alg_1"` → `"alg1"`).
+    pub suggestion: Option<String>,
+}
+
+impl UnknownAlgorithm {
+    /// Builds the error for `name`, deriving [`UnknownAlgorithm::suggestion`]
+    /// from `candidates`: a candidate equal up to case and punctuation
+    /// wins; otherwise the closest within Levenshtein distance 2 (ties
+    /// broken by candidate order).
+    pub(crate) fn with_suggestion_from(name: &str, candidates: &[&str]) -> UnknownAlgorithm {
+        let suggestion = nearest_name(name, candidates).map(str::to_string);
+        UnknownAlgorithm {
+            name: name.to_string(),
+            suggestion,
+        }
+    }
 }
 
 impl std::fmt::Display for UnknownAlgorithm {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "unknown algorithm {:?} (registered: {})",
+            "unknown algorithm {:?} (registered: {}; incremental: {})",
             self.name,
-            crate::registry::names().join(", ")
-        )
+            crate::registry::names().join(", "),
+            crate::incremental::names().join(", ")
+        )?;
+        if let Some(s) = &self.suggestion {
+            write!(f, " — did you mean {s:?}?")?;
+        }
+        Ok(())
     }
 }
 
 impl std::error::Error for UnknownAlgorithm {}
+
+/// The candidate closest to `name`: normalized (case/punctuation
+/// insensitive) equality first, then minimum Levenshtein distance ≤ 2.
+fn nearest_name<'a>(name: &str, candidates: &[&'a str]) -> Option<&'a str> {
+    fn normalize(s: &str) -> String {
+        s.chars()
+            .filter(char::is_ascii_alphanumeric)
+            .map(|c| c.to_ascii_lowercase())
+            .collect()
+    }
+    let norm = normalize(name);
+    if let Some(&hit) = candidates.iter().find(|c| normalize(c) == norm) {
+        return Some(hit);
+    }
+    candidates
+        .iter()
+        .map(|&c| (levenshtein(name, c), c))
+        .filter(|&(d, _)| d <= 2)
+        .min_by_key(|&(d, _)| d)
+        .map(|(_, c)| c)
+}
+
+/// Plain dynamic-programming edit distance, small enough for registry
+/// name lookups.
+fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut cur = Vec::with_capacity(b.len() + 1);
+        cur.push(i + 1);
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur.push((prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
 
 #[cfg(test)]
 mod tests {
@@ -145,5 +206,28 @@ mod tests {
         assert_eq!(<dyn Algorithm>::from_name("alg1").unwrap().name(), "alg1");
         let err = <dyn Algorithm>::from_name("simulated-annealing").unwrap_err();
         assert!(err.to_string().contains("luby"), "{err}");
+    }
+
+    #[test]
+    fn unknown_algorithm_suggests_near_misses() {
+        // Punctuation/case normalization: "alg_1" → "alg1".
+        let err = <dyn Algorithm>::from_name("alg_1").unwrap_err();
+        assert_eq!(err.suggestion.as_deref(), Some("alg1"));
+        assert!(err.to_string().contains("did you mean \"alg1\""), "{err}");
+        // Small edit distance: "lubyy" → "luby".
+        let err = <dyn Algorithm>::from_name("lubyy").unwrap_err();
+        assert_eq!(err.suggestion.as_deref(), Some("luby"));
+        // Nothing close: no suggestion, no trailing hint.
+        let err = <dyn Algorithm>::from_name("simulated-annealing").unwrap_err();
+        assert_eq!(err.suggestion, None);
+        assert!(!err.to_string().contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("alg1", "alg2"), 1);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
     }
 }

@@ -17,7 +17,12 @@
 //!   language;
 //! * [`Scenario`] — algorithm × workload × seed sweep as a value,
 //!   with [`RunConfig::collect_rounds`] unlocking the engine's
-//!   deterministic [`congest_sim::RoundObserver`] time series.
+//!   deterministic [`congest_sim::RoundObserver`] time series;
+//! * [`IncrementalAlgorithm`] — the churn-facing twin of [`Algorithm`]:
+//!   solve once, then `O(affected)` repairs per edit batch, driven by
+//!   the `edits:` arm of the workload grammar
+//!   (`edits:base=gnp:n=65536,deg=8;batches=64;ops=32;seed=3`) and
+//!   reported through [`RunReport::repair`].
 //!
 //! # Quickstart
 //!
@@ -36,13 +41,17 @@
 
 mod algorithm;
 pub mod cli;
+pub mod incremental;
 pub mod registry;
 mod report;
 mod scenario;
 mod workload;
 
 pub use algorithm::{Algorithm, RunConfig, UnknownAlgorithm};
+pub use incremental::{
+    run_churn, run_churn_on, ChurnStream, Incremental, IncrementalAlgorithm, RepairOutcome,
+};
 pub use registry::{Alg1, Alg2, AvgEnergy1, AvgEnergy2, Greedy, Luby, Permutation};
-pub use report::RunReport;
+pub use report::{RepairStats, RunReport};
 pub use scenario::{Scenario, ScenarioError};
-pub use workload::{ParseWorkloadError, WorkloadSpec};
+pub use workload::{ChurnSpec, ParseWorkloadError, WorkloadSpec};

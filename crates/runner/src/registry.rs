@@ -238,13 +238,15 @@ pub fn names() -> Vec<&'static str> {
 ///
 /// # Errors
 ///
-/// Returns [`UnknownAlgorithm`] when `name` is not registered.
+/// Returns [`UnknownAlgorithm`] when `name` is not registered; the
+/// error carries a near-miss suggestion when `name` looks like a typo
+/// of a registered (static or incremental) name.
 pub fn from_name(name: &str) -> Result<&'static dyn Algorithm, UnknownAlgorithm> {
-    algorithms()
-        .find(|a| a.name() == name)
-        .ok_or_else(|| UnknownAlgorithm {
-            name: name.to_string(),
-        })
+    algorithms().find(|a| a.name() == name).ok_or_else(|| {
+        let mut candidates = names();
+        candidates.extend(crate::incremental::names());
+        UnknownAlgorithm::with_suggestion_from(name, &candidates)
+    })
 }
 
 #[cfg(test)]

@@ -6,6 +6,84 @@ use mis_baselines::MisRun;
 use mis_graphs::{props, Graph};
 use std::collections::BTreeMap;
 
+/// Aggregate accounting of the repair phase of an incremental run: how
+/// much of the graph actually woke to absorb the edit stream.
+///
+/// Filled by [`crate::incremental::run_churn`], one
+/// [`record`](RepairStats::record) per edit batch. The headline numbers
+/// of the sleeping-model story are [`avg_affected`](RepairStats::avg_affected)
+/// (nodes woken per repair — `o(n)` under local churn) and
+/// [`awake_per_affected`](RepairStats::awake_per_affected) (node-averaged
+/// awake complexity of a repair).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairStats {
+    /// Repairs performed (one per edit batch).
+    pub batches: u64,
+    /// Total edit operations across all batches.
+    pub edits: u64,
+    /// MIS nodes demoted by the planner across all repairs.
+    pub demoted: u64,
+    /// Total affected (woken) nodes across all repairs.
+    pub affected: u64,
+    /// Largest single-repair affected set.
+    pub max_affected: u64,
+    /// Busy rounds summed over all repair sub-runs.
+    pub awake_rounds: u64,
+    /// Awake node-rounds summed over all repair sub-runs.
+    pub total_awake: u64,
+    /// Messages sent during repair sub-runs.
+    pub messages: u64,
+    /// Repairs that needed no wakeup at all (the retained set already
+    /// covered the new topology).
+    pub trivial: u64,
+}
+
+impl RepairStats {
+    /// Folds one repair into the account.
+    pub fn record(&mut self, edits: u64, demoted: u64, affected: u64, metrics: &Metrics) {
+        self.batches += 1;
+        self.edits += edits;
+        self.demoted += demoted;
+        self.affected += affected;
+        self.max_affected = self.max_affected.max(affected);
+        self.awake_rounds += metrics.busy_rounds;
+        self.total_awake += metrics.total_awake();
+        self.messages += metrics.messages_sent;
+        if affected == 0 {
+            self.trivial += 1;
+        }
+    }
+
+    /// Mean affected (woken) nodes per repair; `0.0` before any repair.
+    pub fn avg_affected(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.affected as f64 / self.batches as f64
+        }
+    }
+
+    /// Node-averaged awake complexity of a repair: awake node-rounds per
+    /// *woken* node — the repair-phase analogue of the paper's average
+    /// energy. `0.0` when nothing ever woke.
+    pub fn awake_per_affected(&self) -> f64 {
+        if self.affected == 0 {
+            0.0
+        } else {
+            self.total_awake as f64 / self.affected as f64
+        }
+    }
+
+    /// Mean awake rounds (sub-run busy rounds) per repair.
+    pub fn rounds_per_repair(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.awake_rounds as f64 / self.batches as f64
+        }
+    }
+}
+
 /// Unified result of running any registered [`crate::Algorithm`]: the
 /// computed set, aggregate and per-phase metrics, verification verdicts,
 /// named measured extras, and — when requested via
@@ -36,6 +114,10 @@ pub struct RunReport {
     /// Per-round awake/message time series, grouped by phase; `Some`
     /// only when the run was configured to collect rounds.
     pub rounds: Option<RoundLog>,
+    /// Repair-phase accounting; `Some` only for incremental (churn)
+    /// runs, where `metrics`/`phases` describe the initial solve and
+    /// this describes the edit-stream repairs that followed.
+    pub repair: Option<RepairStats>,
 }
 
 impl RunReport {
@@ -60,6 +142,7 @@ impl RunReport {
             phases,
             extras,
             rounds,
+            repair: None,
         }
     }
 
@@ -79,6 +162,7 @@ impl RunReport {
             maximal: report.maximal,
             extras: report.extras,
             rounds,
+            repair: None,
         }
     }
 
@@ -215,6 +299,33 @@ mod tests {
         assert!(!r.maximal);
         assert_eq!(r.phases.len(), 1);
         assert_eq!(r.phases[0].0, "luby");
+    }
+
+    #[test]
+    fn repair_stats_accumulate_and_average() {
+        let mut s = RepairStats::default();
+        assert_eq!(s.avg_affected(), 0.0);
+        assert_eq!(s.awake_per_affected(), 0.0);
+        assert_eq!(s.rounds_per_repair(), 0.0);
+
+        let mut m = Metrics::new(4);
+        m.busy_rounds = 3;
+        m.awake_rounds = vec![2, 1, 0, 0];
+        m.messages_sent = 5;
+        s.record(6, 1, 4, &m);
+        s.record(2, 0, 0, &Metrics::new(0)); // trivial repair
+        assert_eq!(s.batches, 2);
+        assert_eq!(s.edits, 8);
+        assert_eq!(s.demoted, 1);
+        assert_eq!(s.affected, 4);
+        assert_eq!(s.max_affected, 4);
+        assert_eq!(s.awake_rounds, 3);
+        assert_eq!(s.total_awake, 3);
+        assert_eq!(s.messages, 5);
+        assert_eq!(s.trivial, 1);
+        assert_eq!(s.avg_affected(), 2.0);
+        assert_eq!(s.awake_per_affected(), 0.75);
+        assert_eq!(s.rounds_per_repair(), 1.5);
     }
 
     #[test]

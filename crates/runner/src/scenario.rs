@@ -4,7 +4,7 @@
 use crate::algorithm::UnknownAlgorithm;
 use crate::report::RunReport;
 use crate::workload::{ParseWorkloadError, WorkloadSpec};
-use crate::{Algorithm, RunConfig};
+use crate::RunConfig;
 use congest_sim::SimError;
 use std::ops::Range;
 
@@ -51,15 +51,22 @@ impl Scenario {
     }
 
     /// [`Scenario::new`] from textual parts (the CLI path): validates
-    /// the algorithm name and parses the workload grammar.
+    /// the algorithm name against the registry the workload calls for
+    /// and parses the workload grammar. `edits:` workloads require an
+    /// incremental algorithm; static workloads accept either (an
+    /// incremental algorithm solves once, without repairs).
     ///
     /// # Errors
     ///
     /// Returns [`ScenarioError`] on an unknown algorithm or malformed
     /// workload spec.
     pub fn parse(algo: &str, workload: &str) -> Result<Scenario, ScenarioError> {
-        let _ = crate::registry::from_name(algo)?; // fail fast on typos
-        Ok(Scenario::new(algo, workload.parse::<WorkloadSpec>()?))
+        let spec = workload.parse::<WorkloadSpec>()?;
+        // Fail fast on typos, against the right registry.
+        if spec.churn.is_some() || crate::registry::from_name(algo).is_err() {
+            let _ = crate::incremental::from_name(algo)?;
+        }
+        Ok(Scenario::new(algo, spec))
     }
 
     /// Sets the algorithm seed range.
@@ -97,20 +104,45 @@ impl Scenario {
     /// [`Scenario::run`] on a caller-built graph — for sweeps that run
     /// *several* scenarios on the same workload (e.g. the whole registry,
     /// as the scenario CLI does): build the graph once, share it across
-    /// scenarios. `g` must be the graph `self.workload` describes for the
-    /// reports to be labeled truthfully; this is not checked.
+    /// scenarios. `g` must be the graph `self.workload` describes (its
+    /// *base* graph for `edits:` workloads) for the reports to be labeled
+    /// truthfully; this is not checked.
+    ///
+    /// Dispatch follows [`Scenario::parse`]: a churn workload resolves
+    /// `algo` in the incremental registry and drives the full edit
+    /// stream per seed; a static workload prefers the static registry
+    /// and falls back to a solve-only incremental run.
     ///
     /// # Errors
     ///
     /// Same contract as [`Scenario::run`].
     pub fn run_on(&self, g: &mis_graphs::Graph) -> Result<Vec<RunReport>, ScenarioError> {
-        let alg: &dyn Algorithm = crate::registry::from_name(&self.algo)?;
         let mut reports = Vec::with_capacity(self.seeds.clone().count());
-        for seed in self.seeds.clone() {
-            let cfg = RunConfig::seeded(seed)
+        let configs = self.seeds.clone().map(|seed| {
+            RunConfig::seeded(seed)
                 .threads(self.threads)
-                .collect_rounds(self.collect_rounds);
-            reports.push(alg.run(g, &cfg)?);
+                .collect_rounds(self.collect_rounds)
+        });
+        if let Some(churn) = self.workload.churn {
+            let alg = crate::incremental::from_name(&self.algo)?;
+            for cfg in configs {
+                reports.push(crate::incremental::run_churn_on(
+                    alg,
+                    g.clone(),
+                    churn,
+                    &cfg,
+                )?);
+            }
+        } else if let Ok(alg) = crate::registry::from_name(&self.algo) {
+            for cfg in configs {
+                reports.push(alg.run(g, &cfg)?);
+            }
+        } else {
+            let alg = crate::incremental::from_name(&self.algo)?;
+            let dg = mis_graphs::DeltaGraph::new(g.clone());
+            for cfg in configs {
+                reports.push(alg.solve(&dg, &cfg)?);
+            }
         }
         Ok(reports)
     }
@@ -204,6 +236,41 @@ mod tests {
             assert_eq!(a.in_mis, b.in_mis);
             assert_eq!(a.metrics, b.metrics);
         }
+    }
+
+    #[test]
+    fn churn_scenarios_dispatch_to_the_incremental_registry() {
+        let reports = Scenario::parse("inc-luby", "edits:base=cycle:n=48;batches=3;ops=5")
+            .unwrap()
+            .seeds(0..2)
+            .run()
+            .unwrap();
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert!(r.is_mis());
+            assert_eq!(r.algorithm, "inc-luby");
+            assert_eq!(r.repair.unwrap().batches, 3);
+        }
+        // A static algorithm on a churn workload is rejected eagerly,
+        // pointing at its wrapper.
+        let err = Scenario::parse("luby", "edits:base=cycle:n=48;batches=3;ops=5").unwrap_err();
+        match err {
+            ScenarioError::UnknownAlgorithm(e) => {
+                assert_eq!(e.suggestion.as_deref(), Some("inc-luby"));
+            }
+            other => panic!("wrong error: {other}"),
+        }
+    }
+
+    #[test]
+    fn incremental_algorithms_solve_static_workloads() {
+        let reports = Scenario::parse("inc-permutation", "path:n=32")
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].is_mis());
+        assert!(reports[0].repair.is_none(), "no edits, no repair stats");
     }
 
     #[test]

@@ -17,6 +17,23 @@
 //! `0`. The head may also be a [`Family::name`] token (`gnp-d8:n=65536`
 //! ≡ `gnp:n=65536,deg=8`). [`std::fmt::Display`] emits the canonical
 //! form, and parse ∘ display is the identity.
+//!
+//! # Churn workloads
+//!
+//! The `edits:` head wraps any static spec into an edit-stream workload
+//! for the incremental API, with `;`-separated top-level keys (the base
+//! spec keeps its own `,`/`:` syntax):
+//!
+//! | key | meaning | example |
+//! |---|---|---|
+//! | `base` | the static base workload (required) | `base=gnp:n=65536,deg=8` |
+//! | `batches` | number of edit batches (required) | `batches=64` |
+//! | `ops` | edit operations per batch (required) | `ops=32` |
+//! | `seed` | churn-stream seed, default `0` | `seed=3` |
+//!
+//! `edits:base=gnp:n=65536,deg=8;batches=64;ops=32;seed=3` describes 64
+//! repair rounds of 32 edits each on a G(n, p) base. The base must be
+//! static (no nested `edits:`).
 
 use mis_graphs::generators::Family;
 use mis_graphs::Graph;
@@ -24,8 +41,24 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::str::FromStr;
 
+/// The edit-stream component of an `edits:` workload: how many batches
+/// of how many operations the churn generator produces, from what seed.
+///
+/// The seed drives [`crate::incremental::ChurnStream`] and is
+/// independent of both the graph-generator seed and the algorithm seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChurnSpec {
+    /// Number of edit batches (one repair per batch).
+    pub batches: u32,
+    /// Edit operations per batch.
+    pub ops: u32,
+    /// Churn-stream seed.
+    pub seed: u64,
+}
+
 /// A fully described, reproducible workload: a graph family instance at
-/// a size, generated from a seed.
+/// a size, generated from a seed — optionally wrapped in an edit stream
+/// ([`WorkloadSpec::churn`]) for the incremental API.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WorkloadSpec {
     /// The graph family (with its family parameter).
@@ -34,12 +67,20 @@ pub struct WorkloadSpec {
     pub n: usize,
     /// Generator seed (independent of the algorithm seed).
     pub seed: u64,
+    /// `Some` for `edits:` workloads: the edit stream applied to the
+    /// base graph. `None` for static workloads.
+    pub churn: Option<ChurnSpec>,
 }
 
 impl WorkloadSpec {
-    /// A spec for `family` at size `n`, generator seed 0.
+    /// A spec for `family` at size `n`, generator seed 0, no churn.
     pub fn new(family: Family, n: usize) -> WorkloadSpec {
-        WorkloadSpec { family, n, seed: 0 }
+        WorkloadSpec {
+            family,
+            n,
+            seed: 0,
+            churn: None,
+        }
     }
 
     /// Returns a copy with the given generator seed.
@@ -49,7 +90,24 @@ impl WorkloadSpec {
         self
     }
 
-    /// Instantiates the graph (deterministic in the spec).
+    /// Returns a copy wrapped in the given edit stream (an `edits:`
+    /// workload over this base).
+    #[must_use]
+    pub fn with_churn(mut self, churn: ChurnSpec) -> WorkloadSpec {
+        self.churn = Some(churn);
+        self
+    }
+
+    /// The static base of this workload (identity for static specs).
+    #[must_use]
+    pub fn base(mut self) -> WorkloadSpec {
+        self.churn = None;
+        self
+    }
+
+    /// Instantiates the graph (deterministic in the spec). For `edits:`
+    /// workloads this is the *base* graph; the edit stream is applied by
+    /// [`crate::incremental::run_churn`].
     pub fn build(&self) -> Graph {
         let mut rng = SmallRng::seed_from_u64(self.seed);
         self.family.generate(self.n, &mut rng)
@@ -79,6 +137,25 @@ impl WorkloadSpec {
             .collect()
     }
 
+    /// Tiny churn workloads over three base families: the smoke suite
+    /// the CI matrix runs every incremental algorithm against. Sized so
+    /// the full sweep completes in seconds even in debug builds.
+    pub fn tiny_churn_suite() -> Vec<WorkloadSpec> {
+        let churn = ChurnSpec {
+            batches: 3,
+            ops: 6,
+            seed: 0,
+        };
+        ["gnp:n=192,deg=8", "regular:n=128,d=8", "cycle:n=97"]
+            .iter()
+            .map(|s| {
+                s.parse::<WorkloadSpec>()
+                    .expect("suite specs parse")
+                    .with_churn(churn)
+            })
+            .collect()
+    }
+
     /// The canonical head token and family key/value of the grammar.
     fn family_token(&self) -> (&'static str, Option<(&'static str, u32)>) {
         match self.family {
@@ -95,8 +172,9 @@ impl WorkloadSpec {
     }
 }
 
-impl std::fmt::Display for WorkloadSpec {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl WorkloadSpec {
+    /// Writes the canonical static (base) form, ignoring any churn.
+    fn fmt_static(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let (kind, param) = self.family_token();
         write!(f, "{kind}:n={}", self.n)?;
         if let Some((key, value)) = param {
@@ -106,6 +184,22 @@ impl std::fmt::Display for WorkloadSpec {
             write!(f, ",seed={}", self.seed)?;
         }
         Ok(())
+    }
+}
+
+impl std::fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(c) = self.churn {
+            write!(f, "edits:base=")?;
+            self.fmt_static(f)?;
+            write!(f, ";batches={};ops={}", c.batches, c.ops)?;
+            if c.seed != 0 {
+                write!(f, ";seed={}", c.seed)?;
+            }
+            Ok(())
+        } else {
+            self.fmt_static(f)
+        }
     }
 }
 
@@ -130,7 +224,7 @@ impl std::fmt::Display for ParseWorkloadError {
             f,
             "invalid workload spec: {} (grammar: gnp:n=..,deg=.. | regular:n=..,d=.. | \
              rgg:n=..,deg=.. | ba:n=..,m=.. | grid|path|cycle|star|complete:n=.. \
-             [,seed=..])",
+             [,seed=..] | edits:base=<spec>;batches=..;ops=..[;seed=..])",
             self.message
         )
     }
@@ -138,10 +232,78 @@ impl std::fmt::Display for ParseWorkloadError {
 
 impl std::error::Error for ParseWorkloadError {}
 
+impl From<ParseWorkloadError> for congest_sim::SimError {
+    /// Routes workload parse failures through the engine's uniform
+    /// input-rejection variant, so CLI surfaces report every bad input
+    /// the same way (and exit 2 on all of them).
+    fn from(e: ParseWorkloadError) -> congest_sim::SimError {
+        congest_sim::SimError::invalid_input(e.to_string())
+    }
+}
+
+/// Parses the `;`-separated tail of an `edits:` spec.
+fn parse_edits(rest: &str) -> Result<WorkloadSpec, ParseWorkloadError> {
+    let mut base: Option<&str> = None;
+    let mut batches: Option<u32> = None;
+    let mut ops: Option<u32> = None;
+    let mut seed: Option<u64> = None;
+    for item in rest.split(';') {
+        let (k, v) = item
+            .split_once('=')
+            .ok_or_else(|| ParseWorkloadError::new(format!("expected key=value, got {item:?}")))?;
+        fn set<T: FromStr>(
+            slot: &mut Option<T>,
+            key: &str,
+            v: &str,
+        ) -> Result<(), ParseWorkloadError> {
+            if slot.is_some() {
+                return Err(ParseWorkloadError::new(format!("duplicate key {key:?}")));
+            }
+            *slot = Some(
+                v.parse()
+                    .map_err(|_| ParseWorkloadError::new(format!("bad value {v:?} for {key}")))?,
+            );
+            Ok(())
+        }
+        match k {
+            "base" => {
+                if base.is_some() {
+                    return Err(ParseWorkloadError::new("duplicate key \"base\""));
+                }
+                base = Some(v);
+            }
+            "batches" => set(&mut batches, k, v)?,
+            "ops" => set(&mut ops, k, v)?,
+            "seed" => set(&mut seed, k, v)?,
+            other => {
+                return Err(ParseWorkloadError::new(format!(
+                    "unknown key {other:?} for edits"
+                )))
+            }
+        }
+    }
+    let base = base.ok_or_else(|| ParseWorkloadError::new("edits requires base="))?;
+    if base.starts_with("edits:") {
+        return Err(ParseWorkloadError::new(format!(
+            "edits base must be a static workload, got {base:?}"
+        )));
+    }
+    let spec: WorkloadSpec = base.parse()?;
+    let churn = ChurnSpec {
+        batches: batches.ok_or_else(|| ParseWorkloadError::new("edits requires batches="))?,
+        ops: ops.ok_or_else(|| ParseWorkloadError::new("edits requires ops="))?,
+        seed: seed.unwrap_or(0),
+    };
+    Ok(spec.with_churn(churn))
+}
+
 impl FromStr for WorkloadSpec {
     type Err = ParseWorkloadError;
 
     fn from_str(s: &str) -> Result<WorkloadSpec, ParseWorkloadError> {
+        if let Some(rest) = s.strip_prefix("edits:") {
+            return parse_edits(rest);
+        }
         let (head, rest) = s
             .split_once(':')
             .ok_or_else(|| ParseWorkloadError::new(format!("missing ':' in {s:?}")))?;
@@ -202,7 +364,12 @@ impl FromStr for WorkloadSpec {
                 "unknown key {k:?} for {head}"
             )));
         }
-        Ok(WorkloadSpec { family, n, seed })
+        Ok(WorkloadSpec {
+            family,
+            n,
+            seed,
+            churn: None,
+        })
     }
 }
 
@@ -251,6 +418,57 @@ mod tests {
     }
 
     #[test]
+    fn parses_the_documented_edits_example() {
+        let s: WorkloadSpec = "edits:base=gnp:n=65536,deg=8;batches=64;ops=32;seed=3"
+            .parse()
+            .unwrap();
+        assert_eq!(s.family, Family::GnpAvgDeg(8));
+        assert_eq!(s.n, 65536);
+        assert_eq!(s.seed, 0, "base generator seed is independent");
+        assert_eq!(
+            s.churn,
+            Some(ChurnSpec {
+                batches: 64,
+                ops: 32,
+                seed: 3
+            })
+        );
+        assert_eq!(s.base().churn, None);
+        // Key order commutes at the edits level too.
+        let t: WorkloadSpec = "edits:ops=32;seed=3;base=gnp:n=65536,deg=8;batches=64"
+            .parse()
+            .unwrap();
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn rejects_malformed_edits_specs() {
+        for bad in [
+            "edits:batches=2;ops=2",                              // missing base
+            "edits:base=gnp:n=8,deg=2",                           // missing batches/ops
+            "edits:base=gnp:n=8,deg=2;batches=2",                 // missing ops
+            "edits:base=gnp:n=8,deg=2;batches=x;ops=1",           // bad number
+            "edits:base=gnp:n=8,deg=2;batches=1;ops=1;op=1",      // unknown key
+            "edits:base=gnp:n=8,deg=2;batches=1;batches=1;ops=1", // duplicate
+            "edits:base=warp:n=8;batches=1;ops=1",                // bad base family
+            "edits:base=edits:base=path:n=8;batches=1;ops=1",     // nested edits
+        ] {
+            assert!(bad.parse::<WorkloadSpec>().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn tiny_churn_suite_round_trips_and_builds() {
+        let suite = WorkloadSpec::tiny_churn_suite();
+        assert_eq!(suite.len(), 3);
+        for spec in &suite {
+            assert!(spec.churn.is_some(), "{spec}");
+            assert!(spec.build().n() > 0, "{spec}");
+            assert_eq!(spec.to_string().parse::<WorkloadSpec>(), Ok(*spec));
+        }
+    }
+
+    #[test]
     fn build_is_deterministic_in_the_spec() {
         let spec: WorkloadSpec = "gnp:n=300,deg=6,seed=5".parse().unwrap();
         assert_eq!(spec.build(), spec.build());
@@ -275,14 +493,19 @@ mod tests {
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
-        /// parse ∘ display is the identity for every family, size, and
-        /// seed (including the omitted-seed canonical form).
+        /// parse ∘ display is the identity for every family, size, seed,
+        /// and optional churn wrapper (including the omitted-seed
+        /// canonical forms at both levels).
         #[test]
         fn spec_roundtrips_through_display(
             kind in 0usize..9,
             param in 1u32..512,
             n in 1usize..100_000,
             seed in 0u64..1000,
+            has_churn in 0u32..2,
+            cbatches in 0u32..200,
+            cops in 0u32..200,
+            cseed in 0u64..1000,
         ) {
             let fam = match kind {
                 0 => Family::GnpAvgDeg(param),
@@ -295,7 +518,12 @@ mod tests {
                 7 => Family::Star,
                 _ => Family::Complete,
             };
-            let spec = WorkloadSpec { family: fam, n, seed };
+            let churn = (has_churn == 1).then_some(ChurnSpec {
+                batches: cbatches,
+                ops: cops,
+                seed: cseed,
+            });
+            let spec = WorkloadSpec { family: fam, n, seed, churn };
             prop_assert_eq!(spec.to_string().parse::<WorkloadSpec>(), Ok(spec));
         }
     }

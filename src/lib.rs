@@ -7,8 +7,11 @@
 //!
 //! * [`runner`] ([`mis_runner`]) — **the unified scenario API**: the
 //!   type-erased [`Algorithm`](mis_runner::Algorithm) registry, the
-//!   [`WorkloadSpec`](mis_runner::WorkloadSpec) workload grammar, and
-//!   declarative [`Scenario`](mis_runner::Scenario) sweeps;
+//!   [`WorkloadSpec`](mis_runner::WorkloadSpec) workload grammar,
+//!   declarative [`Scenario`](mis_runner::Scenario) sweeps, and the
+//!   [`IncrementalAlgorithm`](mis_runner::IncrementalAlgorithm)
+//!   registry maintaining an MIS under churn (`edits:` workloads,
+//!   `O(affected)` repairs);
 //! * [`algorithms`] ([`energy_mis`]) — the paper's Algorithm 1,
 //!   Algorithm 2, and the Section 4 constant-average-energy extension;
 //! * [`sim`] ([`congest_sim`]) — the sleeping-CONGEST simulator with
@@ -54,10 +57,29 @@
 //! assert!(reports.iter().all(|r| r.is_mis()));
 //! ```
 //!
+//! Churn workloads drive the incremental registry through the same
+//! path — solve the base graph once, then `O(affected)` repairs per
+//! edit batch, with [`RunReport::repair`](mis_runner::RunReport::repair)
+//! accounting for the awake sets:
+//!
+//! ```
+//! use distributed_mis::prelude::*;
+//!
+//! let reports = Scenario::parse("inc-luby", "edits:base=gnp:n=128,deg=6;batches=4;ops=8")
+//!     .unwrap()
+//!     .run()
+//!     .unwrap();
+//! assert!(reports[0].is_mis());
+//! assert_eq!(reports[0].repair.unwrap().batches, 4);
+//! ```
+//!
 //! # Migrating from the old free functions
 //!
 //! The pre-registry entry points remain available as shims; new code
-//! should prefer the registry:
+//! should prefer the registry. The seed-only shims (`run_algorithm1`,
+//! `run_algorithm2`, `run_avg_energy`, `run_avg_energy2`) are now
+//! `#[deprecated]` — the `_with`/`_observed` variants stay, as the
+//! parameterized escape hatch the registry wraps:
 //!
 //! | old | new |
 //! |---|---|
@@ -70,6 +92,7 @@
 //! | `greedy_mis(&g)` | `<dyn Algorithm>::from_name("greedy")?.run(&g, &RunConfig::default())` |
 //! | hand-rolled `generators::gnp(n, p, &mut rng)` setup | `"gnp:n=..,deg=..".parse::<WorkloadSpec>()?.build()` |
 //! | custom params: `run_algorithm1_with(&g, &p, &c)` | `runner::Alg1 { params: p }.run(&g, &c.into())` |
+//! | re-running from scratch after a graph edit | `incremental::from_name("inc-alg1")?` + `run_churn_on(alg, g, churn, &cfg)` (or an `edits:` [`Scenario`](mis_runner::Scenario)) |
 //!
 //! The old result types convert thinly:
 //! [`MisReport`](energy_mis::MisReport) ↔
@@ -113,16 +136,25 @@ pub mod prelude {
         run_auto, run_auto_observed, run_parallel, run_parallel_with_scratch, Metrics, ParScratch,
         RoundEvent, RoundLog, RoundObserver, SimConfig,
     };
-    pub use energy_mis::alg1::{run_algorithm1, run_algorithm1_observed, run_algorithm1_with};
-    pub use energy_mis::alg2::{run_algorithm2, run_algorithm2_observed, run_algorithm2_with};
-    pub use energy_mis::avg_energy::{
-        run_avg_energy, run_avg_energy2, run_avg_energy2_with, run_avg_energy_with,
-    };
+    // The seed-only shims are deprecated (migrate to the registry or the
+    // `_with` variants) but stay re-exported until removal.
+    #[allow(deprecated)]
+    pub use energy_mis::alg1::run_algorithm1;
+    pub use energy_mis::alg1::{run_algorithm1_observed, run_algorithm1_with};
+    #[allow(deprecated)]
+    pub use energy_mis::alg2::run_algorithm2;
+    pub use energy_mis::alg2::{run_algorithm2_observed, run_algorithm2_with};
+    #[allow(deprecated)]
+    pub use energy_mis::avg_energy::{run_avg_energy, run_avg_energy2};
+    pub use energy_mis::avg_energy::{run_avg_energy2_with, run_avg_energy_with};
     pub use energy_mis::params::{Alg1Params, Alg2Params, AvgEnergyParams};
     pub use energy_mis::MisReport;
     pub use mis_baselines::{greedy_mis, luby, permutation, MisRun};
     pub use mis_graphs::{generators, props, Graph, GraphBuilder, Partition};
+    pub use mis_graphs::{DeltaGraph, EditBatch};
     pub use mis_runner::{
-        registry, Algorithm, RunConfig, RunReport, Scenario, ScenarioError, WorkloadSpec,
+        incremental, registry, run_churn, run_churn_on, Algorithm, ChurnSpec, ChurnStream,
+        IncrementalAlgorithm, RepairStats, RunConfig, RunReport, Scenario, ScenarioError,
+        WorkloadSpec,
     };
 }

@@ -21,6 +21,7 @@ use energy_mis::params::{Alg1Params, Alg2Params};
 use energy_mis::{alg1, alg2};
 use mis_baselines::luby;
 use mis_graphs::{generators, Graph};
+use mis_runner::{incremental, run_churn_on, RunConfig, WorkloadSpec};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
@@ -335,6 +336,132 @@ fn algorithm2_matches_pre_change_engine() {
                 want,
                 "{ename} @ {threads} threads"
             );
+        }
+    }
+}
+
+/// Condensed fingerprint of one churn run: the full repair accounting
+/// plus the final maintained set. Recorded sequentially at the commit
+/// that introduced the repair engine; every thread count must reproduce
+/// it bit-for-bit.
+#[derive(Debug, PartialEq, Eq)]
+struct ChurnGolden {
+    batches: u64,
+    edits: u64,
+    demoted: u64,
+    affected: u64,
+    max_affected: u64,
+    awake_rounds: u64,
+    total_awake: u64,
+    messages: u64,
+    trivial: u64,
+    /// FNV-1a over the final per-node MIS membership bits.
+    mis_hash: u64,
+    mis_size: usize,
+}
+
+#[test]
+fn churn_repairs_match_recorded_fingerprints() {
+    let expected = [
+        (
+            "inc-luby",
+            "gnp:n=512,deg=10,seed=7",
+            ChurnGolden {
+                batches: 4,
+                edits: 61,
+                demoted: 0,
+                affected: 3,
+                max_affected: 1,
+                awake_rounds: 9,
+                total_awake: 9,
+                messages: 0,
+                trivial: 1,
+                mis_hash: 0x3d18475558338f6a,
+                mis_size: 127,
+            },
+        ),
+        (
+            "inc-luby",
+            "cycle:n=200",
+            ChurnGolden {
+                batches: 4,
+                edits: 32,
+                demoted: 1,
+                affected: 6,
+                max_affected: 3,
+                awake_rounds: 12,
+                total_awake: 18,
+                messages: 0,
+                trivial: 0,
+                mis_hash: 0xdcff648dd2c6dae1,
+                mis_size: 90,
+            },
+        ),
+        (
+            "inc-alg1",
+            "gnp:n=512,deg=10,seed=7",
+            ChurnGolden {
+                batches: 4,
+                edits: 61,
+                demoted: 1,
+                affected: 3,
+                max_affected: 2,
+                awake_rounds: 10,
+                total_awake: 14,
+                messages: 0,
+                trivial: 2,
+                mis_hash: 0xeec4b41aec1c80e6,
+                mis_size: 127,
+            },
+        ),
+        (
+            "inc-alg1",
+            "cycle:n=200",
+            ChurnGolden {
+                batches: 4,
+                edits: 32,
+                demoted: 2,
+                affected: 8,
+                max_affected: 3,
+                awake_rounds: 18,
+                total_awake: 30,
+                messages: 0,
+                trivial: 0,
+                mis_hash: 0x065bfdadfefe615b,
+                mis_size: 94,
+            },
+        ),
+    ];
+    for (name, base, want) in expected {
+        let spec: WorkloadSpec = format!("edits:base={base};batches=4;ops=6;seed=3")
+            .parse()
+            .unwrap();
+        let g = spec.build();
+        let alg = incremental::from_name(name).unwrap();
+        for threads in thread_counts() {
+            let r = run_churn_on(
+                alg,
+                g.clone(),
+                spec.churn.unwrap(),
+                &RunConfig::seeded(9).threads(threads),
+            )
+            .unwrap();
+            assert!(r.is_mis(), "{name} on {base} @ {threads} threads");
+            let s = r.repair.unwrap();
+            let got = ChurnGolden {
+                batches: s.batches,
+                edits: s.edits,
+                demoted: s.demoted,
+                affected: s.affected,
+                max_affected: s.max_affected,
+                awake_rounds: s.awake_rounds,
+                total_awake: s.total_awake,
+                messages: s.messages,
+                trivial: s.trivial,
+                mis_hash: fnv(r.in_mis.iter().map(|&b| b as u64)),
+                mis_size: r.mis_size(),
+            };
+            assert_eq!(got, want, "{name} on {base} @ {threads} threads");
         }
     }
 }

@@ -19,6 +19,10 @@
 //! against a full re-solve of the final topology (see
 //! `mis_bench::churn`).
 //!
+//! And a **degradation** section: rounds-to-MIS and node-averaged awake
+//! complexity vs per-delivery loss rate for alg1/alg2/luby, with the
+//! verification verdict per cell (see `mis_bench::degradation`).
+//!
 //! Usage: `engine_throughput [--tiny] [--out PATH]`
 //!
 //! * `--tiny` shrinks the sweep to CI scale (n ∈ {2^10, 2^12}; thread
@@ -307,6 +311,41 @@ fn main() {
             r.speedup_vs_resolve(),
             r.verified,
             if i + 1 == churn_rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("    ]\n  },\n");
+
+    // Degradation: the channel-robustness sweep — rounds and awake
+    // energy vs per-delivery loss rate, per algorithm, each cell carrying
+    // its MIS-verification verdict (`experiments degrade` prints the
+    // same rows as a table). Lossy cells may legitimately fail to verify;
+    // the p=0 control cells must not.
+    let degrade_n = if tiny { 1 << 12 } else { 1 << 16 };
+    json.push_str("  \"degradation\": {\n    \"base_family\": \"gnp\",\n    \"entries\": [\n");
+    let degrade_rows =
+        mis_bench::degradation::degradation_rows(degrade_n, 0, &mis_bench::degradation::ALGOS);
+    for (i, r) in degrade_rows.iter().enumerate() {
+        println!(
+            "{:>8} n={:<8} {:<6} p={:<5} {:>8} rounds  avg awake {:>7.2}  {}",
+            "degrade",
+            r.n,
+            r.algo,
+            r.p,
+            r.rounds,
+            r.avg_awake,
+            if r.verified { "verified" } else { "NOT AN MIS" }
+        );
+        json.push_str(&format!(
+            "      {{\"algo\": \"{}\", \"n\": {}, \"loss_p\": {}, \"rounds\": {}, \"avg_awake\": {:.4}, \"max_awake\": {}, \"messages_dropped\": {}, \"verified\": {}}}{}\n",
+            r.algo,
+            r.n,
+            r.p,
+            r.rounds,
+            r.avg_awake,
+            r.max_awake,
+            r.dropped,
+            r.verified,
+            if i + 1 == degrade_rows.len() { "" } else { "," }
         ));
     }
     json.push_str("    ]\n  }\n}\n");

@@ -23,19 +23,29 @@
 //!
 //! # Churn bench: repair latency/awake set vs full re-solve (BENCH_engine.json section).
 //! cargo run --release -p mis-bench --bin experiments -- churn --tiny
+//!
+//! # Degradation bench: rounds/energy vs channel loss rate (BENCH_engine.json section).
+//! cargo run --release -p mis-bench --bin experiments -- degrade --tiny
+//!
+//! # Adversarial channels: run any matrix cell on a faulty network.
+//! cargo run --release -p mis-bench --bin experiments -- \
+//!     scenario --algo luby --workload gnp:n=4096,deg=8 --channel loss:p=0.05
 //! ```
 //!
 //! `--threads N` (also `--threads=N`; default 1; 0 = the sequential
 //! engine) runs every simulation on the sharded parallel engine with `N`
 //! workers; tables are bit-identical for any `N`. Scenario mode exits
-//! non-zero if any run fails to produce a verified MIS.
+//! non-zero if any run fails to produce a verified MIS — including runs
+//! where a lossy channel silently broke maximality or independence.
+//! `--channel <MODEL>` overrides the channel arm of every selected
+//! workload (same grammar as the spec's `;channel=` arm).
 
 use mis_bench::experiments as exp;
 use mis_bench::table::Table;
-use mis_runner::{cli, registry, Scenario, WorkloadSpec};
+use mis_runner::{cli, registry, ChannelSpec, Scenario, WorkloadSpec};
 
 /// Flags that take a value (used to separate positionals from flags).
-const VALUE_FLAGS: [&str; 4] = ["--threads", "--algo", "--workload", "--seeds"];
+const VALUE_FLAGS: [&str; 5] = ["--threads", "--algo", "--workload", "--seeds", "--channel"];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -51,6 +61,12 @@ fn main() {
     }
     if selected.first().map(String::as_str) == Some("churn") {
         std::process::exit(mis_bench::churn::run(
+            cli::has_flag(&args, "--tiny"),
+            threads,
+        ));
+    }
+    if selected.first().map(String::as_str) == Some("degrade") {
+        std::process::exit(mis_bench::degradation::run(
             cli::has_flag(&args, "--tiny"),
             threads,
         ));
@@ -123,7 +139,7 @@ fn scenario_mode(args: &[String], threads: usize) -> i32 {
     };
     let collect_rounds = cli::has_flag(args, "--rounds");
 
-    let workloads: Vec<WorkloadSpec> = match workload_arg.as_str() {
+    let mut workloads: Vec<WorkloadSpec> = match workload_arg.as_str() {
         "all" => WorkloadSpec::tiny_suite(),
         "churn" => WorkloadSpec::tiny_churn_suite(),
         spec => match spec.parse() {
@@ -133,6 +149,17 @@ fn scenario_mode(args: &[String], threads: usize) -> i32 {
             Err(e) => return fail(congest_sim::SimError::from(e).to_string()),
         },
     };
+    // `--channel` overrides the channel arm of every selected workload
+    // (same grammar as the spec-level `;channel=` arm).
+    if let Some(channel_arg) = cli::flag_value(args, "--channel") {
+        let channel: ChannelSpec = match channel_arg.parse() {
+            Ok(c) => c,
+            Err(e) => return fail(congest_sim::SimError::from(e).to_string()),
+        };
+        for w in &mut workloads {
+            *w = w.with_channel(channel);
+        }
+    }
     // `--algo all` resolves against the registry each workload calls
     // for: static workloads sweep the static registry, churn workloads
     // the incremental one.

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod churn;
+pub mod degradation;
 pub mod experiments;
 pub mod table;
 

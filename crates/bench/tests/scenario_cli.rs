@@ -48,6 +48,78 @@ fn static_algo_on_churn_workload_exits_2_with_suggestion() {
 }
 
 #[test]
+fn out_of_range_loss_probability_exits_2_and_quotes_it() {
+    // As the `;channel=` arm of the workload spec…
+    let out = experiments(&[
+        "scenario",
+        "--workload",
+        "gnp:n=64,deg=4;channel=loss:p=1.5",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("invalid input:"), "stderr: {err}");
+    assert!(err.contains("p=1.5"), "stderr: {err}");
+
+    // …and as the `--channel` override flag.
+    let out = experiments(&[
+        "scenario",
+        "--workload",
+        "cycle:n=32",
+        "--channel",
+        "loss:p=-0.25",
+    ]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("invalid input:"), "stderr: {err}");
+    assert!(err.contains("p=-0.25"), "stderr: {err}");
+}
+
+#[test]
+fn unknown_channel_exits_2_and_names_the_token() {
+    let out = experiments(&["scenario", "--workload", "cycle:n=32;channel=jam"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("invalid input:"), "stderr: {err}");
+    assert!(err.contains("\"jam\""), "stderr: {err}");
+}
+
+#[test]
+fn ideal_channel_matrix_runs_verified_and_lossy_runs_flag_failures() {
+    // channel=ideal is the plain matrix, bit for bit: everything verifies.
+    let out = experiments(&[
+        "scenario",
+        "--algo",
+        "luby",
+        "--workload",
+        "cycle:n=32;channel=ideal",
+        "--seeds",
+        "0..2",
+    ]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+
+    // A heavily lossy channel makes Luby mis-coordinate; the runs still
+    // complete but the verification verdict trips the exit-1 path.
+    let out = experiments(&[
+        "scenario",
+        "--algo",
+        "luby",
+        "--workload",
+        "gnp:n=128,deg=6",
+        "--channel",
+        "loss:p=0.4",
+        "--seeds",
+        "0..2",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("NOT AN MIS"), "{stdout}");
+    assert!(
+        stdout.contains("channel=loss:p=0.4"),
+        "workload column must carry the channel arm: {stdout}"
+    );
+}
+
+#[test]
 fn churn_matrix_runs_verified() {
     let out = experiments(&[
         "scenario",

@@ -1,0 +1,379 @@
+//! Adversarial channel models: deterministic fault injection in the
+//! delivery layer.
+//!
+//! The engine's default network is a perfectly clean CONGEST channel;
+//! a [`ChannelModel`] degrades it. Faults are injected between the
+//! slot-store and the receive half — the same commit points where
+//! `messages_delivered` is tallied — in **both** the sequential and the
+//! sharded engine, so a faulty channel preserves the bit-identical
+//! cross-engine contract.
+//!
+//! # Determinism contract
+//!
+//! Every fault decision is a pure function of
+//! `(seed, salt, round, edge_id)` (for probabilistic loss) or of
+//! `(node, round)` (for the scheduled adversary) — never of thread
+//! interleaving, shard layout, or iteration order. Consequently a run
+//! under any channel produces the same metrics, states, and observer
+//! stream at every [`crate::SimConfig::threads`] value, and the golden
+//! fingerprint suite replays per-channel fingerprints across thread
+//! counts exactly as it does for the ideal channel.
+//!
+//! # Accounting
+//!
+//! Channel faults show up in [`crate::Metrics`]:
+//!
+//! * [`messages_dropped`](crate::Metrics::messages_dropped) — messages
+//!   an awake receiver *would* have gotten on the ideal channel but the
+//!   channel destroyed (loss drops and collision victims). Messages
+//!   addressed to sleeping receivers are *not* counted here; the
+//!   sleeping model already loses those on every channel.
+//! * [`collisions`](crate::Metrics::collisions) — receiver-round events
+//!   where ≥ 2 in-neighbors transmitted simultaneously under
+//!   [`ChannelModel::RadioCollision`].
+//!
+//! The invariant `sent = delivered + dropped + lost-to-sleepers` holds
+//! per round and per run on every channel.
+
+use crate::engine::SimConfig;
+use crate::error::SimError;
+use crate::rng::splitmix64;
+use crate::{NodeId, Round};
+use mis_graphs::EdgeId;
+
+/// Domain-separation tag mixed into the per-run loss key so channel
+/// randomness never collides with the per-node protocol RNG streams
+/// derived from the same `(seed, salt)`.
+const LOSS_TAG: u64 = 0x4c4f_5353_c4a2_7e1d; // "LOSS" ++ arbitrary
+
+/// The network behavior of a run: how the channel treats messages
+/// between the send half and the receive half.
+///
+/// Selected via [`SimConfig::channel`]; the default is
+/// [`ChannelModel::Ideal`], which is bit-for-bit the pre-channel
+/// engine. See the [module docs](self) for the determinism contract.
+#[derive(Debug, Clone, Default)]
+pub enum ChannelModel {
+    /// Every message sent to an awake receiver arrives (the clean
+    /// CONGEST model; today's behavior, zero-cost path).
+    #[default]
+    Ideal,
+    /// Each directed delivery is independently destroyed with
+    /// probability `p`, decided by a pure hash of
+    /// `(seed, salt, round, edge_id)`. `p = 0` is bit-identical to
+    /// [`ChannelModel::Ideal`].
+    Loss {
+        /// Per-delivery drop probability, in `[0, 1]`.
+        p: f64,
+    },
+    /// Radio-style receiver-side collisions: if ≥ 2 in-neighbors of a
+    /// node transmit in the same round, that node receives *nothing*
+    /// that round (all colliding messages are destroyed and counted as
+    /// dropped; the event is counted in
+    /// [`collisions`](crate::Metrics::collisions)).
+    RadioCollision,
+    /// A scheduled crash/sleep adversary the protocol cannot observe in
+    /// advance: crashed nodes halt permanently, force-slept nodes miss
+    /// their scheduled wakeups for the window.
+    Adversary(AdversarySchedule),
+}
+
+impl PartialEq for ChannelModel {
+    fn eq(&self, other: &ChannelModel) -> bool {
+        match (self, other) {
+            (ChannelModel::Ideal, ChannelModel::Ideal) => true,
+            (ChannelModel::Loss { p: a }, ChannelModel::Loss { p: b }) => {
+                // Bit equality, so Eq is honest even for NaN configs
+                // (which validation rejects before any run).
+                a.to_bits() == b.to_bits()
+            }
+            (ChannelModel::RadioCollision, ChannelModel::RadioCollision) => true,
+            (ChannelModel::Adversary(a), ChannelModel::Adversary(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for ChannelModel {}
+
+impl ChannelModel {
+    /// Checks the model's parameters; [`SimConfig::validate`] calls this
+    /// before any run starts.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidInput`] quoting the offending value when a
+    /// loss probability is outside `[0, 1]` (or not finite), or when an
+    /// adversary sleep window is empty.
+    pub fn validate(&self) -> Result<(), SimError> {
+        match self {
+            ChannelModel::Ideal | ChannelModel::RadioCollision => Ok(()),
+            ChannelModel::Loss { p } => {
+                if p.is_finite() && (0.0..=1.0).contains(p) {
+                    Ok(())
+                } else {
+                    Err(SimError::invalid_input(format!(
+                        "channel loss probability \"p={p}\" outside [0, 1]"
+                    )))
+                }
+            }
+            ChannelModel::Adversary(sched) => sched.validate(),
+        }
+    }
+}
+
+/// A deterministic crash/sleep schedule for [`ChannelModel::Adversary`].
+///
+/// The schedule is fixed before round 0 and applied as nodes drain
+/// their wake buckets, keyed purely on `(node, round)`: the protocol
+/// cannot observe it in advance, and the decision is identical in both
+/// engines regardless of shard layout.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdversarySchedule {
+    /// `(v, r)` — node `v` crashes (halts permanently, as if it called
+    /// [`crate::RecvApi::halt`]) at the start of round `r`; it spends no
+    /// energy from round `r` on.
+    pub crashes: Vec<(NodeId, Round)>,
+    /// Forced-sleep windows: each listed node misses every wakeup
+    /// scheduled inside the window (the wakeup is consumed, not
+    /// deferred — exactly what a jammed radio does to a wake slot).
+    pub sleeps: Vec<SleepWindow>,
+}
+
+/// One forced-sleep window of an [`AdversarySchedule`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SleepWindow {
+    /// The nodes the adversary forces asleep.
+    pub nodes: Vec<NodeId>,
+    /// First round of the window.
+    pub from: Round,
+    /// Last round of the window (inclusive).
+    pub to: Round,
+}
+
+impl AdversarySchedule {
+    /// Parameter check; see [`ChannelModel::validate`].
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidInput`] when a sleep window has `from > to`.
+    pub fn validate(&self) -> Result<(), SimError> {
+        for w in &self.sleeps {
+            if w.from > w.to {
+                return Err(SimError::invalid_input(format!(
+                    "adversary sleep window \"{}..{}\" is empty",
+                    w.from, w.to
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the adversary crashes `node` at or before `round`.
+    #[inline]
+    fn crashed(&self, node: NodeId, round: Round) -> bool {
+        self.crashes.iter().any(|&(v, r)| v == node && round >= r)
+    }
+
+    /// Whether `node` is inside a forced-sleep window in `round`.
+    #[inline]
+    fn forced_asleep(&self, node: NodeId, round: Round) -> bool {
+        self.sleeps
+            .iter()
+            .any(|w| round >= w.from && round <= w.to && w.nodes.contains(&node))
+    }
+}
+
+/// The per-run, engine-internal form of a [`ChannelModel`]: the loss
+/// key/threshold pre-mixed from `(seed, salt)`, borrowed adversary
+/// schedule, zero-size for the ideal path. Both engines build one at
+/// run entry and consult it at the delivery commit points.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum FaultPlan<'a> {
+    /// No faults; every check is a single predicted branch.
+    Ideal,
+    /// Pre-mixed probabilistic loss.
+    Loss {
+        /// `splitmix64`-mixed `(seed, salt)` so drop decisions are
+        /// independent of the protocol's RNG streams.
+        key: u64,
+        /// Drop iff the per-delivery hash lands below this; `p` mapped
+        /// onto the full `u64` range (0 → never, saturated → always).
+        threshold: u64,
+    },
+    /// Receiver-side collision wipe.
+    Collision,
+    /// Scheduled crash/sleep adversary.
+    Adversary(&'a AdversarySchedule),
+}
+
+impl<'a> FaultPlan<'a> {
+    /// Builds the plan for one run (call after [`SimConfig::validate`]).
+    pub(crate) fn new(cfg: &'a SimConfig) -> FaultPlan<'a> {
+        match &cfg.channel {
+            ChannelModel::Ideal => FaultPlan::Ideal,
+            ChannelModel::Loss { p } => {
+                if *p == 0.0 {
+                    // Zero loss is the ideal channel, bit for bit; skip
+                    // even the per-delivery hash.
+                    FaultPlan::Ideal
+                } else {
+                    FaultPlan::Loss {
+                        key: splitmix64(cfg.seed ^ splitmix64(cfg.salt ^ LOSS_TAG)),
+                        // Saturating f64→u64 cast: p = 1 maps to
+                        // u64::MAX (drop all but 1-in-2^64 — validation
+                        // keeps p in range, so this is the documented
+                        // "always" corner).
+                        threshold: (p * (u64::MAX as f64)) as u64,
+                    }
+                }
+            }
+            ChannelModel::RadioCollision => FaultPlan::Collision,
+            ChannelModel::Adversary(sched) => FaultPlan::Adversary(sched),
+        }
+    }
+
+    /// Whether the channel destroys the delivery into receiver-side
+    /// slot `rid` this round. Pure in `(seed, salt, round, rid)`: both
+    /// engines key on the *receiver-side* edge id, which is the same
+    /// global id whether the sender stamps it directly (sequential,
+    /// shard-local) or stages it for the exchange (cross-shard).
+    #[inline]
+    pub(crate) fn drops(&self, round: Round, rid: EdgeId) -> bool {
+        match self {
+            FaultPlan::Loss { key, threshold } => {
+                splitmix64(splitmix64(key ^ round) ^ rid as u64) < *threshold
+            }
+            _ => false,
+        }
+    }
+
+    /// Whether the collision wipe pass runs this round.
+    #[inline]
+    pub(crate) fn is_collision(&self) -> bool {
+        matches!(self, FaultPlan::Collision)
+    }
+
+    /// Whether the adversary crashes `node` at `round` (checked while
+    /// draining wake buckets; the node halts permanently).
+    #[inline]
+    pub(crate) fn crashes(&self, node: NodeId, round: Round) -> bool {
+        match self {
+            FaultPlan::Adversary(s) => s.crashed(node, round),
+            _ => false,
+        }
+    }
+
+    /// Whether the adversary forces `node` to sleep through `round`
+    /// (the wakeup is consumed).
+    #[inline]
+    pub(crate) fn forces_asleep(&self, node: NodeId, round: Round) -> bool {
+        match self {
+            FaultPlan::Adversary(s) => s.forced_asleep(node, round),
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_validation_bounds() {
+        assert!(ChannelModel::Loss { p: 0.0 }.validate().is_ok());
+        assert!(ChannelModel::Loss { p: 1.0 }.validate().is_ok());
+        assert!(ChannelModel::Loss { p: 0.05 }.validate().is_ok());
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let err = ChannelModel::Loss { p: bad }.validate().unwrap_err();
+            assert!(
+                matches!(err, SimError::InvalidInput { .. }),
+                "p={bad}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn adversary_validation_rejects_empty_window() {
+        let sched = AdversarySchedule {
+            crashes: vec![],
+            sleeps: vec![SleepWindow {
+                nodes: vec![1],
+                from: 5,
+                to: 3,
+            }],
+        };
+        assert!(ChannelModel::Adversary(sched).validate().is_err());
+    }
+
+    #[test]
+    fn equality_is_bitwise_on_p() {
+        assert_eq!(
+            ChannelModel::Loss { p: 0.25 },
+            ChannelModel::Loss { p: 0.25 }
+        );
+        assert_ne!(
+            ChannelModel::Loss { p: 0.25 },
+            ChannelModel::Loss { p: 0.5 }
+        );
+        assert_ne!(ChannelModel::Loss { p: 0.0 }, ChannelModel::Ideal);
+    }
+
+    #[test]
+    fn zero_loss_plans_as_ideal() {
+        let cfg = SimConfig {
+            channel: ChannelModel::Loss { p: 0.0 },
+            ..SimConfig::default()
+        };
+        assert!(matches!(FaultPlan::new(&cfg), FaultPlan::Ideal));
+    }
+
+    #[test]
+    fn drop_decision_is_pure_and_seed_dependent() {
+        let cfg_a = SimConfig {
+            seed: 7,
+            channel: ChannelModel::Loss { p: 0.5 },
+            ..SimConfig::default()
+        };
+        let cfg_b = SimConfig {
+            seed: 8,
+            ..cfg_a.clone()
+        };
+        let pa = FaultPlan::new(&cfg_a);
+        let pb = FaultPlan::new(&cfg_b);
+        let decisions_a: Vec<bool> = (0..256).map(|e| pa.drops(3, e)).collect();
+        let again: Vec<bool> = (0..256).map(|e| pa.drops(3, e)).collect();
+        assert_eq!(decisions_a, again, "decision must be pure");
+        let decisions_b: Vec<bool> = (0..256).map(|e| pb.drops(3, e)).collect();
+        assert_ne!(decisions_a, decisions_b, "seed must matter");
+        // p = 0.5 over 256 edges: both outcomes must occur.
+        assert!(decisions_a.iter().any(|&d| d));
+        assert!(decisions_a.iter().any(|&d| !d));
+    }
+
+    #[test]
+    fn adversary_schedule_lookup() {
+        let sched = AdversarySchedule {
+            crashes: vec![(4, 10)],
+            sleeps: vec![SleepWindow {
+                nodes: vec![1, 2],
+                from: 3,
+                to: 5,
+            }],
+        };
+        let cfg = SimConfig {
+            channel: ChannelModel::Adversary(sched),
+            ..SimConfig::default()
+        };
+        let plan = FaultPlan::new(&cfg);
+        assert!(!plan.crashes(4, 9));
+        assert!(plan.crashes(4, 10));
+        assert!(plan.crashes(4, 99));
+        assert!(!plan.crashes(5, 99));
+        assert!(!plan.forces_asleep(1, 2));
+        assert!(plan.forces_asleep(1, 3));
+        assert!(plan.forces_asleep(2, 5));
+        assert!(!plan.forces_asleep(2, 6));
+        assert!(!plan.forces_asleep(3, 4));
+    }
+}

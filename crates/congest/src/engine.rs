@@ -31,6 +31,7 @@
 //! run (or once across many runs via [`run_with_scratch`]).
 
 use crate::bits::NodeBits;
+use crate::channel::{ChannelModel, FaultPlan};
 use crate::error::SimError;
 use crate::message::Message;
 use crate::metrics::Metrics;
@@ -138,7 +139,10 @@ impl<'a, M> Inbox<'a, M> {
 
     /// Number of messages delivered this round (`O(degree)` scan).
     pub fn count(&self) -> usize {
-        self.slots.iter().filter(|s| s.stamp == self.stamp).count()
+        self.slots
+            .iter()
+            .filter(|s| s.stamp == self.stamp && s.msg.is_some())
+            .count()
     }
 
     /// The first (lowest-sender) message, if any.
@@ -176,8 +180,12 @@ impl<'a, M> Iterator for InboxIter<'a, M> {
     fn next(&mut self) -> Option<(NodeId, &'a M)> {
         for (slot, &src) in self.inner.by_ref() {
             if slot.stamp == self.stamp {
-                let msg = slot.msg.as_ref().expect("stamped slot holds a message");
-                return Some((src, msg));
+                // A stamped slot without a payload was claimed but never
+                // delivered: the receiver slept at send time, or the
+                // channel destroyed it (loss drop, collision wipe).
+                if let Some(msg) = slot.msg.as_ref() {
+                    return Some((src, msg));
+                }
             }
         }
         None
@@ -207,6 +215,11 @@ pub struct SimConfig {
     /// `0` (the default) runs the sequential engine on the caller thread.
     /// Both engines produce bit-identical results — see [`crate::par`].
     pub threads: usize,
+    /// The channel model faults are drawn from ([`ChannelModel::Ideal`]
+    /// by default — the clean network, zero-cost). Fault decisions are
+    /// pure in `(seed, salt, round, edge_id)`, so every channel keeps
+    /// the bit-identical cross-engine contract; see [`crate::channel`].
+    pub channel: ChannelModel,
 }
 
 impl Default for SimConfig {
@@ -218,6 +231,7 @@ impl Default for SimConfig {
             bandwidth_bits: None,
             strict_bandwidth: false,
             threads: 0,
+            channel: ChannelModel::Ideal,
         }
     }
 }
@@ -246,6 +260,33 @@ impl SimConfig {
             threads,
             ..self.clone()
         }
+    }
+
+    /// Returns a copy running under the given [`ChannelModel`].
+    pub fn with_channel(&self, channel: ChannelModel) -> SimConfig {
+        SimConfig {
+            channel,
+            ..self.clone()
+        }
+    }
+
+    /// Checks the configuration before a run: both engines call this at
+    /// entry, so an invalid config is rejected with a descriptive error
+    /// instead of producing a degenerate simulation.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::InvalidInput`] when `bandwidth_bits` is `Some(0)` (no
+    /// message can ever fit; use `None` for "unlimited") or when the
+    /// channel model's parameters are out of range
+    /// ([`ChannelModel::validate`]).
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.bandwidth_bits == Some(0) {
+            return Err(SimError::invalid_input(
+                "\"bandwidth_bits=0\" admits no message; use None for unlimited",
+            ));
+        }
+        self.channel.validate()
     }
 
     /// Parses the conventional `--threads N` / `--threads=N` flag from
@@ -468,6 +509,9 @@ enum Place {
     Stage(usize, EdgeId),
     /// Receiver is asleep: the payload is dropped (but still counted).
     Lost,
+    /// The channel destroyed the delivery (receiver awake, payload
+    /// never arrives); tallied as `messages_dropped`.
+    Dropped,
 }
 
 /// Per-node, per-round CONGEST accounting, tallied locally during one
@@ -488,6 +532,10 @@ pub(crate) struct SendTally {
     pub(crate) max_bits: usize,
     /// Messages exceeding the (non-strict) bandwidth limit.
     pub(crate) violations: u64,
+    /// Messages the channel destroyed en route to an awake receiver
+    /// (loss drops decided at claim time). Collision wipes are tallied
+    /// at the receiver pass, not here.
+    pub(crate) dropped: u64,
 }
 
 /// API available during [`Protocol::send`].
@@ -504,6 +552,8 @@ pub struct SendApi<'a, M: Message> {
     /// Every node is awake this round: skip the per-message receiver
     /// check entirely (the dense-workload fast path).
     all_awake: bool,
+    /// The run's channel fault plan; `Ideal` on the clean network.
+    faults: FaultPlan<'a>,
     /// Local accounting, committed once when the send half ends.
     tally: SendTally,
     bandwidth_bits: Option<usize>,
@@ -526,6 +576,7 @@ impl<'a, M: Message> SendApi<'a, M> {
         tick: u64,
         sink: Sink<'a, M>,
         all_awake: bool,
+        faults: FaultPlan<'a>,
         cfg: &SimConfig,
         error: &'a mut Option<SimError>,
     ) -> SendApi<'a, M> {
@@ -537,6 +588,7 @@ impl<'a, M: Message> SendApi<'a, M> {
             tick,
             sink,
             all_awake,
+            faults,
             tally: SendTally::default(),
             bandwidth_bits: cfg.bandwidth_bits,
             strict_bandwidth: cfg.strict_bandwidth,
@@ -686,6 +738,7 @@ impl<'a, M: Message> SendApi<'a, M> {
         for eid in range.start..last {
             match self.claim(eid) {
                 Some(Place::Lost) => {} // receiver asleep: skip the clone
+                Some(Place::Dropped) => self.tally.dropped += 1, // channel loss: no clone either
                 Some(place) => self.place(place, msg.clone()),
                 None => return,
             }
@@ -720,7 +773,19 @@ impl<'a, M: Message> SendApi<'a, M> {
                 }
                 slot.stamp = self.tick;
                 let awake = self.all_awake || awake.get(self.graph.edge_target(eid) as usize);
-                Some(if awake { Place::Slot(rid) } else { Place::Lost })
+                Some(if !awake {
+                    Place::Lost
+                } else if self.faults.drops(self.round, rid) {
+                    // The slot keeps its claim stamp (duplicate sends to
+                    // the same receiver are still CONGEST violations) but
+                    // never gets a payload; zero-copy delivery parks old
+                    // payloads in slots, so wipe any stale one or the
+                    // claim stamp would resurrect it for the receiver.
+                    slot.msg = None;
+                    Place::Dropped
+                } else {
+                    Place::Slot(rid)
+                })
             }
             Sink::Sharded(s) => {
                 let out = &mut s.out_stamp[eid - s.slot_base];
@@ -738,10 +803,14 @@ impl<'a, M: Message> SendApi<'a, M> {
                 if dst >= s.node_base && dst < s.node_end {
                     // Local receiver: deliver straight into our slots.
                     let awake = self.all_awake || s.awake.get((dst - s.node_base) as usize);
-                    Some(if awake {
-                        Place::Slot(rid - s.slot_base)
-                    } else {
+                    Some(if !awake {
                         Place::Lost
+                    } else if self.faults.drops(self.round, rid) {
+                        // Keyed on the *global* receiver-side id, the
+                        // same input the sequential engine hashes.
+                        Place::Dropped
+                    } else {
+                        Place::Slot(rid - s.slot_base)
                     })
                 } else {
                     // Cross-shard: stage for the exchange step; the
@@ -775,6 +844,7 @@ impl<'a, M: Message> SendApi<'a, M> {
                 Sink::Direct { .. } => unreachable!("direct sink never stages"),
             },
             Place::Lost => {}
+            Place::Dropped => self.tally.dropped += 1,
         }
     }
 }
@@ -1078,6 +1148,8 @@ fn run_inner<P: Protocol>(
     scratch: &mut EngineScratch<P::Msg>,
     mut observer: Option<&mut dyn RoundObserver>,
 ) -> Result<SimResult<P::State>, SimError> {
+    cfg.validate()?;
+    let faults = FaultPlan::new(cfg);
     let n = graph.n();
     scratch.fit_to(graph);
     scratch.rngs.clear();
@@ -1131,6 +1203,18 @@ fn run_inner<P: Protocol>(
             if halted.get(vi) || awake.get(vi) {
                 continue;
             }
+            // Adversarial channel: a crash kills the node at its next
+            // wakeup on or after the crash round; a forced-sleep window
+            // consumes the wakeup (the node misses the round entirely,
+            // spending no energy). Pure in (node, round), so both
+            // engines agree bit for bit.
+            if faults.crashes(v, round) {
+                halted.set(vi);
+                continue;
+            }
+            if faults.forces_asleep(v, round) {
+                continue;
+            }
             awake.set(vi);
             active.push(v);
         }
@@ -1168,6 +1252,7 @@ fn run_inner<P: Protocol>(
                 stamp,
                 sink,
                 all_awake,
+                faults,
                 cfg,
                 &mut error,
             );
@@ -1175,6 +1260,31 @@ fn run_inner<P: Protocol>(
             metrics.commit_send(api.into_tally());
             if let Some(e) = error.take() {
                 return Err(e);
+            }
+        }
+
+        // Radio-collision pass: between the send half (all slots
+        // written) and the receive half, each receiver that heard ≥ 2
+        // simultaneous transmissions loses them all. Receiver-side and
+        // computable from the in-edge slot range alone, so the sharded
+        // engine runs the identical pass on its local range.
+        if faults.is_collision() {
+            for &v in active.iter() {
+                let range = graph.edge_range(v);
+                let hits = slots[range.clone()]
+                    .iter()
+                    .filter(|s| s.stamp == stamp && s.msg.is_some())
+                    .count() as u64;
+                if hits >= 2 {
+                    for slot in &mut slots[range] {
+                        if slot.stamp == stamp {
+                            slot.msg = None;
+                        }
+                    }
+                    metrics.messages_delivered -= hits;
+                    metrics.messages_dropped += hits;
+                    metrics.collisions += 1;
+                }
             }
         }
 
@@ -1800,6 +1910,128 @@ mod tests {
         let mut log = crate::observer::RoundLog::new();
         let observed = run_observed(&g, &Flood { rounds_cap: 15 }, &cfg, &mut log).unwrap();
         assert_eq!(plain.metrics, observed.metrics);
+    }
+
+    /// Always-awake broadcaster: every node wakes rounds `0..rounds`
+    /// and broadcasts each round, so no message is ever lost to a
+    /// sleeping receiver — channel accounting is exactly
+    /// `sent = delivered + dropped`.
+    struct Beacon {
+        rounds: u64,
+    }
+    impl Protocol for Beacon {
+        type State = u64; // messages heard
+        type Msg = ();
+        fn init(&self, _node: NodeId, api: &mut InitApi<'_>) -> u64 {
+            api.wake_range(0..self.rounds);
+            0
+        }
+        fn send(&self, _state: &mut u64, api: &mut SendApi<'_, ()>) {
+            api.broadcast(());
+        }
+        fn recv(&self, state: &mut u64, inbox: Inbox<'_, ()>, _api: &mut RecvApi<'_>) {
+            *state += inbox.count() as u64;
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected_at_run_entry() {
+        let g = generators::path(4);
+        let zero_bw = SimConfig {
+            bandwidth_bits: Some(0),
+            ..SimConfig::default()
+        };
+        assert!(matches!(
+            run(&g, &Beacon { rounds: 1 }, &zero_bw).unwrap_err(),
+            SimError::InvalidInput { .. }
+        ));
+        let bad_p = SimConfig::default().with_channel(ChannelModel::Loss { p: 1.5 });
+        assert!(matches!(
+            run(&g, &Beacon { rounds: 1 }, &bad_p).unwrap_err(),
+            SimError::InvalidInput { .. }
+        ));
+    }
+
+    #[test]
+    fn loss_channel_accounting_adds_up() {
+        use rand::SeedableRng;
+        let mut r = rand::rngs::SmallRng::seed_from_u64(3);
+        let g = generators::gnp(128, 8.0 / 128.0, &mut r);
+        let ideal = run(&g, &Beacon { rounds: 20 }, &SimConfig::seeded(1)).unwrap();
+        assert_eq!(ideal.metrics.messages_dropped, 0);
+        assert_eq!(ideal.metrics.collisions, 0);
+        assert_eq!(
+            ideal.metrics.messages_sent,
+            ideal.metrics.messages_delivered
+        );
+
+        let lossy = SimConfig::seeded(1).with_channel(ChannelModel::Loss { p: 0.25 });
+        let res = run(&g, &Beacon { rounds: 20 }, &lossy).unwrap();
+        let m = &res.metrics;
+        assert_eq!(m.messages_sent, ideal.metrics.messages_sent);
+        assert!(m.messages_dropped > 0, "p=0.25 must drop something");
+        assert_eq!(m.messages_sent, m.messages_delivered + m.messages_dropped);
+        // Heard counts match what was actually delivered.
+        let heard: u64 = res.states.iter().sum();
+        assert_eq!(heard, m.messages_delivered);
+    }
+
+    #[test]
+    fn loss_p1_drops_everything_and_p0_nothing() {
+        let g = generators::cycle(16);
+        let all = SimConfig::seeded(2).with_channel(ChannelModel::Loss { p: 1.0 });
+        let res = run(&g, &Beacon { rounds: 5 }, &all).unwrap();
+        assert_eq!(res.metrics.messages_delivered, 0);
+        assert_eq!(res.metrics.messages_dropped, res.metrics.messages_sent);
+        assert!(res.states.iter().all(|&h| h == 0));
+
+        let none = SimConfig::seeded(2).with_channel(ChannelModel::Loss { p: 0.0 });
+        let ideal = run(&g, &Beacon { rounds: 5 }, &SimConfig::seeded(2)).unwrap();
+        let z = run(&g, &Beacon { rounds: 5 }, &none).unwrap();
+        assert_eq!(z.metrics, ideal.metrics);
+        assert_eq!(z.states, ideal.states);
+    }
+
+    #[test]
+    fn radio_collision_wipes_contended_receivers() {
+        // Star: every leaf hears only the hub (1 message — no
+        // collision); the hub hears every leaf at once (collision).
+        let g = generators::star(9); // hub 0 + 8 leaves
+        let cfg = SimConfig::seeded(4).with_channel(ChannelModel::RadioCollision);
+        let rounds = 3u64;
+        let res = run(&g, &Beacon { rounds }, &cfg).unwrap();
+        let m = &res.metrics;
+        assert_eq!(m.collisions, rounds, "hub collides every round");
+        assert_eq!(m.messages_dropped, 8 * rounds, "all leaf→hub wiped");
+        assert_eq!(res.states[0], 0, "hub never hears anything");
+        assert!(res.states[1..].iter().all(|&h| h == rounds));
+        assert_eq!(m.messages_sent, m.messages_delivered + m.messages_dropped);
+    }
+
+    #[test]
+    fn adversary_crash_and_forced_sleep() {
+        use crate::channel::{AdversarySchedule, SleepWindow};
+        let g = generators::cycle(8);
+        let sched = AdversarySchedule {
+            crashes: vec![(2, 3)],
+            sleeps: vec![SleepWindow {
+                nodes: vec![5],
+                from: 1,
+                to: 2,
+            }],
+        };
+        let cfg = SimConfig::seeded(6).with_channel(ChannelModel::Adversary(sched));
+        let res = run(&g, &Beacon { rounds: 6 }, &cfg).unwrap();
+        // Node 2 crashes at round 3: awake rounds 0..3 only.
+        assert_eq!(res.metrics.awake_rounds[2], 3);
+        // Node 5 misses rounds 1 and 2 but participates otherwise.
+        assert_eq!(res.metrics.awake_rounds[5], 4);
+        // An untouched node pays the full schedule.
+        assert_eq!(res.metrics.awake_rounds[0], 6);
+        // Messages to crashed/sleeping nodes are sleep-losses, not
+        // channel drops.
+        assert_eq!(res.metrics.messages_dropped, 0);
+        assert!(res.metrics.messages_delivered < res.metrics.messages_sent);
     }
 
     #[test]

@@ -61,6 +61,7 @@
 #![warn(missing_docs)]
 
 mod bits;
+pub mod channel;
 mod engine;
 mod error;
 mod message;
@@ -73,6 +74,7 @@ pub mod rng;
 mod sched;
 pub mod schedule;
 
+pub use channel::{AdversarySchedule, ChannelModel, SleepWindow};
 pub use engine::{
     run, run_observed, run_with_scratch, run_with_scratch_observed, EngineScratch, Inbox,
     InboxIter, InitApi, Protocol, RecvApi, SendApi, SimConfig, SimResult,

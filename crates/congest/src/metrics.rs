@@ -25,6 +25,17 @@ pub struct Metrics {
     pub messages_sent: u64,
     /// Total messages actually delivered to awake receivers.
     pub messages_delivered: u64,
+    /// Messages destroyed by the channel model en route to an *awake*
+    /// receiver (loss drops, collision victims). Always 0 on the ideal
+    /// channel; messages lost to sleeping receivers are not counted
+    /// here (the sleeping model loses those on every channel). See
+    /// [`crate::channel`].
+    pub messages_dropped: u64,
+    /// Receiver-round collision events under
+    /// [`crate::ChannelModel::RadioCollision`]: the number of
+    /// (receiver, round) pairs in which ≥ 2 in-neighbors transmitted
+    /// simultaneously and the receiver heard nothing.
+    pub collisions: u64,
     /// Total bits across all sent messages.
     pub bits_sent: u64,
     /// Largest single message observed, in bits.
@@ -44,6 +55,8 @@ impl Metrics {
             awake_rounds: vec![0; n],
             messages_sent: 0,
             messages_delivered: 0,
+            messages_dropped: 0,
+            collisions: 0,
             bits_sent: 0,
             max_message_bits: 0,
             bandwidth_violations: 0,
@@ -86,6 +99,8 @@ impl Metrics {
         }
         self.messages_sent += phase.messages_sent;
         self.messages_delivered += phase.messages_delivered;
+        self.messages_dropped += phase.messages_dropped;
+        self.collisions += phase.collisions;
         self.bits_sent += phase.bits_sent;
         self.max_message_bits = self.max_message_bits.max(phase.max_message_bits);
         self.bandwidth_violations += phase.bandwidth_violations;
@@ -97,6 +112,7 @@ impl Metrics {
     pub(crate) fn commit_send(&mut self, t: crate::engine::SendTally) {
         self.messages_sent += t.sent;
         self.messages_delivered += t.delivered;
+        self.messages_dropped += t.dropped;
         self.bits_sent += t.bits;
         self.max_message_bits = self.max_message_bits.max(t.max_bits);
         self.bandwidth_violations += t.violations;

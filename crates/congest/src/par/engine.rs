@@ -167,6 +167,7 @@ where
     P::State: Send,
     P::Msg: Send,
 {
+    cfg.validate()?;
     let k = threads.max(1);
     scratch.fit_to(graph, k);
     let ParScratch {
@@ -272,6 +273,8 @@ fn merge<S>(
         }
         metrics.messages_sent += o.metrics.messages_sent;
         metrics.messages_delivered += o.metrics.messages_delivered;
+        metrics.messages_dropped += o.metrics.messages_dropped;
+        metrics.collisions += o.metrics.collisions;
         metrics.bits_sent += o.metrics.bits_sent;
         metrics.bandwidth_violations += o.metrics.bandwidth_violations;
         metrics.max_message_bits = metrics.max_message_bits.max(o.metrics.max_message_bits);
@@ -421,6 +424,55 @@ mod tests {
                 let par = run_parallel(&g, &Gossip { rounds: 12 }, &cfg, threads).unwrap();
                 assert_eq!(par.metrics, seq.metrics, "{name} @ {threads} threads");
                 assert_eq!(par.states, seq.states, "{name} @ {threads} threads");
+            }
+        }
+    }
+
+    /// The bit-identical contract extends to every channel model: the
+    /// fault decisions are pure in `(seed, salt, round, edge)` /
+    /// `(node, round)`, so faulty runs agree across engines and thread
+    /// counts exactly like ideal ones.
+    #[test]
+    fn channel_models_match_sequential_at_every_thread_count() {
+        use crate::channel::{AdversarySchedule, ChannelModel, SleepWindow};
+        let channels = [
+            ChannelModel::Loss { p: 0.2 },
+            ChannelModel::RadioCollision,
+            ChannelModel::Adversary(AdversarySchedule {
+                crashes: vec![(3, 4), (10, 2)],
+                sleeps: vec![SleepWindow {
+                    nodes: vec![0, 5, 17],
+                    from: 1,
+                    to: 6,
+                }],
+            }),
+        ];
+        for (name, g) in graphs() {
+            for ch in &channels {
+                let cfg = SimConfig::seeded(11).with_channel(ch.clone());
+                let mut seq_log = crate::RoundLog::new();
+                let seq =
+                    crate::run_observed(&g, &Gossip { rounds: 12 }, &cfg, &mut seq_log).unwrap();
+                for threads in [1, 2, 3, 4, 8] {
+                    let mut par_log = crate::RoundLog::new();
+                    let par = run_parallel_observed(
+                        &g,
+                        &Gossip { rounds: 12 },
+                        &cfg,
+                        threads,
+                        &mut par_log,
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        par.metrics, seq.metrics,
+                        "{name} {ch:?} @ {threads} threads"
+                    );
+                    assert_eq!(par.states, seq.states, "{name} {ch:?} @ {threads} threads");
+                    assert_eq!(
+                        par_log, seq_log,
+                        "{name} {ch:?} @ {threads} threads: events"
+                    );
+                }
             }
         }
     }

@@ -3,6 +3,7 @@
 use super::exchange::{Exchange, RoundSync};
 use super::partition::ShardPlan;
 use crate::bits::NodeBits;
+use crate::channel::FaultPlan;
 use crate::engine::{
     EdgeSlot, Inbox, InitApi, Protocol, RecvApi, SendApi, ShardSink, SimConfig, Sink,
 };
@@ -161,6 +162,10 @@ pub(crate) fn run_shard<P: Protocol>(
     let local_n = nodes.len();
     let slot_base = plan.slots(shard).start;
     let k = plan.k();
+    // The same pure fault plan every shard derives from (seed, salt):
+    // channel decisions depend only on (round, edge) / (node, round),
+    // never on which shard evaluates them.
+    let faults = FaultPlan::new(cfg);
 
     scratch.fit_to(plan, shard);
     scratch.rngs.clear();
@@ -236,6 +241,16 @@ pub(crate) fn run_shard<P: Protocol>(
                 if halted.get(li) || awake.get(li) {
                     continue;
                 }
+                // Adversary hooks, identical to the sequential drain:
+                // crash halts the node, a forced-sleep window consumes
+                // the wakeup.
+                if faults.crashes(v, round) {
+                    halted.set(li);
+                    continue;
+                }
+                if faults.forces_asleep(v, round) {
+                    continue;
+                }
                 awake.set(li);
                 active.push(v);
             }
@@ -285,6 +300,7 @@ pub(crate) fn run_shard<P: Protocol>(
                 stamp,
                 sink,
                 all_awake,
+                faults,
                 cfg,
                 &mut error,
             );
@@ -327,6 +343,7 @@ pub(crate) fn run_shard<P: Protocol>(
         // counts accrue here — batched once per apply step — and the
         // receive half below does no accounting at all.
         let mut applied: u64 = 0;
+        let mut channel_dropped: u64 = 0;
         for src in 0..k {
             if src == shard {
                 continue;
@@ -336,15 +353,52 @@ pub(crate) fn run_shard<P: Protocol>(
                 let dst = graph.edge_target(graph.reverse_edge(rid));
                 let li = (dst - node_base) as usize;
                 if all_awake || awake.get(li) {
-                    let slot = &mut slots[rid - slot_base];
-                    slot.stamp = stamp;
-                    slot.msg = Some(msg);
-                    applied += 1;
+                    if faults.drops(round, rid) {
+                        // Channel loss for a cross-shard delivery: the
+                        // receiving shard applies the same pure
+                        // (round, rid) decision the sequential engine
+                        // made at claim time, at the same commit point
+                        // where delivered counts accrue.
+                        channel_dropped += 1;
+                    } else {
+                        let slot = &mut slots[rid - slot_base];
+                        slot.stamp = stamp;
+                        slot.msg = Some(msg);
+                        applied += 1;
+                    }
                 } // else: receiver asleep, payload dropped (as at send
                   // time in the sequential engine — same round, same loss)
             }
         }
         metrics.messages_delivered += applied;
+        metrics.messages_dropped += channel_dropped;
+
+        // Radio-collision pass over our local receivers, mirroring the
+        // sequential engine's pass between send and recv halves. All
+        // deliveries into a node's slots were counted in its own
+        // shard's metrics (local sends by the sender's tally here,
+        // cross-shard by `applied` above), so decrementing here keeps
+        // the merged totals exact.
+        if faults.is_collision() {
+            for &v in active.iter() {
+                let er = graph.edge_range(v);
+                let local = er.start - slot_base..er.end - slot_base;
+                let hits = slots[local.clone()]
+                    .iter()
+                    .filter(|s| s.stamp == stamp && s.msg.is_some())
+                    .count() as u64;
+                if hits >= 2 {
+                    for slot in &mut slots[local] {
+                        if slot.stamp == stamp {
+                            slot.msg = None;
+                        }
+                    }
+                    metrics.messages_delivered -= hits;
+                    metrics.messages_dropped += hits;
+                    metrics.collisions += 1;
+                }
+            }
+        }
 
         // Receive half: each awake local node reacts to a borrowed view
         // of its slot range (ascending sender order by CSR construction);

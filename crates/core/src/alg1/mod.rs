@@ -21,24 +21,11 @@ use congest_sim::{Pipeline, RoundObserver, SimConfig, SimError};
 use mis_graphs::{props, Graph};
 use phase1::Phase1Protocol;
 
-/// Runs Algorithm 1 end to end on `g` with the master `seed`.
-///
-/// # Errors
-///
-/// Propagates [`SimError`] from the engine.
-#[deprecated(
-    since = "0.1.0",
-    note = "use the registry: `<dyn Algorithm>::from_name(\"alg1\")?.run(&g, &RunConfig::seeded(seed))`, \
-            or `run_algorithm1_with(g, params, &SimConfig::seeded(seed))` for custom params"
-)]
-pub fn run_algorithm1(g: &Graph, params: &Alg1Params, seed: u64) -> Result<MisReport, SimError> {
-    run_algorithm1_with(g, params, &SimConfig::seeded(seed))
-}
-
-/// [`run_algorithm1`] under an explicit engine config: every phase runs
-/// with `cfg`'s seed, round cap, bandwidth policy, and — most notably —
-/// [`SimConfig::threads`], so the whole pipeline executes on the sharded
-/// parallel engine when `threads > 0` (bit-identical results either way).
+/// Runs Algorithm 1 end to end under an explicit engine config: every
+/// phase runs with `cfg`'s seed, round cap, bandwidth policy, and — most
+/// notably — [`SimConfig::threads`], so the whole pipeline executes on
+/// the sharded parallel engine when `threads > 0` (bit-identical results
+/// either way).
 ///
 /// # Errors
 ///
@@ -142,14 +129,14 @@ fn alg1_pipeline(
 
 #[cfg(test)]
 mod tests {
-    // The deprecated seed-only shim stays pinned by these tests until
-    // removal.
-    #![allow(deprecated)]
-
     use super::*;
     use mis_graphs::generators;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+
+    fn run_algorithm1(g: &Graph, params: &Alg1Params, seed: u64) -> Result<MisReport, SimError> {
+        run_algorithm1_with(g, params, &SimConfig::seeded(seed))
+    }
 
     #[test]
     fn algorithm1_computes_mis_on_gnp() {

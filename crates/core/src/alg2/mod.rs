@@ -18,21 +18,7 @@ use congest_sim::{Pipeline, RoundObserver, SimConfig, SimError};
 use mis_graphs::{props, Graph};
 use phase1::{Alg2Cleanup, Alg2Phase1Iteration};
 
-/// Runs Algorithm 2 end to end on `g` with the master `seed`.
-///
-/// # Errors
-///
-/// Propagates [`SimError`] from the engine.
-#[deprecated(
-    since = "0.1.0",
-    note = "use the registry: `<dyn Algorithm>::from_name(\"alg2\")?.run(&g, &RunConfig::seeded(seed))`, \
-            or `run_algorithm2_with(g, params, &SimConfig::seeded(seed))` for custom params"
-)]
-pub fn run_algorithm2(g: &Graph, params: &Alg2Params, seed: u64) -> Result<MisReport, SimError> {
-    run_algorithm2_with(g, params, &SimConfig::seeded(seed))
-}
-
-/// [`run_algorithm2`] under an explicit engine config; with
+/// Runs Algorithm 2 end to end under an explicit engine config; with
 /// [`SimConfig::threads`] `> 0` every phase executes on the sharded
 /// parallel engine, with bit-identical results to the sequential run.
 ///
@@ -140,14 +126,14 @@ fn alg2_pipeline(
 
 #[cfg(test)]
 mod tests {
-    // The deprecated seed-only shim stays pinned by these tests until
-    // removal.
-    #![allow(deprecated)]
-
     use super::*;
     use mis_graphs::generators;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+
+    fn run_algorithm2(g: &Graph, params: &Alg2Params, seed: u64) -> Result<MisReport, SimError> {
+        run_algorithm2_with(g, params, &SimConfig::seeded(seed))
+    }
 
     #[test]
     fn algorithm2_computes_mis_on_gnp() {

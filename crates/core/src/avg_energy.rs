@@ -131,28 +131,9 @@ pub struct PhaseI2Stats {
     pub remaining: usize,
 }
 
-/// Runs the full constant-average-energy pipeline: Phase I, the Lemma
+/// Runs the full constant-average-energy pipeline — Phase I, the Lemma
 /// 4.1/4.2 module with node reduction, then Phases II+III on the
-/// leftovers.
-///
-/// # Errors
-///
-/// Propagates [`SimError`] from the engine.
-#[deprecated(
-    since = "0.1.0",
-    note = "use the registry: `<dyn Algorithm>::from_name(\"avg1\")?.run(&g, &RunConfig::seeded(seed))`, \
-            or `run_avg_energy_with(g, base, ae, &SimConfig::seeded(seed))` for custom params"
-)]
-pub fn run_avg_energy(
-    g: &Graph,
-    base: &Alg1Params,
-    ae: &AvgEnergyParams,
-    seed: u64,
-) -> Result<MisReport, SimError> {
-    run_avg_energy_with(g, base, ae, &SimConfig::seeded(seed))
-}
-
-/// [`run_avg_energy`] under an explicit engine config; with
+/// leftovers — under an explicit engine config; with
 /// [`SimConfig::threads`] `> 0` every phase executes on the sharded
 /// parallel engine, with bit-identical results to the sequential run.
 ///
@@ -251,27 +232,8 @@ fn avg1_pipeline(
 /// The Algorithm 2 variant of the Section 4 pipeline ("all this can also
 /// be achieved with constant node-averaged energy" applies to both
 /// algorithms): Algorithm 2's Phase I, the Lemma 4.2 module, then the
-/// Algorithm 2 tail (fixed-point coloring).
-///
-/// # Errors
-///
-/// Propagates [`SimError`] from the engine.
-#[deprecated(
-    since = "0.1.0",
-    note = "use the registry: `<dyn Algorithm>::from_name(\"avg2\")?.run(&g, &RunConfig::seeded(seed))`, \
-            or `run_avg_energy2_with(g, base, ae, &SimConfig::seeded(seed))` for custom params"
-)]
-pub fn run_avg_energy2(
-    g: &Graph,
-    base: &crate::params::Alg2Params,
-    ae: &AvgEnergyParams,
-    seed: u64,
-) -> Result<MisReport, SimError> {
-    run_avg_energy2_with(g, base, ae, &SimConfig::seeded(seed))
-}
-
-/// [`run_avg_energy2`] under an explicit engine config (see
-/// [`run_avg_energy_with`]).
+/// Algorithm 2 tail (fixed-point coloring); see [`run_avg_energy_with`]
+/// for the engine-config contract.
 ///
 /// # Errors
 ///
@@ -530,15 +492,29 @@ fn spoiled_mask(board: &StatusBoard, sampled: &[bool]) -> Vec<bool> {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated seed-only shims stay pinned by these tests until
-    // removal.
-    #![allow(deprecated)]
-
     use super::*;
     use congest_sim::run;
     use mis_graphs::generators;
     use rand::rngs::SmallRng;
     use rand::SeedableRng;
+
+    fn run_avg_energy(
+        g: &Graph,
+        base: &Alg1Params,
+        ae: &AvgEnergyParams,
+        seed: u64,
+    ) -> Result<MisReport, SimError> {
+        run_avg_energy_with(g, base, ae, &SimConfig::seeded(seed))
+    }
+
+    fn run_avg_energy2(
+        g: &Graph,
+        base: &crate::params::Alg2Params,
+        ae: &AvgEnergyParams,
+        seed: u64,
+    ) -> Result<MisReport, SimError> {
+        run_avg_energy2_with(g, base, ae, &SimConfig::seeded(seed))
+    }
 
     #[test]
     fn avg_energy_pipeline_computes_mis() {

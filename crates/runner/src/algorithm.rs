@@ -56,6 +56,14 @@ impl RunConfig {
         self.collect_rounds = yes;
         self
     }
+
+    /// Sets the channel model every simulated phase delivers messages
+    /// through (default [`congest_sim::ChannelModel::Ideal`]).
+    #[must_use]
+    pub fn channel(mut self, channel: congest_sim::ChannelModel) -> RunConfig {
+        self.sim.channel = channel;
+        self
+    }
 }
 
 /// A distributed (or oracle) MIS algorithm behind one type-erased

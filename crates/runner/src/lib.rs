@@ -54,4 +54,4 @@ pub use incremental::{
 pub use registry::{Alg1, Alg2, AvgEnergy1, AvgEnergy2, Greedy, Luby, Permutation};
 pub use report::{RepairStats, RunReport};
 pub use scenario::{Scenario, ScenarioError};
-pub use workload::{ChurnSpec, ParseWorkloadError, WorkloadSpec};
+pub use workload::{ChannelSpec, ChurnSpec, ParseWorkloadError, WorkloadSpec};

@@ -118,10 +118,14 @@ impl Scenario {
     /// Same contract as [`Scenario::run`].
     pub fn run_on(&self, g: &mis_graphs::Graph) -> Result<Vec<RunReport>, ScenarioError> {
         let mut reports = Vec::with_capacity(self.seeds.clone().count());
+        // The workload's channel arm expands against the concrete graph
+        // size, then applies identically to every seed in the sweep.
+        let channel = self.workload.channel.to_model(g.n());
         let configs = self.seeds.clone().map(|seed| {
             RunConfig::seeded(seed)
                 .threads(self.threads)
                 .collect_rounds(self.collect_rounds)
+                .channel(channel.clone())
         });
         if let Some(churn) = self.workload.churn {
             let alg = crate::incremental::from_name(&self.algo)?;
@@ -192,6 +196,7 @@ impl From<SimError> for ScenarioError {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workload::ChannelSpec;
 
     #[test]
     fn scenario_sweeps_seeds() {
@@ -260,6 +265,31 @@ mod tests {
             }
             other => panic!("wrong error: {other}"),
         }
+    }
+
+    #[test]
+    fn channel_arm_reaches_the_engine_and_stays_thread_invariant() {
+        let run = |threads| {
+            Scenario::parse("luby", "gnp:n=96,deg=6;channel=loss:p=0.3")
+                .unwrap()
+                .threads(threads)
+                .run()
+                .unwrap()
+        };
+        let seq = run(0);
+        assert!(
+            seq[0].metrics.messages_dropped > 0,
+            "loss channel must reach the engine"
+        );
+        let par = run(2);
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.in_mis, b.in_mis);
+            assert_eq!(a.metrics, b.metrics);
+        }
+        // An invalid engine config surfaces as a scenario error.
+        let mut s = Scenario::parse("luby", "path:n=16").unwrap();
+        s.workload.channel = ChannelSpec::Loss { p_ppm: 2_000_000 };
+        assert!(matches!(s.run(), Err(ScenarioError::Sim(_))));
     }
 
     #[test]

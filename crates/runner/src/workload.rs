@@ -34,7 +34,27 @@
 //! `edits:base=gnp:n=65536,deg=8;batches=64;ops=32;seed=3` describes 64
 //! repair rounds of 32 edits each on a G(n, p) base. The base must be
 //! static (no nested `edits:`).
+//!
+//! # Channel models
+//!
+//! Any workload may append a `;channel=` arm selecting the network the
+//! run executes on (default `ideal`; see [`congest_sim::channel`] for
+//! semantics and the determinism contract):
+//!
+//! | form | meaning | example |
+//! |---|---|---|
+//! | `ideal` | clean network (default, omitted on display) | `gnp:n=4096,deg=8;channel=ideal` |
+//! | `loss:p=<f>` | drop each delivery with probability `p ∈ [0, 1]` | `gnp:n=4096,deg=8;channel=loss:p=0.05` |
+//! | `collision` | radio collisions: ≥ 2 in-senders ⇒ receiver hears nothing | `cycle:n=97;channel=collision` |
+//! | `adversary:crash=<k>@<r>,sleep=<s>@<a>..<b>` | crash `k` nodes at round `r`; force-sleep `s` nodes for rounds `a..b` (either part optional) | `path:n=96;channel=adversary:crash=2@3,sleep=8@1..6` |
+//!
+//! The adversary's node choices are derived deterministically from the
+//! spec alone (a splitmix hash over the node index, mod `n`), so the
+//! same spec pins the same schedule on every seed, engine, and thread
+//! count. On `edits:` workloads, `channel=` is one more `;`-key:
+//! `edits:base=gnp:n=192,deg=8;batches=3;ops=6;channel=loss:p=0.05`.
 
+use congest_sim::channel::{AdversarySchedule, ChannelModel, SleepWindow};
 use mis_graphs::generators::Family;
 use mis_graphs::Graph;
 use rand::rngs::SmallRng;
@@ -56,9 +76,231 @@ pub struct ChurnSpec {
     pub seed: u64,
 }
 
+/// Hash tags feeding the splitmix draw that picks adversary victim
+/// nodes — distinct per role so crash and sleep sets are independent.
+const CRASH_NODE_TAG: u64 = 0x6352_4153_48f0_9d21;
+const SLEEP_NODE_TAG: u64 = 0x534c_4545_50a7_3b65;
+
+/// The channel model of a workload, in grammar form (the `;channel=`
+/// arm). This is the *spec* — a compact, hashable description that
+/// round-trips exactly through its text form; [`ChannelSpec::to_model`]
+/// expands it into the engine's [`ChannelModel`] for a concrete graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ChannelSpec {
+    /// Clean network: every message to an awake neighbor arrives. The
+    /// default; omitted on display.
+    #[default]
+    Ideal,
+    /// Independent per-delivery loss. The probability is stored in
+    /// parts-per-million so the spec stays `Copy + Eq + Hash` and
+    /// `parse ∘ display` is exact.
+    Loss {
+        /// Drop probability in parts per million (`1_000_000` ≡ 1.0).
+        p_ppm: u32,
+    },
+    /// Receiver-side radio collisions: a node with ≥ 2 awake in-senders
+    /// in a round receives nothing.
+    Collision,
+    /// Deterministic crash / forced-sleep schedule. A count of zero
+    /// means that part is absent (and its rounds must be zero, matching
+    /// what the parser produces when the part is omitted).
+    Adversary {
+        /// Number of nodes crashed (victims hashed from the spec).
+        crash: u32,
+        /// Round at and after which the crashed nodes are halted.
+        crash_at: u64,
+        /// Number of nodes forced asleep.
+        sleep: u32,
+        /// First round of the forced-sleep window (inclusive).
+        sleep_from: u64,
+        /// End of the forced-sleep window (exclusive, as in `a..b`).
+        sleep_to: u64,
+    },
+}
+
+impl ChannelSpec {
+    /// Expands the spec into the engine's [`ChannelModel`] for a graph
+    /// of `n` nodes. Adversary victims are picked by hashing the victim
+    /// index (splitmix, mod `n`), so the schedule is a pure function of
+    /// the spec and the graph size — independent of the algorithm seed,
+    /// the engine, and the thread count.
+    pub fn to_model(&self, n: usize) -> ChannelModel {
+        let pick = |tag: u64, i: u32| -> congest_sim::NodeId {
+            (congest_sim::rng::splitmix64(tag ^ u64::from(i)) % (n.max(1) as u64))
+                as congest_sim::NodeId
+        };
+        match *self {
+            ChannelSpec::Ideal => ChannelModel::Ideal,
+            ChannelSpec::Loss { p_ppm } => ChannelModel::Loss {
+                p: f64::from(p_ppm) / 1e6,
+            },
+            ChannelSpec::Collision => ChannelModel::RadioCollision,
+            ChannelSpec::Adversary {
+                crash,
+                crash_at,
+                sleep,
+                sleep_from,
+                sleep_to,
+            } => {
+                let crashes = (0..crash)
+                    .map(|i| (pick(CRASH_NODE_TAG, i), crash_at))
+                    .collect();
+                let sleeps = if sleep > 0 {
+                    vec![SleepWindow {
+                        nodes: (0..sleep).map(|i| pick(SLEEP_NODE_TAG, i)).collect(),
+                        from: sleep_from,
+                        to: sleep_to.saturating_sub(1),
+                    }]
+                } else {
+                    Vec::new()
+                };
+                ChannelModel::Adversary(AdversarySchedule { crashes, sleeps })
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ChannelSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            ChannelSpec::Ideal => write!(f, "ideal"),
+            ChannelSpec::Loss { p_ppm } => write!(f, "loss:p={}", f64::from(p_ppm) / 1e6),
+            ChannelSpec::Collision => write!(f, "collision"),
+            ChannelSpec::Adversary {
+                crash,
+                crash_at,
+                sleep,
+                sleep_from,
+                sleep_to,
+            } => {
+                write!(f, "adversary:")?;
+                if crash > 0 {
+                    write!(f, "crash={crash}@{crash_at}")?;
+                }
+                if sleep > 0 {
+                    if crash > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "sleep={sleep}@{sleep_from}..{sleep_to}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl FromStr for ChannelSpec {
+    type Err = ParseWorkloadError;
+
+    fn from_str(s: &str) -> Result<ChannelSpec, ParseWorkloadError> {
+        match s {
+            "ideal" => return Ok(ChannelSpec::Ideal),
+            "collision" => return Ok(ChannelSpec::Collision),
+            _ => {}
+        }
+        if let Some(rest) = s.strip_prefix("loss:") {
+            let p_str = rest.strip_prefix("p=").ok_or_else(|| {
+                ParseWorkloadError::new(format!(
+                    "loss channel expects p=<probability>, got {rest:?}"
+                ))
+            })?;
+            let p: f64 = num("p", p_str)?;
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(ParseWorkloadError::new(format!(
+                    "loss probability \"p={p_str}\" must lie in [0, 1]"
+                )));
+            }
+            return Ok(ChannelSpec::Loss {
+                p_ppm: (p * 1e6).round() as u32,
+            });
+        }
+        if let Some(rest) = s.strip_prefix("adversary:") {
+            let mut crash: Option<(u32, u64)> = None;
+            let mut sleep: Option<(u32, u64, u64)> = None;
+            for part in rest.split(',') {
+                let (k, v) = part.split_once('=').ok_or_else(|| {
+                    ParseWorkloadError::new(format!(
+                        "expected key=value in adversary channel, got {part:?}"
+                    ))
+                })?;
+                match k {
+                    "crash" => {
+                        if crash.is_some() {
+                            return Err(ParseWorkloadError::new(
+                                "duplicate key \"crash\" in adversary channel",
+                            ));
+                        }
+                        let (count, at) = v.split_once('@').ok_or_else(|| {
+                            ParseWorkloadError::new(format!(
+                                "crash expects <count>@<round>, got {v:?}"
+                            ))
+                        })?;
+                        let count: u32 = num("crash count", count)?;
+                        if count == 0 {
+                            return Err(ParseWorkloadError::new("crash count must be positive"));
+                        }
+                        crash = Some((count, num("crash round", at)?));
+                    }
+                    "sleep" => {
+                        if sleep.is_some() {
+                            return Err(ParseWorkloadError::new(
+                                "duplicate key \"sleep\" in adversary channel",
+                            ));
+                        }
+                        let (count, window) = v.split_once('@').ok_or_else(|| {
+                            ParseWorkloadError::new(format!(
+                                "sleep expects <count>@<from>..<to>, got {v:?}"
+                            ))
+                        })?;
+                        let count: u32 = num("sleep count", count)?;
+                        if count == 0 {
+                            return Err(ParseWorkloadError::new("sleep count must be positive"));
+                        }
+                        let (a, b) = window.split_once("..").ok_or_else(|| {
+                            ParseWorkloadError::new(format!(
+                                "sleep window must be <from>..<to>, got {window:?}"
+                            ))
+                        })?;
+                        let (a, b): (u64, u64) = (num("sleep from", a)?, num("sleep to", b)?);
+                        if a >= b {
+                            return Err(ParseWorkloadError::new(format!(
+                                "sleep window {window:?} is empty (needs from < to)"
+                            )));
+                        }
+                        sleep = Some((count, a, b));
+                    }
+                    other => {
+                        return Err(ParseWorkloadError::new(format!(
+                            "unknown key {other:?} for adversary channel"
+                        )))
+                    }
+                }
+            }
+            let (crash, crash_at) = crash.unwrap_or((0, 0));
+            let (sleep, sleep_from, sleep_to) = sleep.unwrap_or((0, 0, 0));
+            if crash == 0 && sleep == 0 {
+                return Err(ParseWorkloadError::new(
+                    "adversary channel needs crash= and/or sleep=",
+                ));
+            }
+            return Ok(ChannelSpec::Adversary {
+                crash,
+                crash_at,
+                sleep,
+                sleep_from,
+                sleep_to,
+            });
+        }
+        Err(ParseWorkloadError::new(format!(
+            "unknown channel {s:?} (ideal | loss:p=.. | collision | adversary:..)"
+        )))
+    }
+}
+
 /// A fully described, reproducible workload: a graph family instance at
 /// a size, generated from a seed — optionally wrapped in an edit stream
-/// ([`WorkloadSpec::churn`]) for the incremental API.
+/// ([`WorkloadSpec::churn`]) for the incremental API — executed on a
+/// channel model ([`WorkloadSpec::channel`], default ideal).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WorkloadSpec {
     /// The graph family (with its family parameter).
@@ -70,16 +312,20 @@ pub struct WorkloadSpec {
     /// `Some` for `edits:` workloads: the edit stream applied to the
     /// base graph. `None` for static workloads.
     pub churn: Option<ChurnSpec>,
+    /// The channel model the run executes on (the `;channel=` arm).
+    pub channel: ChannelSpec,
 }
 
 impl WorkloadSpec {
-    /// A spec for `family` at size `n`, generator seed 0, no churn.
+    /// A spec for `family` at size `n`, generator seed 0, no churn, on
+    /// the ideal channel.
     pub fn new(family: Family, n: usize) -> WorkloadSpec {
         WorkloadSpec {
             family,
             n,
             seed: 0,
             churn: None,
+            channel: ChannelSpec::Ideal,
         }
     }
 
@@ -95,6 +341,13 @@ impl WorkloadSpec {
     #[must_use]
     pub fn with_churn(mut self, churn: ChurnSpec) -> WorkloadSpec {
         self.churn = Some(churn);
+        self
+    }
+
+    /// Returns a copy running on the given channel model.
+    #[must_use]
+    pub fn with_channel(mut self, channel: ChannelSpec) -> WorkloadSpec {
+        self.channel = channel;
         self
     }
 
@@ -196,10 +449,13 @@ impl std::fmt::Display for WorkloadSpec {
             if c.seed != 0 {
                 write!(f, ";seed={}", c.seed)?;
             }
-            Ok(())
         } else {
-            self.fmt_static(f)
+            self.fmt_static(f)?;
         }
+        if self.channel != ChannelSpec::Ideal {
+            write!(f, ";channel={}", self.channel)?;
+        }
+        Ok(())
     }
 }
 
@@ -224,7 +480,8 @@ impl std::fmt::Display for ParseWorkloadError {
             f,
             "invalid workload spec: {} (grammar: gnp:n=..,deg=.. | regular:n=..,d=.. | \
              rgg:n=..,deg=.. | ba:n=..,m=.. | grid|path|cycle|star|complete:n=.. \
-             [,seed=..] | edits:base=<spec>;batches=..;ops=..[;seed=..])",
+             [,seed=..] | edits:base=<spec>;batches=..;ops=..[;seed=..]; any spec may \
+             append ;channel=ideal|loss:p=..|collision|adversary:crash=K@R,sleep=S@A..B)",
             self.message
         )
     }
@@ -241,12 +498,20 @@ impl From<ParseWorkloadError> for congest_sim::SimError {
     }
 }
 
+/// Parses one numeric (or otherwise `FromStr`) value, naming the key in
+/// the error.
+fn num<T: FromStr>(key: &str, v: &str) -> Result<T, ParseWorkloadError> {
+    v.parse()
+        .map_err(|_| ParseWorkloadError::new(format!("bad value {v:?} for {key}")))
+}
+
 /// Parses the `;`-separated tail of an `edits:` spec.
 fn parse_edits(rest: &str) -> Result<WorkloadSpec, ParseWorkloadError> {
     let mut base: Option<&str> = None;
     let mut batches: Option<u32> = None;
     let mut ops: Option<u32> = None;
     let mut seed: Option<u64> = None;
+    let mut channel: Option<ChannelSpec> = None;
     for item in rest.split(';') {
         let (k, v) = item
             .split_once('=')
@@ -275,6 +540,12 @@ fn parse_edits(rest: &str) -> Result<WorkloadSpec, ParseWorkloadError> {
             "batches" => set(&mut batches, k, v)?,
             "ops" => set(&mut ops, k, v)?,
             "seed" => set(&mut seed, k, v)?,
+            "channel" => {
+                if channel.is_some() {
+                    return Err(ParseWorkloadError::new("duplicate key \"channel\""));
+                }
+                channel = Some(v.parse()?);
+            }
             other => {
                 return Err(ParseWorkloadError::new(format!(
                     "unknown key {other:?} for edits"
@@ -294,7 +565,9 @@ fn parse_edits(rest: &str) -> Result<WorkloadSpec, ParseWorkloadError> {
         ops: ops.ok_or_else(|| ParseWorkloadError::new("edits requires ops="))?,
         seed: seed.unwrap_or(0),
     };
-    Ok(spec.with_churn(churn))
+    Ok(spec
+        .with_churn(churn)
+        .with_channel(channel.unwrap_or_default()))
 }
 
 impl FromStr for WorkloadSpec {
@@ -304,6 +577,20 @@ impl FromStr for WorkloadSpec {
         if let Some(rest) = s.strip_prefix("edits:") {
             return parse_edits(rest);
         }
+        // A static spec may carry one `;channel=<model>` arm; peel it
+        // off before the `:`/`,` grammar below. (On `edits:` specs the
+        // arm is an ordinary `;`-key, handled in `parse_edits`.)
+        let (s, channel) = match s.split_once(';') {
+            None => (s, ChannelSpec::Ideal),
+            Some((head, tail)) => {
+                let v = tail.strip_prefix("channel=").ok_or_else(|| {
+                    ParseWorkloadError::new(format!(
+                        "expected channel=<model> after ';', got {tail:?}"
+                    ))
+                })?;
+                (head, v.parse()?)
+            }
+        };
         let (head, rest) = s
             .split_once(':')
             .ok_or_else(|| ParseWorkloadError::new(format!("missing ':' in {s:?}")))?;
@@ -325,10 +612,6 @@ impl FromStr for WorkloadSpec {
                 .position(|(k, _)| *k == key)
                 .map(|i| pairs.remove(i).1)
         };
-        fn num<T: FromStr>(key: &str, v: &str) -> Result<T, ParseWorkloadError> {
-            v.parse()
-                .map_err(|_| ParseWorkloadError::new(format!("bad value {v:?} for {key}")))
-        }
         let mut fam_param = |key: &'static str| -> Result<u32, ParseWorkloadError> {
             let v = take(key)
                 .ok_or_else(|| ParseWorkloadError::new(format!("{head} requires {key}=")))?;
@@ -369,6 +652,7 @@ impl FromStr for WorkloadSpec {
             n,
             seed,
             churn: None,
+            channel,
         })
     }
 }
@@ -458,6 +742,103 @@ mod tests {
     }
 
     #[test]
+    fn parses_the_documented_channel_examples() {
+        let s: WorkloadSpec = "gnp:n=4096,deg=8;channel=loss:p=0.05".parse().unwrap();
+        assert_eq!(s.channel, ChannelSpec::Loss { p_ppm: 50_000 });
+        assert_eq!(s.to_string(), "gnp:n=4096,deg=8;channel=loss:p=0.05");
+
+        let s: WorkloadSpec = "cycle:n=97;channel=collision".parse().unwrap();
+        assert_eq!(s.channel, ChannelSpec::Collision);
+
+        // `ideal` parses but is the canonical default, omitted on display.
+        let s: WorkloadSpec = "gnp:n=4096,deg=8;channel=ideal".parse().unwrap();
+        assert_eq!(s.channel, ChannelSpec::Ideal);
+        assert_eq!(s.to_string(), "gnp:n=4096,deg=8");
+
+        let s: WorkloadSpec = "path:n=96;channel=adversary:crash=2@3,sleep=8@1..6"
+            .parse()
+            .unwrap();
+        assert_eq!(
+            s.channel,
+            ChannelSpec::Adversary {
+                crash: 2,
+                crash_at: 3,
+                sleep: 8,
+                sleep_from: 1,
+                sleep_to: 6,
+            }
+        );
+
+        // On edits workloads the arm is one more `;`-key, in any order.
+        let a: WorkloadSpec = "edits:base=gnp:n=192,deg=8;batches=3;ops=6;channel=loss:p=0.05"
+            .parse()
+            .unwrap();
+        let b: WorkloadSpec = "edits:channel=loss:p=0.05;base=gnp:n=192,deg=8;batches=3;ops=6"
+            .parse()
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.channel, ChannelSpec::Loss { p_ppm: 50_000 });
+        assert_eq!(a.to_string().parse::<WorkloadSpec>(), Ok(a));
+    }
+
+    #[test]
+    fn rejects_malformed_channels() {
+        for bad in [
+            "gnp:n=64,deg=4;channel=loss:p=1.5",       // p out of range
+            "gnp:n=64,deg=4;channel=loss:p=-0.1",      // p negative
+            "gnp:n=64,deg=4;channel=loss:p=nope",      // p not a number
+            "gnp:n=64,deg=4;channel=loss",             // missing p=
+            "gnp:n=64,deg=4;channel=jam",              // unknown channel
+            "gnp:n=64,deg=4;chan=loss:p=0.1",          // not channel=
+            "gnp:n=64,deg=4;channel=adversary:",       // empty adversary
+            "path:n=8;channel=adversary:crash=2",      // crash missing @round
+            "path:n=8;channel=adversary:crash=0@3",    // zero count
+            "path:n=8;channel=adversary:sleep=2@5..5", // empty sleep window
+            "path:n=8;channel=adversary:sleep=2@5",    // sleep missing window
+            "path:n=8;channel=adversary:boom=1@2",     // unknown adversary key
+            "edits:base=gnp:n=8,deg=2;batches=1;ops=1;channel=loss:p=2", // edits level too
+            "edits:base=gnp:n=8,deg=2;batches=1;ops=1;channel=ideal;channel=ideal", // duplicate
+        ] {
+            assert!(bad.parse::<WorkloadSpec>().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn channel_to_model_is_deterministic_and_in_range() {
+        use congest_sim::ChannelModel;
+
+        assert_eq!(ChannelSpec::Ideal.to_model(10), ChannelModel::Ideal);
+        assert_eq!(
+            ChannelSpec::Loss { p_ppm: 50_000 }.to_model(10),
+            ChannelModel::Loss { p: 0.05 }
+        );
+        assert_eq!(
+            ChannelSpec::Collision.to_model(10),
+            ChannelModel::RadioCollision
+        );
+
+        let spec: ChannelSpec = "adversary:crash=4@7,sleep=3@2..9".parse().unwrap();
+        let model = spec.to_model(50);
+        assert_eq!(model, spec.to_model(50), "pure function of (spec, n)");
+        match model {
+            ChannelModel::Adversary(sched) => {
+                assert_eq!(sched.crashes.len(), 4);
+                assert!(sched
+                    .crashes
+                    .iter()
+                    .all(|&(v, r)| (v as usize) < 50 && r == 7));
+                assert_eq!(sched.sleeps.len(), 1);
+                assert!(sched.sleeps[0].nodes.iter().all(|&v| (v as usize) < 50));
+                assert_eq!(sched.sleeps[0].nodes.len(), 3);
+                assert_eq!((sched.sleeps[0].from, sched.sleeps[0].to), (2, 8));
+            }
+            other => panic!("expected adversary, got {other:?}"),
+        }
+        // The schedule survives the engine's own validation.
+        spec.to_model(50).validate().unwrap();
+    }
+
+    #[test]
     fn tiny_churn_suite_round_trips_and_builds() {
         let suite = WorkloadSpec::tiny_churn_suite();
         assert_eq!(suite.len(), 3);
@@ -494,8 +875,8 @@ mod tests {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
         /// parse ∘ display is the identity for every family, size, seed,
-        /// and optional churn wrapper (including the omitted-seed
-        /// canonical forms at both levels).
+        /// optional churn wrapper, and channel arm (including the
+        /// omitted-seed and omitted-ideal canonical forms).
         #[test]
         fn spec_roundtrips_through_display(
             kind in 0usize..9,
@@ -506,6 +887,13 @@ mod tests {
             cbatches in 0u32..200,
             cops in 0u32..200,
             cseed in 0u64..1000,
+            ch_kind in 0u32..4,
+            ppm in 0u32..=1_000_000,
+            crash in 0u32..4,
+            crash_at in 0u64..50,
+            sleep in 0u32..4,
+            sleep_from in 0u64..20,
+            sleep_len in 1u64..20,
         ) {
             let fam = match kind {
                 0 => Family::GnpAvgDeg(param),
@@ -523,7 +911,21 @@ mod tests {
                 ops: cops,
                 seed: cseed,
             });
-            let spec = WorkloadSpec { family: fam, n, seed, churn };
+            let channel = match ch_kind {
+                0 => ChannelSpec::Ideal,
+                1 => ChannelSpec::Loss { p_ppm: ppm },
+                2 => ChannelSpec::Collision,
+                // At least one adversary part; a zero-count part zeroes
+                // its rounds (the parser's form for an absent part).
+                _ => ChannelSpec::Adversary {
+                    crash: crash + 1,
+                    crash_at,
+                    sleep,
+                    sleep_from: if sleep > 0 { sleep_from } else { 0 },
+                    sleep_to: if sleep > 0 { sleep_from + sleep_len } else { 0 },
+                },
+            };
+            let spec = WorkloadSpec { family: fam, n, seed, churn, channel };
             prop_assert_eq!(spec.to_string().parse::<WorkloadSpec>(), Ok(spec));
         }
     }

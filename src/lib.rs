@@ -75,24 +75,25 @@
 //!
 //! # Migrating from the old free functions
 //!
-//! The pre-registry entry points remain available as shims; new code
-//! should prefer the registry. The seed-only shims (`run_algorithm1`,
-//! `run_algorithm2`, `run_avg_energy`, `run_avg_energy2`) are now
-//! `#[deprecated]` — the `_with`/`_observed` variants stay, as the
-//! parameterized escape hatch the registry wraps:
+//! New code should prefer the registry. The seed-only shims
+//! (`run_algorithm1`, `run_algorithm2`, `run_avg_energy`,
+//! `run_avg_energy2`) have been **removed** after their deprecation
+//! cycle — the `_with`/`_observed` variants stay, as the parameterized
+//! escape hatch the registry wraps:
 //!
 //! | old | new |
 //! |---|---|
-//! | `run_algorithm1(&g, &params, seed)` | `<dyn Algorithm>::from_name("alg1")?.run(&g, &RunConfig::seeded(seed))` |
+//! | `run_algorithm1(&g, &params, seed)` (removed) | `<dyn Algorithm>::from_name("alg1")?.run(&g, &RunConfig::seeded(seed))` |
 //! | `run_algorithm2_with(&g, &params, &sim_cfg)` | `<dyn Algorithm>::from_name("alg2")?.run(&g, &sim_cfg.into())` |
-//! | `run_avg_energy(&g, &base, &ae, seed)` | `<dyn Algorithm>::from_name("avg1")?.run(&g, &RunConfig::seeded(seed))` |
-//! | `run_avg_energy2(&g, &base, &ae, seed)` | `<dyn Algorithm>::from_name("avg2")?.run(&g, &RunConfig::seeded(seed))` |
+//! | `run_avg_energy(&g, &base, &ae, seed)` (removed) | `<dyn Algorithm>::from_name("avg1")?.run(&g, &RunConfig::seeded(seed))` |
+//! | `run_avg_energy2(&g, &base, &ae, seed)` (removed) | `<dyn Algorithm>::from_name("avg2")?.run(&g, &RunConfig::seeded(seed))` |
 //! | `luby(&g, &sim_cfg)` | `<dyn Algorithm>::from_name("luby")?.run(&g, &sim_cfg.into())` |
 //! | `permutation(&g, &sim_cfg)` | `<dyn Algorithm>::from_name("permutation")?.run(&g, &sim_cfg.into())` |
 //! | `greedy_mis(&g)` | `<dyn Algorithm>::from_name("greedy")?.run(&g, &RunConfig::default())` |
 //! | hand-rolled `generators::gnp(n, p, &mut rng)` setup | `"gnp:n=..,deg=..".parse::<WorkloadSpec>()?.build()` |
 //! | custom params: `run_algorithm1_with(&g, &p, &c)` | `runner::Alg1 { params: p }.run(&g, &c.into())` |
 //! | re-running from scratch after a graph edit | `incremental::from_name("inc-alg1")?` + `run_churn_on(alg, g, churn, &cfg)` (or an `edits:` [`Scenario`](mis_runner::Scenario)) |
+//! | clean-network-only runs (no channel knob) | `"gnp:n=..,deg=..;channel=loss:p=0.05".parse::<WorkloadSpec>()?` — the `;channel=` arm selects the delivery model ([`ChannelModel`](congest_sim::ChannelModel); default `ideal` is the old behavior, bit for bit) |
 //!
 //! The old result types convert thinly:
 //! [`MisReport`](energy_mis::MisReport) ↔
@@ -133,19 +134,12 @@ pub mod baselines {
 /// One-stop imports for applications and examples.
 pub mod prelude {
     pub use congest_sim::{
-        run_auto, run_auto_observed, run_parallel, run_parallel_with_scratch, Metrics, ParScratch,
-        RoundEvent, RoundLog, RoundObserver, SimConfig,
+        run_auto, run_auto_observed, run_parallel, run_parallel_with_scratch, AdversarySchedule,
+        ChannelModel, Metrics, ParScratch, RoundEvent, RoundLog, RoundObserver, SimConfig,
+        SleepWindow,
     };
-    // The seed-only shims are deprecated (migrate to the registry or the
-    // `_with` variants) but stay re-exported until removal.
-    #[allow(deprecated)]
-    pub use energy_mis::alg1::run_algorithm1;
     pub use energy_mis::alg1::{run_algorithm1_observed, run_algorithm1_with};
-    #[allow(deprecated)]
-    pub use energy_mis::alg2::run_algorithm2;
     pub use energy_mis::alg2::{run_algorithm2_observed, run_algorithm2_with};
-    #[allow(deprecated)]
-    pub use energy_mis::avg_energy::{run_avg_energy, run_avg_energy2};
     pub use energy_mis::avg_energy::{run_avg_energy2_with, run_avg_energy_with};
     pub use energy_mis::params::{Alg1Params, Alg2Params, AvgEnergyParams};
     pub use energy_mis::MisReport;
@@ -153,8 +147,8 @@ pub mod prelude {
     pub use mis_graphs::{generators, props, Graph, GraphBuilder, Partition};
     pub use mis_graphs::{DeltaGraph, EditBatch};
     pub use mis_runner::{
-        incremental, registry, run_churn, run_churn_on, Algorithm, ChurnSpec, ChurnStream,
-        IncrementalAlgorithm, RepairStats, RunConfig, RunReport, Scenario, ScenarioError,
-        WorkloadSpec,
+        incremental, registry, run_churn, run_churn_on, Algorithm, ChannelSpec, ChurnSpec,
+        ChurnStream, IncrementalAlgorithm, RepairStats, RunConfig, RunReport, Scenario,
+        ScenarioError, WorkloadSpec,
     };
 }

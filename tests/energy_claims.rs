@@ -2,12 +2,28 @@
 //! bounds (with generous constants) and the Luby comparison must point
 //! the right way.
 
-// These tests deliberately exercise the deprecated seed-only shims so
-// their behavior stays pinned until removal.
-#![allow(deprecated)]
-
 use distributed_mis::prelude::*;
+use distributed_mis::sim::SimError;
 use rand::SeedableRng;
+
+// Seed-only conveniences over the `_with` entry points (the deprecated
+// library shims of the same shape are gone).
+fn run_algorithm1(g: &Graph, params: &Alg1Params, seed: u64) -> Result<MisReport, SimError> {
+    run_algorithm1_with(g, params, &SimConfig::seeded(seed))
+}
+
+fn run_algorithm2(g: &Graph, params: &Alg2Params, seed: u64) -> Result<MisReport, SimError> {
+    run_algorithm2_with(g, params, &SimConfig::seeded(seed))
+}
+
+fn run_avg_energy(
+    g: &Graph,
+    base: &Alg1Params,
+    ae: &AvgEnergyParams,
+    seed: u64,
+) -> Result<MisReport, SimError> {
+    run_avg_energy_with(g, base, ae, &SimConfig::seeded(seed))
+}
 
 fn loglog(n: usize) -> f64 {
     (n.max(4) as f64).log2().log2()

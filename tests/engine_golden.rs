@@ -16,7 +16,7 @@
 //! can be overridden with `PAR_THREADS=1,2,4` (0 = sequential engine),
 //! which is how CI pins the contract in a dedicated job.
 
-use congest_sim::{Metrics, SimConfig};
+use congest_sim::{AdversarySchedule, ChannelModel, Metrics, SimConfig, SleepWindow};
 use energy_mis::params::{Alg1Params, Alg2Params};
 use energy_mis::{alg1, alg2};
 use mis_baselines::luby;
@@ -462,6 +462,170 @@ fn churn_repairs_match_recorded_fingerprints() {
                 mis_size: r.mis_size(),
             };
             assert_eq!(got, want, "{name} on {base} @ {threads} threads");
+        }
+    }
+}
+
+/// Fingerprint of one faulty-channel run: the standard golden fields
+/// plus the channel accounting. Faulty cells are *expected* to break
+/// maximality/independence sometimes — the contract pinned here is not
+/// correctness but determinism: the same faults hit the same deliveries
+/// at every thread count.
+#[derive(Debug, PartialEq, Eq)]
+struct ChannelGolden {
+    base: Golden,
+    dropped: u64,
+    collisions: u64,
+}
+
+fn channel_fingerprint(m: &Metrics, in_mis: &[bool]) -> ChannelGolden {
+    ChannelGolden {
+        base: fingerprint(m, in_mis),
+        dropped: m.messages_dropped,
+        collisions: m.collisions,
+    }
+}
+
+/// Four faulty-channel cells (loss on luby and alg1, receiver-side
+/// collision on luby, crash/sleep adversary on alg2), recorded on the
+/// sequential engine at the commit that introduced `ChannelModel` and
+/// replayed at every thread count: fault injection is a pure function
+/// of `(seed, salt, round, edge)`, never of thread interleaving.
+#[test]
+fn faulty_channels_match_recorded_fingerprints() {
+    let gs = graphs();
+    let adversary = ChannelModel::Adversary(AdversarySchedule {
+        crashes: vec![(5, 3), (64, 1)],
+        sleeps: vec![SleepWindow {
+            nodes: vec![10, 11, 12],
+            from: 2,
+            to: 6,
+        }],
+    });
+    let expected: [(&str, ChannelGolden); 4] = [
+        (
+            "luby/gnp512/loss:p=0.05",
+            ChannelGolden {
+                base: Golden {
+                    elapsed_rounds: 48,
+                    busy_rounds: 48,
+                    messages_sent: 4464,
+                    messages_delivered: 4155,
+                    bits_sent: 10769,
+                    max_message_bits: 6,
+                    max_awake: 48,
+                    total_awake: 4188,
+                    awake_hash: 0x80d0c3c48a1f9887,
+                    mis_hash: 0x28a5788b4ce54f1c,
+                    mis_size: 127,
+                },
+                dropped: 181,
+                collisions: 0,
+            },
+        ),
+        (
+            "alg1/reg512/loss:p=0.02",
+            ChannelGolden {
+                base: Golden {
+                    elapsed_rounds: 28,
+                    busy_rounds: 28,
+                    messages_sent: 5876,
+                    messages_delivered: 4260,
+                    bits_sent: 5876,
+                    max_message_bits: 1,
+                    max_awake: 28,
+                    total_awake: 4550,
+                    awake_hash: 0x7ec02eade19d6cb7,
+                    mis_hash: 0xa60f4d5edd54a601,
+                    mis_size: 128,
+                },
+                dropped: 86,
+                collisions: 0,
+            },
+        ),
+        (
+            "luby/cycle200/collision",
+            ChannelGolden {
+                base: Golden {
+                    elapsed_rounds: 63,
+                    busy_rounds: 63,
+                    messages_sent: 657,
+                    messages_delivered: 395,
+                    bits_sent: 1615,
+                    max_message_bits: 4,
+                    max_awake: 63,
+                    total_awake: 1584,
+                    awake_hash: 0xe21d168a0130b41b,
+                    mis_hash: 0x3c5605cdc5b2544c,
+                    mis_size: 95,
+                },
+                dropped: 184,
+                collisions: 92,
+            },
+        ),
+        (
+            "alg2/path129/adversary",
+            ChannelGolden {
+                base: Golden {
+                    elapsed_rounds: 48,
+                    busy_rounds: 43,
+                    messages_sent: 370,
+                    messages_delivered: 289,
+                    bits_sent: 671,
+                    max_message_bits: 22,
+                    max_awake: 29,
+                    total_awake: 617,
+                    awake_hash: 0x6eeba08b861a8dc6,
+                    mis_hash: 0xb8a1ee1be0a688f7,
+                    mis_size: 56,
+                },
+                dropped: 0,
+                collisions: 0,
+            },
+        ),
+    ];
+    for threads in thread_counts() {
+        let mut got: Vec<(&str, ChannelGolden)> = Vec::new();
+
+        let cfg = SimConfig::seeded(9)
+            .with_threads(threads)
+            .with_channel(ChannelModel::Loss { p: 0.05 });
+        let r = luby(&gs[2].1, &cfg).unwrap();
+        got.push((
+            "luby/gnp512/loss:p=0.05",
+            channel_fingerprint(&r.metrics, &r.in_mis),
+        ));
+
+        let cfg = SimConfig::seeded(11)
+            .with_threads(threads)
+            .with_channel(ChannelModel::Loss { p: 0.02 });
+        let r = alg1::run_algorithm1_with(&gs[3].1, &Alg1Params::default(), &cfg).unwrap();
+        got.push((
+            "alg1/reg512/loss:p=0.02",
+            channel_fingerprint(&r.metrics, &r.in_mis),
+        ));
+
+        let cfg = SimConfig::seeded(9)
+            .with_threads(threads)
+            .with_channel(ChannelModel::RadioCollision);
+        let r = luby(&gs[1].1, &cfg).unwrap();
+        got.push((
+            "luby/cycle200/collision",
+            channel_fingerprint(&r.metrics, &r.in_mis),
+        ));
+
+        let cfg = SimConfig::seeded(13)
+            .with_threads(threads)
+            .with_channel(adversary.clone());
+        let r = alg2::run_algorithm2_with(&gs[0].1, &Alg2Params::default(), &cfg).unwrap();
+        got.push((
+            "alg2/path129/adversary",
+            channel_fingerprint(&r.metrics, &r.in_mis),
+        ));
+
+        for ((gname, g), (ename, want)) in got.iter().zip(&expected) {
+            assert_eq!(gname, ename);
+            assert_eq!(g, want, "{ename} @ {threads} threads");
         }
     }
 }

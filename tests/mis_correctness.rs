@@ -1,13 +1,30 @@
 //! Cross-crate correctness: every algorithm on every workload family
 //! must output a maximal independent set.
 
-// These tests deliberately exercise the deprecated seed-only shims so
-// their behavior stays pinned until removal.
-#![allow(deprecated)]
-
 use distributed_mis::prelude::*;
+use distributed_mis::sim::SimError;
 use mis_graphs::generators::Family;
 use rand::SeedableRng;
+
+// Seed-only conveniences over the `_with` entry points (the deprecated
+// library shims of the same shape are gone; the registry is the main
+// path, pinned by the scenario suites).
+fn run_algorithm1(g: &Graph, params: &Alg1Params, seed: u64) -> Result<MisReport, SimError> {
+    run_algorithm1_with(g, params, &SimConfig::seeded(seed))
+}
+
+fn run_algorithm2(g: &Graph, params: &Alg2Params, seed: u64) -> Result<MisReport, SimError> {
+    run_algorithm2_with(g, params, &SimConfig::seeded(seed))
+}
+
+fn run_avg_energy(
+    g: &Graph,
+    base: &Alg1Params,
+    ae: &AvgEnergyParams,
+    seed: u64,
+) -> Result<MisReport, SimError> {
+    run_avg_energy_with(g, base, ae, &SimConfig::seeded(seed))
+}
 
 fn families() -> Vec<Family> {
     vec![

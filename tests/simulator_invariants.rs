@@ -2,14 +2,21 @@
 //! crates: awake schedules, graph generators, and determinism of whole
 //! pipelines.
 
-// These tests deliberately exercise the deprecated seed-only shims so
-// their behavior stays pinned until removal.
-#![allow(deprecated)]
-
 use congest_sim::schedule::{set_size_bound, AwakeSchedule};
+use congest_sim::SimError;
 use distributed_mis::prelude::*;
 use proptest::prelude::*;
 use rand::SeedableRng;
+
+// Seed-only conveniences over the `_with` entry points (the deprecated
+// library shims of the same shape are gone).
+fn run_algorithm1(g: &Graph, params: &Alg1Params, seed: u64) -> Result<MisReport, SimError> {
+    run_algorithm1_with(g, params, &SimConfig::seeded(seed))
+}
+
+fn run_algorithm2(g: &Graph, params: &Alg2Params, seed: u64) -> Result<MisReport, SimError> {
+    run_algorithm2_with(g, params, &SimConfig::seeded(seed))
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]

@@ -40,7 +40,7 @@ pub use greedy::{greedy_mis, greedy_mis_in_order};
 pub use luby::{luby, luby_observed, LubyProtocol, LubyState};
 pub use permutation::{permutation, permutation_observed, PermutationProtocol};
 
-use congest_sim::Metrics;
+use congest_sim::{EngineStats, Metrics};
 
 /// Result of running a distributed MIS baseline: the computed set plus the
 /// simulator's time/energy metrics.
@@ -50,6 +50,9 @@ pub struct MisRun {
     pub in_mis: Vec<bool>,
     /// Time, energy, and message accounting of the run.
     pub metrics: Metrics,
+    /// Per-engine-configuration statistics (shard count, cut traffic,
+    /// scheduler peaks). Not invariant across thread counts.
+    pub engine_stats: EngineStats,
 }
 
 impl MisRun {
@@ -66,6 +69,7 @@ impl MisRun {
                 .map(|s| decision(s) == Decision::InMis)
                 .collect(),
             metrics: result.metrics,
+            engine_stats: result.stats,
         }
     }
 }

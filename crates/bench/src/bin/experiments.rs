@@ -30,6 +30,11 @@
 //! # Adversarial channels: run any matrix cell on a faulty network.
 //! cargo run --release -p mis-bench --bin experiments -- \
 //!     scenario --algo luby --workload gnp:n=4096,deg=8 --channel loss:p=0.05
+//!
+//! # Traced cell: one versioned JSONL telemetry trace per run, for the
+//! # trace_tool binary to summarize/diff (`;trace=PATH` works too).
+//! cargo run --release -p mis-bench --bin experiments -- \
+//!     scenario --algo alg1 --workload gnp:n=4096,deg=8 --trace trace.jsonl
 //! ```
 //!
 //! `--threads N` (also `--threads=N`; default 1; 0 = the sequential
@@ -45,7 +50,14 @@ use mis_bench::table::Table;
 use mis_runner::{cli, registry, ChannelSpec, Scenario, WorkloadSpec};
 
 /// Flags that take a value (used to separate positionals from flags).
-const VALUE_FLAGS: [&str; 5] = ["--threads", "--algo", "--workload", "--seeds", "--channel"];
+const VALUE_FLAGS: [&str; 6] = [
+    "--threads",
+    "--algo",
+    "--workload",
+    "--seeds",
+    "--channel",
+    "--trace",
+];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -121,8 +133,12 @@ fn main() {
 /// `--rounds` to collect and summarize the per-round time series).
 /// `--workload churn` selects the tiny churn suite; `--algo all`
 /// resolves per workload (static registry for static workloads,
-/// incremental registry for `edits:` workloads). Returns the process
-/// exit code: 0 iff every run verified.
+/// incremental registry for `edits:` workloads). `--trace <path>` — or
+/// the `;trace=<path>` suffix on the workload spec — writes one
+/// schema-versioned JSONL trace per run to `path` (truncated at start,
+/// appended per cell; see `mis_runner::trace`) and implies telemetry
+/// plus round collection. Returns the process exit code: 0 iff every
+/// run verified.
 fn scenario_mode(args: &[String], threads: usize) -> i32 {
     let fail = |msg: String| -> i32 {
         eprintln!("scenario: {msg}");
@@ -130,14 +146,32 @@ fn scenario_mode(args: &[String], threads: usize) -> i32 {
     };
 
     let algo_arg = cli::flag_value(args, "--algo").unwrap_or_else(|| "all".into());
-    let workload_arg = cli::flag_value(args, "--workload").unwrap_or_else(|| "all".into());
+    let mut workload_arg = cli::flag_value(args, "--workload").unwrap_or_else(|| "all".into());
     let seeds = match cli::parse_seed_range(
         &cli::flag_value(args, "--seeds").unwrap_or_else(|| "0..1".into()),
     ) {
         Ok(r) => r,
         Err(e) => return fail(e),
     };
-    let collect_rounds = cli::has_flag(args, "--rounds");
+    // `;trace=<path>` on the workload spec is sugar for `--trace <path>`
+    // (stripped before the spec grammar sees it; the flag wins on
+    // conflict).
+    let mut trace_path = cli::flag_value(args, "--trace");
+    if let Some(pos) = workload_arg.find(";trace=") {
+        let suffix = workload_arg[pos + ";trace=".len()..].to_string();
+        workload_arg.truncate(pos);
+        if trace_path.is_none() {
+            trace_path = Some(suffix);
+        }
+    }
+    let trace_path = trace_path.map(std::path::PathBuf::from);
+    if let Some(p) = &trace_path {
+        // Start each invocation with a fresh trace file; cells append.
+        if let Err(e) = std::fs::write(p, "") {
+            return fail(format!("cannot create trace file {}: {e}", p.display()));
+        }
+    }
+    let collect_rounds = cli::has_flag(args, "--rounds") || trace_path.is_some();
 
     let mut workloads: Vec<WorkloadSpec> = match workload_arg.as_str() {
         "all" => WorkloadSpec::tiny_suite(),
@@ -204,13 +238,21 @@ fn scenario_mode(args: &[String], threads: usize) -> i32 {
             let scenario = Scenario::new(algo, *workload)
                 .seeds(seeds.clone())
                 .threads(threads)
-                .collect_rounds(collect_rounds);
+                .collect_rounds(collect_rounds)
+                .telemetry(trace_path.is_some());
             let reports = match scenario.run_on(&g) {
                 Ok(r) => r,
                 Err(e) => return fail(e.to_string()),
             };
             for (seed, r) in seeds.clone().zip(&reports) {
                 runs += 1;
+                if let Some(p) = &trace_path {
+                    if let Err(e) =
+                        mis_runner::append_trace(p, r, &workload.to_string(), seed, threads)
+                    {
+                        return fail(format!("cannot write trace {}: {e}", p.display()));
+                    }
+                }
                 if !r.is_mis() {
                     failures += 1;
                 }

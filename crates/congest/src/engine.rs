@@ -340,8 +340,15 @@ impl SimConfig {
 pub struct SimResult<S> {
     /// Final state of every node, indexed by node id.
     pub states: Vec<S>,
-    /// Time/energy/message accounting for the run.
+    /// Time/energy/message accounting for the run. Bit-identical across
+    /// thread counts (including the embedded [`Metrics::probes`]).
     pub metrics: Metrics,
+    /// Per-engine-configuration statistics (shard count, cut-edge
+    /// traffic, scheduler peaks): deterministic for a fixed
+    /// [`SimConfig::threads`] but *not* invariant across thread counts,
+    /// so they are carried outside [`Metrics`] and excluded from
+    /// cross-engine fingerprints.
+    pub stats: crate::telemetry::EngineStats,
 }
 
 /// API available during [`Protocol::init`].
@@ -1201,6 +1208,7 @@ fn run_inner<P: Protocol>(
         for &v in &bucket {
             let vi = v as usize;
             if halted.get(vi) || awake.get(vi) {
+                metrics.probes.wakeups_deduped += 1;
                 continue;
             }
             // Adversarial channel: a crash kills the node at its next
@@ -1210,9 +1218,11 @@ fn run_inner<P: Protocol>(
             // engines agree bit for bit.
             if faults.crashes(v, round) {
                 halted.set(vi);
+                metrics.probes.crash_halts += 1;
                 continue;
             }
             if faults.forces_asleep(v, round) {
+                metrics.probes.forced_sleeps += 1;
                 continue;
             }
             awake.set(vi);
@@ -1228,9 +1238,11 @@ fn run_inner<P: Protocol>(
             metrics.awake_rounds[v as usize] += 1;
         }
         // Counter snapshot so the observer (if any) sees per-round deltas.
-        let (sent_before, delivered_before, bits_before) = (
+        let (sent_before, delivered_before, dropped_before, collisions_before, bits_before) = (
             metrics.messages_sent,
             metrics.messages_delivered,
+            metrics.messages_dropped,
+            metrics.collisions,
             metrics.bits_sent,
         );
 
@@ -1312,6 +1324,8 @@ fn run_inner<P: Protocol>(
                 awake: active.len() as u64,
                 messages_sent: metrics.messages_sent - sent_before,
                 messages_delivered: metrics.messages_delivered - delivered_before,
+                messages_dropped: metrics.messages_dropped - dropped_before,
+                collisions: metrics.collisions - collisions_before,
                 bits_sent: metrics.bits_sent - bits_before,
             });
         }
@@ -1325,7 +1339,24 @@ fn run_inner<P: Protocol>(
     }
 
     metrics.elapsed_rounds = last_round.map_or(0, |r| r + 1);
-    Ok(SimResult { states, metrics })
+    // Scheduler probes: insertion volume and spills are thread-invariant
+    // (every schedule() call happens against base == current round in
+    // both engines); the peak bucket depends on shard layout, so it
+    // lands in the per-configuration stats instead.
+    let sched_stats = sched.stats();
+    metrics.probes.wakeups_scheduled = sched_stats.scheduled;
+    metrics.probes.sched_spills = sched_stats.spilled;
+    let stats = crate::telemetry::EngineStats {
+        shards: 0,
+        cut_messages: 0,
+        mailbox_posts: 0,
+        peak_bucket: sched_stats.peak_bucket,
+    };
+    Ok(SimResult {
+        states,
+        metrics,
+        stats,
+    })
 }
 
 #[cfg(test)]

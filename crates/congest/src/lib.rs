@@ -73,6 +73,7 @@ pub mod repair;
 pub mod rng;
 mod sched;
 pub mod schedule;
+pub mod telemetry;
 
 pub use channel::{AdversarySchedule, ChannelModel, SleepWindow};
 pub use engine::{
@@ -89,6 +90,9 @@ pub use par::{
 };
 pub use pipeline::Pipeline;
 pub use repair::{plan_repair, RepairPlan};
+pub use telemetry::{
+    EnergyHistogram, EngineProbes, EngineStats, Telemetry, TELEMETRY_SCHEMA_VERSION,
+};
 
 /// A round index; the algorithm starts at round 0.
 pub type Round = u64;

@@ -1,5 +1,7 @@
 //! Time and energy accounting.
 
+use crate::telemetry::EngineProbes;
+
 /// Measurements collected by the simulator during one protocol run, or
 /// accumulated across phases by [`crate::Pipeline`].
 ///
@@ -43,6 +45,10 @@ pub struct Metrics {
     /// Number of messages exceeding the configured bandwidth (0 when a
     /// limit is enforced strictly or no limit was set).
     pub bandwidth_violations: u64,
+    /// Deterministic engine-internal probe counters (scheduler traffic,
+    /// wakeup dedups, fault injections); like every other field, a pure
+    /// function of the run, bit-identical across thread counts.
+    pub probes: EngineProbes,
 }
 
 impl Metrics {
@@ -60,6 +66,7 @@ impl Metrics {
             bits_sent: 0,
             max_message_bits: 0,
             bandwidth_violations: 0,
+            probes: EngineProbes::default(),
         }
     }
 
@@ -104,6 +111,7 @@ impl Metrics {
         self.bits_sent += phase.bits_sent;
         self.max_message_bits = self.max_message_bits.max(phase.max_message_bits);
         self.bandwidth_violations += phase.bandwidth_violations;
+        self.probes.absorb(&phase.probes);
     }
 
     /// Folds one node's batched send-half accounting into the totals —

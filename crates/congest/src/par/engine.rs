@@ -254,14 +254,21 @@ fn merge<S>(
                 sum.awake += other.awake;
                 sum.messages_sent += other.messages_sent;
                 sum.messages_delivered += other.messages_delivered;
+                sum.messages_dropped += other.messages_dropped;
+                sum.collisions += other.collisions;
                 sum.bits_sent += other.bits_sent;
             }
             obs.on_round(&sum);
         }
     }
     let n = graph.n();
+    let k = outcomes.len();
     let mut metrics = Metrics::new(n);
     metrics.awake_rounds.clear();
+    let mut stats = crate::telemetry::EngineStats {
+        shards: k as u64,
+        ..Default::default()
+    };
     let mut states = Vec::with_capacity(n);
     for (s, o) in outcomes.into_iter().enumerate() {
         if s == 0 {
@@ -278,6 +285,10 @@ fn merge<S>(
         metrics.bits_sent += o.metrics.bits_sent;
         metrics.bandwidth_violations += o.metrics.bandwidth_violations;
         metrics.max_message_bits = metrics.max_message_bits.max(o.metrics.max_message_bits);
+        metrics.probes.absorb(&o.metrics.probes);
+        stats.cut_messages += o.stats.cut_messages;
+        stats.mailbox_posts += o.stats.mailbox_posts;
+        stats.peak_bucket = stats.peak_bucket.max(o.stats.peak_bucket);
         metrics
             .awake_rounds
             .extend_from_slice(&o.metrics.awake_rounds);
@@ -285,7 +296,11 @@ fn merge<S>(
     }
     debug_assert_eq!(states.len(), n);
     debug_assert_eq!(metrics.awake_rounds.len(), n);
-    Ok(SimResult { states, metrics })
+    Ok(SimResult {
+        states,
+        metrics,
+        stats,
+    })
 }
 
 /// Dispatches on [`SimConfig::threads`]: `0` runs the sequential engine
@@ -494,6 +509,27 @@ mod tests {
                 assert_eq!(par_log, seq_log, "{name} @ {threads} threads: event stream");
             }
         }
+    }
+
+    /// Probes (inside `Metrics`) are thread-invariant — covered by every
+    /// `par.metrics == seq.metrics` assertion above — while the
+    /// per-configuration `stats` legitimately differ: the sequential
+    /// engine reports 0 shards and no cut traffic, a 2-worker run
+    /// reports 2 shards and nonzero mailbox activity.
+    #[test]
+    fn engine_stats_report_shards_and_cut_traffic() {
+        let g = generators::grid2d(8, 8);
+        let cfg = SimConfig::seeded(11);
+        let seq = run(&g, &Gossip { rounds: 8 }, &cfg).unwrap();
+        assert_eq!(seq.stats.shards, 0);
+        assert_eq!(seq.stats.cut_messages, 0);
+        assert_eq!(seq.stats.mailbox_posts, 0);
+        assert!(seq.metrics.probes.wakeups_scheduled > 0, "probes dead");
+        let par = run_parallel(&g, &Gossip { rounds: 8 }, &cfg, 2).unwrap();
+        assert_eq!(par.stats.shards, 2);
+        assert!(par.stats.cut_messages > 0, "a split grid has cut edges");
+        assert!(par.stats.mailbox_posts > 0);
+        assert_eq!(par.metrics.probes, seq.metrics.probes);
     }
 
     #[test]

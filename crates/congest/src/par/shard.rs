@@ -138,6 +138,9 @@ pub(crate) struct ShardOutcome<S> {
     pub error: Option<SimError>,
     /// A panic caught at the protocol boundary, re-raised by the caller.
     pub panic: Option<Box<dyn std::any::Any + Send>>,
+    /// This shard's per-configuration stats slice (cut traffic, mailbox
+    /// posts, scheduler peak); merged by [`super::engine`].
+    pub stats: crate::telemetry::EngineStats,
 }
 
 /// Runs one shard of a parallel run to completion. All workers execute
@@ -191,6 +194,10 @@ pub(crate) fn run_shard<P: Protocol>(
     let mut error: Option<SimError> = None;
     let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
     let mut last_round: Option<Round> = None;
+    // Per-configuration stats of this shard: cross-shard traffic volume
+    // and mailbox handshakes (merged additively across shards).
+    let mut cut_messages: u64 = 0;
+    let mut mailbox_posts: u64 = 0;
 
     // Initialization (free local pre-computation), local nodes only.
     for v in nodes.clone() {
@@ -239,6 +246,7 @@ pub(crate) fn run_shard<P: Protocol>(
             for &v in &bucket {
                 let li = (v - node_base) as usize;
                 if halted.get(li) || awake.get(li) {
+                    metrics.probes.wakeups_deduped += 1;
                     continue;
                 }
                 // Adversary hooks, identical to the sequential drain:
@@ -246,9 +254,11 @@ pub(crate) fn run_shard<P: Protocol>(
                 // the wakeup.
                 if faults.crashes(v, round) {
                     halted.set(li);
+                    metrics.probes.crash_halts += 1;
                     continue;
                 }
                 if faults.forces_asleep(v, round) {
+                    metrics.probes.forced_sleeps += 1;
                     continue;
                 }
                 awake.set(li);
@@ -271,9 +281,11 @@ pub(crate) fn run_shard<P: Protocol>(
             metrics.awake_rounds[(v - node_base) as usize] += 1;
         }
         // Counter snapshot for this shard's slice of the round event.
-        let (sent_before, delivered_before, bits_before) = (
+        let (sent_before, delivered_before, dropped_before, collisions_before, bits_before) = (
             metrics.messages_sent,
             metrics.messages_delivered,
+            metrics.messages_dropped,
+            metrics.collisions,
             metrics.bits_sent,
         );
 
@@ -324,6 +336,8 @@ pub(crate) fn run_shard<P: Protocol>(
         // failure, so mailboxes stay in their drained-or-posted rhythm).
         for (t, buf) in out.iter_mut().enumerate() {
             if t != shard {
+                cut_messages += buf.len() as u64;
+                mailbox_posts += 1;
                 exchange.post(shard, t, buf);
             } else {
                 debug_assert!(buf.is_empty(), "local payloads must not stage");
@@ -441,6 +455,8 @@ pub(crate) fn run_shard<P: Protocol>(
                 awake: active.len() as u64,
                 messages_sent: metrics.messages_sent - sent_before,
                 messages_delivered: metrics.messages_delivered - delivered_before,
+                messages_dropped: metrics.messages_dropped - dropped_before,
+                collisions: metrics.collisions - collisions_before,
                 bits_sent: metrics.bits_sent - bits_before,
             });
         }
@@ -453,12 +469,26 @@ pub(crate) fn run_shard<P: Protocol>(
     }
 
     metrics.elapsed_rounds = last_round.map_or(0, |r| r + 1);
+    // Scheduler probes mirror the sequential engine: insertion volume
+    // and spills sum to the sequential totals across shards (every
+    // schedule() happens against base == current round in both engines);
+    // the peak bucket is shard-layout dependent and stays in stats.
+    let sched_stats = sched.stats();
+    metrics.probes.wakeups_scheduled = sched_stats.scheduled;
+    metrics.probes.sched_spills = sched_stats.spilled;
+    let stats = crate::telemetry::EngineStats {
+        shards: 0, // the merge step records the worker count
+        cut_messages,
+        mailbox_posts,
+        peak_bucket: sched_stats.peak_bucket,
+    };
     ShardOutcome {
         states,
         metrics,
         trace,
         error,
         panic,
+        stats,
     }
 }
 

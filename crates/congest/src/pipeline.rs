@@ -43,6 +43,9 @@ pub struct Pipeline<'g, 'o> {
     next_salt: u64,
     total: Metrics,
     phases: Vec<(String, Metrics)>,
+    /// Per-configuration engine stats accumulated across phases (cut
+    /// traffic adds, peaks max; see [`crate::telemetry::EngineStats`]).
+    engine: crate::telemetry::EngineStats,
     /// Optional per-round event sink; phases announce themselves through
     /// [`RoundObserver::on_phase`] before their rounds stream.
     observer: Option<&'o mut dyn RoundObserver>,
@@ -69,6 +72,7 @@ impl<'g, 'o> Pipeline<'g, 'o> {
             cfg,
             total: Metrics::new(graph.n()),
             phases: Vec::new(),
+            engine: crate::telemetry::EngineStats::default(),
             observer: None,
         }
     }
@@ -100,7 +104,11 @@ impl<'g, 'o> Pipeline<'g, 'o> {
     {
         let cfg = self.cfg.with_salt(self.next_salt);
         self.next_salt += 1;
-        let SimResult { states, metrics } = match self.observer.as_deref_mut() {
+        let SimResult {
+            states,
+            metrics,
+            stats,
+        } = match self.observer.as_deref_mut() {
             Some(obs) => {
                 obs.on_phase(name);
                 run_auto_observed(self.graph, protocol, &cfg, obs)?
@@ -108,6 +116,7 @@ impl<'g, 'o> Pipeline<'g, 'o> {
             None => run_auto(self.graph, protocol, &cfg)?,
         };
         self.total.absorb(&metrics);
+        self.engine.absorb(&stats);
         self.phases.push((name.to_string(), metrics));
         Ok(states)
     }
@@ -127,9 +136,27 @@ impl<'g, 'o> Pipeline<'g, 'o> {
         &self.phases
     }
 
+    /// Per-configuration engine stats accumulated across all phases run
+    /// so far (deterministic per thread count, not thread-invariant).
+    pub fn engine_stats(&self) -> &crate::telemetry::EngineStats {
+        &self.engine
+    }
+
     /// Consumes the pipeline, returning aggregate and per-phase metrics.
     pub fn into_metrics(self) -> (Metrics, Vec<(String, Metrics)>) {
         (self.total, self.phases)
+    }
+
+    /// Consumes the pipeline, returning aggregate metrics, per-phase
+    /// metrics, and the accumulated per-configuration engine stats.
+    pub fn into_parts(
+        self,
+    ) -> (
+        Metrics,
+        Vec<(String, Metrics)>,
+        crate::telemetry::EngineStats,
+    ) {
+        (self.total, self.phases, self.engine)
     }
 }
 

@@ -21,6 +21,21 @@ use crate::{NodeId, Round};
 /// Number of near-future rounds covered by the dense ring.
 const DEFAULT_WINDOW: usize = 512;
 
+/// Insertion-side probe counters of one scheduler: how many wakeups it
+/// took, how many spilled past the ring, and the largest bucket seen.
+/// Reset by [`BucketScheduler::clear`]; read by the engine when it fills
+/// [`crate::telemetry::EngineProbes`] / [`crate::telemetry::EngineStats`]
+/// at the end of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct SchedStats {
+    /// Total [`BucketScheduler::schedule`] calls (duplicates included).
+    pub scheduled: u64,
+    /// Insertions that landed beyond the ring and spilled to overflow.
+    pub spilled: u64,
+    /// Largest single-bucket length observed at insertion time.
+    pub peak_bucket: u64,
+}
+
 /// Calendar queue mapping `Round -> Vec<NodeId>`; see the module docs.
 #[derive(Debug)]
 pub(crate) struct BucketScheduler {
@@ -41,6 +56,8 @@ pub(crate) struct BucketScheduler {
     sorted: bool,
     /// Minimum round present in `overflow` (`Round::MAX` when empty).
     overflow_min: Round,
+    /// Insertion-side probe counters; see [`SchedStats`].
+    stats: SchedStats,
 }
 
 impl BucketScheduler {
@@ -61,6 +78,7 @@ impl BucketScheduler {
             overflow: Vec::new(),
             sorted: true,
             overflow_min: Round::MAX,
+            stats: SchedStats::default(),
         }
     }
 
@@ -75,6 +93,13 @@ impl BucketScheduler {
         self.overflow.clear();
         self.sorted = true;
         self.overflow_min = Round::MAX;
+        self.stats = SchedStats::default();
+    }
+
+    /// Insertion-side probe counters accumulated since the last
+    /// [`clear`](BucketScheduler::clear).
+    pub fn stats(&self) -> SchedStats {
+        self.stats
     }
 
     /// Number of queued entries (counting duplicates).
@@ -93,14 +118,17 @@ impl BucketScheduler {
             self.base
         );
         self.pending += 1;
+        self.stats.scheduled += 1;
         if round - self.base < self.window as u64 {
             let idx = (round & (self.window as u64 - 1)) as usize;
             self.buckets[idx].push(v);
             self.occupied[idx / 64] |= 1 << (idx % 64);
+            self.stats.peak_bucket = self.stats.peak_bucket.max(self.buckets[idx].len() as u64);
         } else {
             self.overflow.push((round, v));
             self.sorted = false;
             self.overflow_min = self.overflow_min.min(round);
+            self.stats.spilled += 1;
         }
     }
 
@@ -371,6 +399,26 @@ mod tests {
         assert_eq!(b, vec![2]);
         s.restore_bucket(500, b);
         assert_eq!(s.peek_round(), None);
+    }
+
+    #[test]
+    fn stats_count_insertions_spills_and_peaks() {
+        let mut s = BucketScheduler::with_window(64);
+        s.schedule(4, 1);
+        s.schedule(4, 2);
+        s.schedule(4, 3); // bucket of 3 — the peak
+        s.schedule(9, 4);
+        s.schedule(500, 5); // spill
+        let st = s.stats();
+        assert_eq!(st.scheduled, 5);
+        assert_eq!(st.spilled, 1);
+        assert_eq!(st.peak_bucket, 3);
+        // Draining does not change insertion-side stats.
+        let _ = drain(&mut s);
+        assert_eq!(s.stats(), st);
+        // clear() resets them along with the contents.
+        s.clear();
+        assert_eq!(s.stats(), SchedStats::default());
     }
 
     #[test]

@@ -123,8 +123,8 @@ fn alg1_pipeline(
     )?;
 
     let in_mis = board.mis_mask();
-    let (metrics, phases) = pipe.into_metrics();
-    Ok(MisReport::assemble(g, in_mis, metrics, phases, extras))
+    let (metrics, phases, engine) = pipe.into_parts();
+    Ok(MisReport::assemble(g, in_mis, metrics, phases, extras).with_engine(engine))
 }
 
 #[cfg(test)]

@@ -120,8 +120,8 @@ fn alg2_pipeline(
     )?;
 
     let in_mis = board.mis_mask();
-    let (metrics, phases) = pipe.into_metrics();
-    Ok(MisReport::assemble(g, in_mis, metrics, phases, extras))
+    let (metrics, phases, engine) = pipe.into_parts();
+    Ok(MisReport::assemble(g, in_mis, metrics, phases, extras).with_engine(engine))
 }
 
 #[cfg(test)]

@@ -225,8 +225,8 @@ fn avg1_pipeline(
     )?;
 
     let in_mis = board.mis_mask();
-    let (metrics, phases) = pipe.into_metrics();
-    Ok(MisReport::assemble(g, in_mis, metrics, phases, extras))
+    let (metrics, phases, engine) = pipe.into_parts();
+    Ok(MisReport::assemble(g, in_mis, metrics, phases, extras).with_engine(engine))
 }
 
 /// The Algorithm 2 variant of the Section 4 pipeline ("all this can also
@@ -332,8 +332,8 @@ fn avg2_pipeline(
     )?;
 
     let in_mis = board.mis_mask();
-    let (metrics, phases) = pipe.into_metrics();
-    Ok(MisReport::assemble(g, in_mis, metrics, phases, extras))
+    let (metrics, phases, engine) = pipe.into_parts();
+    Ok(MisReport::assemble(g, in_mis, metrics, phases, extras).with_engine(engine))
 }
 
 /// The Lemma 4.2 iteration ladder plus the GP22-style node reduction.

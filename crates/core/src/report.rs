@@ -1,6 +1,6 @@
 //! Unified run reports.
 
-use congest_sim::Metrics;
+use congest_sim::{EngineStats, Metrics};
 use mis_graphs::{props, Graph};
 
 /// Result of running a full MIS pipeline: the computed set, aggregate and
@@ -21,6 +21,11 @@ pub struct MisReport {
     /// Named measured quantities (residual degrees, component sizes,
     /// retries, …).
     pub extras: std::collections::BTreeMap<String, f64>,
+    /// Per-engine-configuration statistics accumulated across phases
+    /// (shard count, cut traffic, scheduler peaks). Deterministic for a
+    /// fixed thread count but — unlike [`MisReport::metrics`] — not
+    /// invariant across thread counts; excluded from fingerprints.
+    pub engine_stats: EngineStats,
 }
 
 impl MisReport {
@@ -41,7 +46,16 @@ impl MisReport {
             independent,
             maximal,
             extras,
+            engine_stats: EngineStats::default(),
         }
+    }
+
+    /// Attaches the per-configuration engine stats of the run (builder
+    /// style, so [`assemble`](MisReport::assemble) keeps its signature).
+    #[must_use]
+    pub fn with_engine(mut self, stats: EngineStats) -> MisReport {
+        self.engine_stats = stats;
+        self
     }
 
     /// Whether the output is a maximal independent set.

@@ -168,7 +168,9 @@ pub fn sync_status(
 ) -> Result<congest_sim::Metrics, SimError> {
     let participants = vec![true; g.n()];
     let in_mis = board.mis_mask();
-    let SimResult { states, metrics } = run(
+    let SimResult {
+        states, metrics, ..
+    } = run(
         g,
         &StatusSync {
             participants: &participants,

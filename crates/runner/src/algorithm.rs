@@ -25,6 +25,13 @@ pub struct RunConfig {
     /// [`RunReport::rounds`] (identical across thread counts per the
     /// engine's determinism contract).
     pub collect_rounds: bool,
+    /// Build a [`congest_sim::Telemetry`] snapshot into
+    /// [`RunReport::telemetry`]: counters, engine stats, energy
+    /// histograms, and wall-clock timings. Counters and histograms are
+    /// bit-identical across thread counts; timings and the engine
+    /// section are not and never enter fingerprints. Off by default —
+    /// the disabled path allocates nothing.
+    pub telemetry: bool,
 }
 
 impl From<SimConfig> for RunConfig {
@@ -32,6 +39,7 @@ impl From<SimConfig> for RunConfig {
         RunConfig {
             sim,
             collect_rounds: false,
+            telemetry: false,
         }
     }
 }
@@ -54,6 +62,14 @@ impl RunConfig {
     #[must_use]
     pub fn collect_rounds(mut self, yes: bool) -> RunConfig {
         self.collect_rounds = yes;
+        self
+    }
+
+    /// Switches telemetry collection on or off (see
+    /// [`RunConfig::telemetry`]).
+    #[must_use]
+    pub fn telemetry(mut self, yes: bool) -> RunConfig {
+        self.telemetry = yes;
         self
     }
 

@@ -34,7 +34,7 @@
 use crate::algorithm::{Algorithm, RunConfig, UnknownAlgorithm};
 use crate::report::{RepairStats, RunReport};
 use crate::workload::{ChurnSpec, WorkloadSpec};
-use congest_sim::{plan_repair, Metrics, SimError};
+use congest_sim::{plan_repair, EnergyHistogram, Metrics, SimError};
 use mis_graphs::{AppliedBatch, DeltaGraph, EditBatch, Graph, NodeId};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -380,12 +380,17 @@ pub fn run_churn_on(
     let mut report = alg.solve(&dg, cfg)?;
     let mut stream = ChurnStream::new(churn);
     let mut stats = RepairStats::default();
+    // Per-batch affected-set sizes feed the `repair_affected` telemetry
+    // histogram; collected only when telemetry is on.
+    let mut affected_sizes: Option<Vec<u64>> = cfg.telemetry.then(Vec::new);
     for b in 0..u64::from(churn.batches) {
         let applied = stream.next_batch(&mut dg)?;
         let mut sub_cfg = cfg.clone();
         sub_cfg.sim = cfg
             .sim
             .with_salt(cfg.sim.salt ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(b + 1));
+        // Repair sub-runs feed `stats`, not their own artifacts.
+        sub_cfg.telemetry = false;
         let out = alg.repair(&dg, &applied, &report.in_mis, &sub_cfg)?;
         stats.record(
             applied.changes() as u64,
@@ -393,6 +398,9 @@ pub fn run_churn_on(
             out.affected as u64,
             &out.metrics,
         );
+        if let Some(sizes) = affected_sizes.as_mut() {
+            sizes.push(out.affected as u64);
+        }
         report.in_mis = out.in_mis;
         if dg.overlay_edits() >= compact_threshold(dg.base().n()) {
             dg.compact();
@@ -402,6 +410,21 @@ pub fn run_churn_on(
     report.independent = check.independent;
     report.maximal = check.maximal;
     report.repair = Some(stats);
+    if let Some(sizes) = affected_sizes {
+        // Rebuild the artifact now that repair tallies exist; the solve's
+        // wall timing carries over under a `solve.` prefix.
+        let solve_timings = report
+            .telemetry
+            .take()
+            .map(|t| t.timings_ns)
+            .unwrap_or_default();
+        let mut tel = report.build_telemetry();
+        tel.histogram("repair_affected", EnergyHistogram::from_values(&sizes));
+        for (name, v) in solve_timings {
+            tel.timing_ns(format!("solve.{name}"), v);
+        }
+        report.telemetry = Some(tel);
+    }
     Ok(report)
 }
 

@@ -45,6 +45,7 @@ pub mod incremental;
 pub mod registry;
 mod report;
 mod scenario;
+pub mod trace;
 mod workload;
 
 pub use algorithm::{Algorithm, RunConfig, UnknownAlgorithm};
@@ -54,4 +55,5 @@ pub use incremental::{
 pub use registry::{Alg1, Alg2, AvgEnergy1, AvgEnergy2, Greedy, Luby, Permutation};
 pub use report::{RepairStats, RunReport};
 pub use scenario::{Scenario, ScenarioError};
+pub use trace::{append_trace, render_trace};
 pub use workload::{ChannelSpec, ChurnSpec, ParseWorkloadError, WorkloadSpec};

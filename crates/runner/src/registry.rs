@@ -25,6 +25,26 @@ use mis_graphs::Graph;
 use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
+/// Wraps a registry run: when [`RunConfig::telemetry`] is set, times
+/// the whole run and attaches the assembled [`congest_sim::Telemetry`]
+/// artifact to the report. The disabled path is a plain call — no
+/// clock reads, no allocations.
+fn with_telemetry(
+    cfg: &RunConfig,
+    f: impl FnOnce() -> Result<RunReport, SimError>,
+) -> Result<RunReport, SimError> {
+    if !cfg.telemetry {
+        return f();
+    }
+    let t0 = std::time::Instant::now();
+    let mut report = f()?;
+    let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let mut tel = report.build_telemetry();
+    tel.timing_ns("run_wall", nanos);
+    report.telemetry = Some(tel);
+    Ok(report)
+}
+
 /// Runs `f` with a fresh [`RoundLog`] when `cfg` asks for round
 /// collection, threading the log into the report conversion `done`.
 fn observed<T>(
@@ -53,11 +73,13 @@ impl Algorithm for Alg1 {
     }
 
     fn run(&self, g: &Graph, cfg: &RunConfig) -> Result<RunReport, SimError> {
-        let (rep, log): (MisReport, _) = observed(cfg, |obs| match obs {
-            Some(o) => energy_mis::alg1::run_algorithm1_observed(g, &self.params, &cfg.sim, o),
-            None => energy_mis::alg1::run_algorithm1_with(g, &self.params, &cfg.sim),
-        })?;
-        Ok(RunReport::from_mis_report(self.name(), rep, log))
+        with_telemetry(cfg, || {
+            let (rep, log): (MisReport, _) = observed(cfg, |obs| match obs {
+                Some(o) => energy_mis::alg1::run_algorithm1_observed(g, &self.params, &cfg.sim, o),
+                None => energy_mis::alg1::run_algorithm1_with(g, &self.params, &cfg.sim),
+            })?;
+            Ok(RunReport::from_mis_report(self.name(), rep, log))
+        })
     }
 }
 
@@ -74,11 +96,13 @@ impl Algorithm for Alg2 {
     }
 
     fn run(&self, g: &Graph, cfg: &RunConfig) -> Result<RunReport, SimError> {
-        let (rep, log) = observed(cfg, |obs| match obs {
-            Some(o) => energy_mis::alg2::run_algorithm2_observed(g, &self.params, &cfg.sim, o),
-            None => energy_mis::alg2::run_algorithm2_with(g, &self.params, &cfg.sim),
-        })?;
-        Ok(RunReport::from_mis_report(self.name(), rep, log))
+        with_telemetry(cfg, || {
+            let (rep, log) = observed(cfg, |obs| match obs {
+                Some(o) => energy_mis::alg2::run_algorithm2_observed(g, &self.params, &cfg.sim, o),
+                None => energy_mis::alg2::run_algorithm2_with(g, &self.params, &cfg.sim),
+            })?;
+            Ok(RunReport::from_mis_report(self.name(), rep, log))
+        })
     }
 }
 
@@ -98,13 +122,17 @@ impl Algorithm for AvgEnergy1 {
     }
 
     fn run(&self, g: &Graph, cfg: &RunConfig) -> Result<RunReport, SimError> {
-        let (rep, log) = observed(cfg, |obs| match obs {
-            Some(o) => energy_mis::avg_energy::run_avg_energy_observed(
-                g, &self.base, &self.ae, &cfg.sim, o,
-            ),
-            None => energy_mis::avg_energy::run_avg_energy_with(g, &self.base, &self.ae, &cfg.sim),
-        })?;
-        Ok(RunReport::from_mis_report(self.name(), rep, log))
+        with_telemetry(cfg, || {
+            let (rep, log) = observed(cfg, |obs| match obs {
+                Some(o) => energy_mis::avg_energy::run_avg_energy_observed(
+                    g, &self.base, &self.ae, &cfg.sim, o,
+                ),
+                None => {
+                    energy_mis::avg_energy::run_avg_energy_with(g, &self.base, &self.ae, &cfg.sim)
+                }
+            })?;
+            Ok(RunReport::from_mis_report(self.name(), rep, log))
+        })
     }
 }
 
@@ -124,13 +152,17 @@ impl Algorithm for AvgEnergy2 {
     }
 
     fn run(&self, g: &Graph, cfg: &RunConfig) -> Result<RunReport, SimError> {
-        let (rep, log) = observed(cfg, |obs| match obs {
-            Some(o) => energy_mis::avg_energy::run_avg_energy2_observed(
-                g, &self.base, &self.ae, &cfg.sim, o,
-            ),
-            None => energy_mis::avg_energy::run_avg_energy2_with(g, &self.base, &self.ae, &cfg.sim),
-        })?;
-        Ok(RunReport::from_mis_report(self.name(), rep, log))
+        with_telemetry(cfg, || {
+            let (rep, log) = observed(cfg, |obs| match obs {
+                Some(o) => energy_mis::avg_energy::run_avg_energy2_observed(
+                    g, &self.base, &self.ae, &cfg.sim, o,
+                ),
+                None => {
+                    energy_mis::avg_energy::run_avg_energy2_with(g, &self.base, &self.ae, &cfg.sim)
+                }
+            })?;
+            Ok(RunReport::from_mis_report(self.name(), rep, log))
+        })
     }
 }
 
@@ -144,17 +176,19 @@ impl Algorithm for Luby {
     }
 
     fn run(&self, g: &Graph, cfg: &RunConfig) -> Result<RunReport, SimError> {
-        let (run, log) = observed(cfg, |obs| match obs {
-            Some(o) => {
-                // Single-protocol run: announce the one phase ourselves
-                // (no Pipeline to do it), so the collected trace's name
-                // matches the report's phase entry.
-                o.on_phase(self.name());
-                mis_baselines::luby_observed(g, &cfg.sim, o)
-            }
-            None => mis_baselines::luby(g, &cfg.sim),
-        })?;
-        Ok(RunReport::from_mis_run(self.name(), g, run, log))
+        with_telemetry(cfg, || {
+            let (run, log) = observed(cfg, |obs| match obs {
+                Some(o) => {
+                    // Single-protocol run: announce the one phase ourselves
+                    // (no Pipeline to do it), so the collected trace's name
+                    // matches the report's phase entry.
+                    o.on_phase(self.name());
+                    mis_baselines::luby_observed(g, &cfg.sim, o)
+                }
+                None => mis_baselines::luby(g, &cfg.sim),
+            })?;
+            Ok(RunReport::from_mis_run(self.name(), g, run, log))
+        })
     }
 }
 
@@ -168,14 +202,16 @@ impl Algorithm for Permutation {
     }
 
     fn run(&self, g: &Graph, cfg: &RunConfig) -> Result<RunReport, SimError> {
-        let (run, log) = observed(cfg, |obs| match obs {
-            Some(o) => {
-                o.on_phase(self.name()); // see Luby: one self-announced phase
-                mis_baselines::permutation_observed(g, &cfg.sim, o)
-            }
-            None => mis_baselines::permutation(g, &cfg.sim),
-        })?;
-        Ok(RunReport::from_mis_run(self.name(), g, run, log))
+        with_telemetry(cfg, || {
+            let (run, log) = observed(cfg, |obs| match obs {
+                Some(o) => {
+                    o.on_phase(self.name()); // see Luby: one self-announced phase
+                    mis_baselines::permutation_observed(g, &cfg.sim, o)
+                }
+                None => mis_baselines::permutation(g, &cfg.sim),
+            })?;
+            Ok(RunReport::from_mis_run(self.name(), g, run, log))
+        })
     }
 }
 
@@ -192,19 +228,21 @@ impl Algorithm for Greedy {
     }
 
     fn run(&self, g: &Graph, cfg: &RunConfig) -> Result<RunReport, SimError> {
-        let in_mis = mis_baselines::greedy_mis(g);
-        let rounds = cfg.collect_rounds.then(RoundLog::new);
-        let mut extras = BTreeMap::new();
-        extras.insert("sequential_oracle".into(), 1.0);
-        Ok(RunReport::assemble(
-            g,
-            self.name(),
-            in_mis,
-            Metrics::new(g.n()),
-            Vec::new(),
-            extras,
-            rounds,
-        ))
+        with_telemetry(cfg, || {
+            let in_mis = mis_baselines::greedy_mis(g);
+            let rounds = cfg.collect_rounds.then(RoundLog::new);
+            let mut extras = BTreeMap::new();
+            extras.insert("sequential_oracle".into(), 1.0);
+            Ok(RunReport::assemble(
+                g,
+                self.name(),
+                in_mis,
+                Metrics::new(g.n()),
+                Vec::new(),
+                extras,
+                rounds,
+            ))
+        })
     }
 }
 

@@ -1,6 +1,6 @@
 //! The one report type every registered algorithm returns.
 
-use congest_sim::{Metrics, RoundLog};
+use congest_sim::{EnergyHistogram, EngineStats, Metrics, RoundLog, Telemetry};
 use energy_mis::MisReport;
 use mis_baselines::MisRun;
 use mis_graphs::{props, Graph};
@@ -118,6 +118,14 @@ pub struct RunReport {
     /// runs, where `metrics`/`phases` describe the initial solve and
     /// this describes the edit-stream repairs that followed.
     pub repair: Option<RepairStats>,
+    /// Per-engine-configuration statistics (shard count, cut traffic,
+    /// scheduler peaks). Deterministic for a fixed thread count but not
+    /// invariant across thread counts; excluded from fingerprints.
+    pub engine_stats: EngineStats,
+    /// Telemetry snapshot (counters, histograms, engine stats, wall-clock
+    /// timings); `Some` only when the run was configured with
+    /// [`crate::RunConfig::telemetry`].
+    pub telemetry: Option<Telemetry>,
 }
 
 impl RunReport {
@@ -143,6 +151,8 @@ impl RunReport {
             extras,
             rounds,
             repair: None,
+            engine_stats: EngineStats::default(),
+            telemetry: None,
         }
     }
 
@@ -163,6 +173,8 @@ impl RunReport {
             extras: report.extras,
             rounds,
             repair: None,
+            engine_stats: report.engine_stats,
+            telemetry: None,
         }
     }
 
@@ -177,7 +189,7 @@ impl RunReport {
     ) -> RunReport {
         let algorithm = algorithm.into();
         let phases = vec![(algorithm.clone(), run.metrics.clone())];
-        RunReport::assemble(
+        let mut report = RunReport::assemble(
             g,
             algorithm,
             run.in_mis,
@@ -185,7 +197,9 @@ impl RunReport {
             phases,
             BTreeMap::new(),
             rounds,
-        )
+        );
+        report.engine_stats = run.engine_stats;
+        report
     }
 
     /// The inverse thin conversion, for callers still holding old-API
@@ -198,7 +212,57 @@ impl RunReport {
             independent: self.independent,
             maximal: self.maximal,
             extras: self.extras,
+            engine_stats: self.engine_stats,
         }
+    }
+
+    /// Builds the deterministic sections of a [`Telemetry`] artifact
+    /// from this report: aggregate counters, engine probes, repair
+    /// tallies (for churn runs), the total and per-phase awake-rounds
+    /// histograms, and the per-configuration engine section.
+    /// Wall-clock timings are the caller's to add
+    /// ([`Telemetry::timing_ns`]) — they never come from report data.
+    pub fn build_telemetry(&self) -> Telemetry {
+        let mut t = Telemetry::new();
+        let m = &self.metrics;
+        t.counter("elapsed_rounds", m.elapsed_rounds);
+        t.counter("busy_rounds", m.busy_rounds);
+        t.counter("total_awake", m.total_awake());
+        t.counter("max_awake", m.max_awake());
+        t.counter("messages_sent", m.messages_sent);
+        t.counter("messages_delivered", m.messages_delivered);
+        t.counter("messages_dropped", m.messages_dropped);
+        t.counter("collisions", m.collisions);
+        t.counter("bits_sent", m.bits_sent);
+        t.counter("bandwidth_violations", m.bandwidth_violations);
+        for (name, v) in m.probes.counters() {
+            t.counter(format!("probe.{name}"), v);
+        }
+        if let Some(r) = &self.repair {
+            t.counter("repair.batches", r.batches);
+            t.counter("repair.edits", r.edits);
+            t.counter("repair.demoted", r.demoted);
+            t.counter("repair.affected", r.affected);
+            t.counter("repair.max_affected", r.max_affected);
+            t.counter("repair.awake_rounds", r.awake_rounds);
+            t.counter("repair.total_awake", r.total_awake);
+            t.counter("repair.messages", r.messages);
+            t.counter("repair.trivial", r.trivial);
+        }
+        t.histogram(
+            "awake_rounds",
+            EnergyHistogram::from_values(&m.awake_rounds),
+        );
+        for (name, pm) in &self.phases {
+            t.histogram(
+                format!("awake_rounds.{name}"),
+                EnergyHistogram::from_values(&pm.awake_rounds),
+            );
+        }
+        for (name, v) in self.engine_stats.counters() {
+            t.engine_stat(name, v);
+        }
+        t
     }
 
     /// Whether the output is a verified maximal independent set.
@@ -294,6 +358,7 @@ mod tests {
         let bad = MisRun {
             in_mis: vec![false, false, false],
             metrics: Metrics::new(3),
+            engine_stats: EngineStats::default(),
         };
         let r = RunReport::from_mis_run("luby", &g, bad, None);
         assert!(!r.maximal);

@@ -35,6 +35,9 @@ pub struct Scenario {
     pub threads: usize,
     /// Collect per-round time series into every report.
     pub collect_rounds: bool,
+    /// Attach a telemetry artifact to every report (see
+    /// [`RunConfig::telemetry`]).
+    pub telemetry: bool,
 }
 
 impl Scenario {
@@ -47,6 +50,7 @@ impl Scenario {
             seeds: 0..1,
             threads: 0,
             collect_rounds: false,
+            telemetry: false,
         }
     }
 
@@ -90,6 +94,13 @@ impl Scenario {
         self
     }
 
+    /// Switches telemetry collection on or off.
+    #[must_use]
+    pub fn telemetry(mut self, yes: bool) -> Scenario {
+        self.telemetry = yes;
+        self
+    }
+
     /// Builds the workload once and runs the algorithm for every seed,
     /// returning one [`RunReport`] per seed in order.
     ///
@@ -125,6 +136,7 @@ impl Scenario {
             RunConfig::seeded(seed)
                 .threads(self.threads)
                 .collect_rounds(self.collect_rounds)
+                .telemetry(self.telemetry)
                 .channel(channel.clone())
         });
         if let Some(churn) = self.workload.churn {

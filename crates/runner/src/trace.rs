@@ -1,0 +1,215 @@
+//! Versioned JSONL trace export of a run.
+//!
+//! One JSON object per line, schema gated by
+//! [`congest_sim::TELEMETRY_SCHEMA_VERSION`]. Record types, in emission
+//! order:
+//!
+//! | `type` | contents | determinism |
+//! |---|---|---|
+//! | `meta` | schema version, algorithm, workload, seed, node count | bit-identical across thread counts |
+//! | `phase` | phase name | bit-identical |
+//! | `round` | one busy round's awake/message counters | bit-identical |
+//! | `counters` | the telemetry counter section | bit-identical |
+//! | `hist` | one named distribution summary | bit-identical |
+//! | `engine` | thread count, shard count, cut traffic | per-configuration |
+//! | `timings` | wall-clock nanoseconds | non-deterministic |
+//!
+//! The last two types are the *only* lines allowed to differ between a
+//! sequential and a parallel run of the same scenario — `trace_tool
+//! diff` (bench crate) filters exactly those before byte-comparing.
+//! Notably the thread count lives in the `engine` record, not `meta`,
+//! so the deterministic prefix of two cross-engine traces is
+//! byte-identical.
+//!
+//! JSON is hand-rolled like everywhere else in this workspace (no
+//! serde); all map keys are emitted in a stable order.
+
+use crate::report::RunReport;
+use congest_sim::TELEMETRY_SCHEMA_VERSION;
+use std::fmt::Write as _;
+
+/// Escapes `s` as the contents of a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full JSONL trace of `report` (schema v1, one record per
+/// line, trailing newline).
+///
+/// The deterministic records come from the report's round log and its
+/// telemetry artifact — when the run was configured without
+/// [`crate::RunConfig::telemetry`], the counter/histogram sections are
+/// rebuilt on the spot ([`RunReport::build_telemetry`]) and the
+/// `timings` record is simply absent. `workload` and `seed` identify
+/// the scenario cell; `threads` is recorded in the `engine` line.
+pub fn render_trace(report: &RunReport, workload: &str, seed: u64, threads: usize) -> String {
+    let tel = match &report.telemetry {
+        Some(t) => t.clone(),
+        None => report.build_telemetry(),
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"meta\",\"schema_version\":{},\"algorithm\":\"{}\",\"workload\":\"{}\",\"seed\":{},\"n\":{}}}",
+        TELEMETRY_SCHEMA_VERSION,
+        json_escape(&report.algorithm),
+        json_escape(workload),
+        seed,
+        report.metrics.n,
+    );
+    if let Some(log) = &report.rounds {
+        for phase in &log.phases {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"phase\",\"name\":\"{}\"}}",
+                json_escape(&phase.name)
+            );
+            for e in &phase.rounds {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"round\",\"round\":{},\"awake\":{},\"messages_sent\":{},\"messages_delivered\":{},\"messages_dropped\":{},\"collisions\":{},\"bits_sent\":{}}}",
+                    e.round,
+                    e.awake,
+                    e.messages_sent,
+                    e.messages_delivered,
+                    e.messages_dropped,
+                    e.collisions,
+                    e.bits_sent,
+                );
+            }
+        }
+    }
+    out.push_str("{\"type\":\"counters\",\"values\":{");
+    for (i, (name, v)) in tel.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{v}", json_escape(name));
+    }
+    out.push_str("}}\n");
+    for (name, h) in &tel.histograms {
+        let _ = write!(
+            out,
+            "{{\"type\":\"hist\",\"name\":\"{}\"",
+            json_escape(name)
+        );
+        for (field, v) in h.fields() {
+            let _ = write!(out, ",\"{field}\":{v}");
+        }
+        out.push_str("}\n");
+    }
+    let _ = write!(out, "{{\"type\":\"engine\",\"threads\":{threads}");
+    for (name, v) in &tel.engine {
+        let _ = write!(out, ",\"{}\":{v}", json_escape(name));
+    }
+    out.push_str("}\n");
+    if !tel.timings_ns.is_empty() {
+        out.push_str("{\"type\":\"timings\",\"values\":{");
+        for (i, (name, v)) in tel.timings_ns.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{v}", json_escape(name));
+        }
+        out.push_str("}}\n");
+    }
+    out
+}
+
+/// Renders [`render_trace`] and appends it to the file at `path`
+/// (creating it if absent), so a multi-cell scenario sweep accumulates
+/// one trace per cell in a single JSONL file.
+///
+/// # Errors
+///
+/// Propagates I/O errors from opening or writing the file.
+pub fn append_trace(
+    path: &std::path::Path,
+    report: &RunReport,
+    workload: &str,
+    seed: u64,
+    threads: usize,
+) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    f.write_all(render_trace(report, workload, seed, threads).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::{Algorithm, RunConfig};
+    use mis_graphs::generators;
+
+    #[test]
+    fn escape_covers_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn trace_has_versioned_meta_and_stable_sections() {
+        let g = generators::cycle(24);
+        let alg = <dyn Algorithm>::from_name("luby").unwrap();
+        let cfg = RunConfig::seeded(3).collect_rounds(true).telemetry(true);
+        let report = alg.run(&g, &cfg).unwrap();
+        let trace = render_trace(&report, "cycle:n=24", 3, 0);
+        let lines: Vec<&str> = trace.lines().collect();
+        assert!(lines[0].starts_with("{\"type\":\"meta\",\"schema_version\":1,"));
+        assert!(lines[0].contains("\"algorithm\":\"luby\""));
+        assert!(lines.iter().any(|l| l.starts_with("{\"type\":\"phase\"")));
+        assert!(lines.iter().any(|l| l.starts_with("{\"type\":\"round\"")));
+        assert!(lines
+            .iter()
+            .any(|l| l.starts_with("{\"type\":\"counters\"")));
+        assert!(lines
+            .iter()
+            .any(|l| l.starts_with("{\"type\":\"hist\",\"name\":\"awake_rounds\"")));
+        assert!(lines
+            .iter()
+            .any(|l| l.starts_with("{\"type\":\"engine\",\"threads\":0")));
+        assert!(lines.last().unwrap().starts_with("{\"type\":\"timings\""));
+    }
+
+    /// The deterministic prefix (everything except `engine`/`timings`
+    /// lines) is byte-identical between the sequential and the parallel
+    /// engine — the exact invariant `trace_tool diff` checks.
+    #[test]
+    fn deterministic_lines_are_engine_invariant() {
+        let g = generators::grid2d(8, 8);
+        let alg = <dyn Algorithm>::from_name("alg1").unwrap();
+        let det = |threads: usize| {
+            let cfg = RunConfig::seeded(7)
+                .threads(threads)
+                .collect_rounds(true)
+                .telemetry(true);
+            let report = alg.run(&g, &cfg).unwrap();
+            render_trace(&report, "grid:8x8", 7, threads)
+                .lines()
+                .filter(|l| {
+                    !l.starts_with("{\"type\":\"engine\"")
+                        && !l.starts_with("{\"type\":\"timings\"")
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(det(0), det(2));
+    }
+}

@@ -91,6 +91,55 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The per-round fault columns are an exact decomposition of the
+    /// aggregate counters: on a faulty channel, the observer stream's
+    /// `messages_dropped` / `collisions` sum to the run's
+    /// [`Metrics::messages_dropped`] / [`Metrics::collisions`], and the
+    /// full stream is bit-identical across engines and thread counts.
+    #[test]
+    fn per_round_fault_columns_sum_to_metrics(
+        n in 8usize..120,
+        deg in 2u32..7,
+        gseed in 0u64..500,
+        seed in 0u64..500,
+        radio in any::<bool>(),
+    ) {
+        let g = format!("gnp:n={n},deg={deg},seed={gseed}")
+            .parse::<WorkloadSpec>()
+            .expect("generated spec is valid")
+            .build();
+        let channel = if radio {
+            ChannelModel::RadioCollision
+        } else {
+            ChannelModel::Loss { p: 0.25 }
+        };
+
+        let seq = observed(&g, &SimConfig::seeded(seed).with_channel(channel.clone()));
+        let dropped: u64 = seq.2.events().map(|e| e.messages_dropped).sum();
+        let collisions: u64 = seq.2.events().map(|e| e.collisions).sum();
+        prop_assert_eq!(dropped, seq.0.messages_dropped, "per-round drops must sum to the aggregate");
+        prop_assert_eq!(collisions, seq.0.collisions, "per-round collisions must sum to the aggregate");
+        if radio {
+            // Each collision event silences ≥ 2 transmitting in-neighbors.
+            prop_assert!(seq.0.messages_dropped >= 2 * seq.0.collisions);
+        } else {
+            prop_assert_eq!(seq.0.collisions, 0, "loss channels never collide");
+        }
+
+        for threads in [2usize, 4] {
+            let par = observed(
+                &g,
+                &SimConfig::seeded(seed).with_threads(threads).with_channel(channel.clone()),
+            );
+            prop_assert_eq!(&par.0, &seq.0, "metrics diverged at {} threads", threads);
+            prop_assert_eq!(&par.2, &seq.2, "fault stream diverged at {} threads", threads);
+        }
+    }
+}
+
 /// The same guarantee one layer up: a `;channel=ideal` (or `loss:p=0`)
 /// workload produces the same reports as the bare spec, through the
 /// full Scenario path (registry dispatch, seed sweep, report assembly).

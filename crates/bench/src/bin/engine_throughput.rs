@@ -160,9 +160,13 @@ fn measure_paired(family: &'static str, n: usize, g: &Graph, reps: usize) -> (Ro
     let mut priced_secs = f64::INFINITY;
     let mut res = None;
     for _ in 0..reps.max(1) {
+        #[allow(clippy::disallowed_methods)]
+        // lint:allow(det-wall-clock, reason = "throughput bench timing; wall seconds are the measurement, never an engine input")
         let start = Instant::now();
         let r = run_auto(g, &proto, &cfg).expect("plain run");
         plain_secs = plain_secs.min(start.elapsed().as_secs_f64());
+        #[allow(clippy::disallowed_methods)]
+        // lint:allow(det-wall-clock, reason = "throughput bench timing; wall seconds are the measurement, never an engine input")
         let start = Instant::now();
         let r2 = run_auto(g, &proto, &cfg).expect("priced run");
         std::hint::black_box(assemble_telemetry(&r2.metrics));
@@ -213,6 +217,8 @@ fn measure_threads(
     let mut secs = f64::INFINITY;
     let mut res = None;
     for _ in 0..reps.max(1) {
+        #[allow(clippy::disallowed_methods)]
+        // lint:allow(det-wall-clock, reason = "throughput bench timing; wall seconds are the measurement, never an engine input")
         let start = Instant::now();
         let r = run_auto(g, &proto, &cfg).expect("measured run");
         if telemetry {

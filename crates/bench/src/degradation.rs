@@ -120,6 +120,7 @@ pub fn run(tiny: bool, threads: usize) -> i32 {
     t.print(&format!(
         "Degradation — rounds/energy vs per-delivery loss rate, gnp:n={n},deg=8"
     ));
+    // lint:allow(hygiene-print, reason = "stdout verdict line of the experiments CLI; this module is its implementation")
     println!(
         "\nverdict: {}/{} cells verified as MIS ({} control cells must)",
         rows.iter().filter(|r| r.verified).count(),

@@ -246,6 +246,7 @@ impl SimConfig {
     }
 
     /// Returns a copy with the given phase salt.
+    #[must_use]
     pub fn with_salt(&self, salt: u64) -> SimConfig {
         SimConfig {
             salt,
@@ -255,6 +256,7 @@ impl SimConfig {
 
     /// Returns a copy with the given parallel worker count (`0` =
     /// sequential). Results are bit-identical for every value.
+    #[must_use]
     pub fn with_threads(&self, threads: usize) -> SimConfig {
         SimConfig {
             threads,
@@ -263,6 +265,7 @@ impl SimConfig {
     }
 
     /// Returns a copy running under the given [`ChannelModel`].
+    #[must_use]
     pub fn with_channel(&self, channel: ChannelModel) -> SimConfig {
         SimConfig {
             channel,

@@ -58,6 +58,8 @@ mod tests {
 
     #[test]
     fn splitmix_spreads_small_inputs() {
+        #[allow(clippy::disallowed_types)]
+        // lint:allow(det-hash-collection, reason = "test-only collision check; asserts cardinality, never iterates")
         let outs: std::collections::HashSet<u64> = (0..1000).map(splitmix64).collect();
         assert_eq!(outs.len(), 1000);
     }

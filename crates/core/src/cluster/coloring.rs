@@ -307,6 +307,8 @@ mod tests {
         let k = 50_000u64;
         for _ in 0..100 {
             // A small star: center + leaves, all distinct colors.
+            #[allow(clippy::disallowed_types)]
+            // lint:allow(det-hash-collection, reason = "test-only distinct-color sampling; the asserted property holds for any iteration order")
             let mut colors = std::collections::HashSet::new();
             while colors.len() < (delta + 1) as usize {
                 colors.insert(rng.gen_range(0..k));

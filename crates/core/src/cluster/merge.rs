@@ -913,8 +913,9 @@ mod tests {
 
     fn assert_one_cluster_per_component(g: &mis_graphs::Graph, mask: &[bool], f: &ClusterForest) {
         let comps = props::masked_components(g, mask);
-        let mut cluster_of_comp: std::collections::HashMap<u32, u32> =
-            std::collections::HashMap::new();
+        #[allow(clippy::disallowed_types)]
+        // lint:allow(det-hash-collection, reason = "test-only component->cluster witness map; keyed lookups, never iterated")
+        let mut cluster_of_comp = std::collections::HashMap::<u32, u32>::new();
         for (v, &in_mask) in mask.iter().enumerate() {
             if in_mask {
                 let comp = comps.label[v];

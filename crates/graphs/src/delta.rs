@@ -45,6 +45,7 @@ pub enum Edit {
 /// An ordered list of [`Edit`]s applied as one unit: the granularity at
 /// which the repair engine re-establishes the MIS.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[must_use = "a batch does nothing until passed to DeltaGraph::apply"]
 pub struct EditBatch {
     edits: Vec<Edit>,
 }
@@ -177,6 +178,7 @@ impl AppliedBatch {
 
     /// Folds another applied summary into this one (used when a batch is
     /// generated op by op against the live graph).
+    // lint:allow(merge-completeness, reason = "touched is not folded field-wise; finish() rebuilds it from the four endpoint lists")
     pub fn absorb(&mut self, other: &AppliedBatch) {
         self.added_nodes.extend(&other.added_nodes);
         self.removed_nodes.extend(&other.removed_nodes);

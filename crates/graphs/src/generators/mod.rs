@@ -197,6 +197,8 @@ mod tests {
             Family::Star,
             Family::Complete,
         ];
+        #[allow(clippy::disallowed_types)]
+        // lint:allow(det-hash-collection, reason = "test-only distinctness check; asserts cardinality, never iterates")
         let names: std::collections::HashSet<_> = fams.iter().map(|f| f.name()).collect();
         assert_eq!(names.len(), fams.len());
     }

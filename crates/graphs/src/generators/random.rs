@@ -112,6 +112,10 @@ pub fn gnm<R: Rng>(n: usize, m: usize, rng: &mut R) -> Graph {
     }
     let total: u128 = n as u128 * (n as u128 - 1) / 2;
     let m = (m as u128).min(total) as usize;
+    // Membership test only: edges are emitted in draw order, the set is
+    // never iterated, so the per-process hash key cannot reach the CSR.
+    #[allow(clippy::disallowed_types)]
+    // lint:allow(det-hash-collection, reason = "membership-only dedup; edges are emitted in RNG draw order and the set is never iterated")
     let mut chosen = std::collections::HashSet::with_capacity(m * 2);
     while chosen.len() < m {
         let a = rng.gen_range(0..n as u32);
@@ -149,7 +153,11 @@ pub fn random_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> Graph {
         .collect();
     // One dedup set for all pairing attempts: `clear()` keeps the
     // allocated table, so retries (common at higher d/n ratios) cost no
-    // allocation churn beyond the first attempt's growth.
+    // allocation churn beyond the first attempt's growth. Membership
+    // test only — pairs are taken in shuffled-stub order, never from
+    // set iteration.
+    #[allow(clippy::disallowed_types)]
+    // lint:allow(det-hash-collection, reason = "membership-only dedup; pairs come from the shuffled stub order and the set is never iterated")
     let mut seen = std::collections::HashSet::with_capacity(stubs.len());
     for attempt in 0..60 {
         shuffle(&mut stubs, rng);
@@ -207,8 +215,12 @@ pub fn random_geometric<R: Rng>(n: usize, radius: f64, rng: &mut R) -> Graph {
             ((y / cell) as usize).min(cells - 1),
         )
     };
-    let mut grid: std::collections::HashMap<(usize, usize), Vec<u32>> =
-        std::collections::HashMap::new();
+    // Keyed `get` lookups only: candidate buckets are visited in fixed
+    // (dx, dy) cell order and scanned in point-index order; the map
+    // itself is never iterated, so its hash order cannot reach the CSR.
+    #[allow(clippy::disallowed_types)]
+    // lint:allow(det-hash-collection, reason = "keyed lookups only; buckets are visited in fixed cell order and the map is never iterated")
+    let mut grid = std::collections::HashMap::<(usize, usize), Vec<u32>>::new();
     for (i, &(x, y)) in pts.iter().enumerate() {
         grid.entry(key(x, y)).or_default().push(i as u32);
     }
@@ -363,6 +375,8 @@ mod tests {
     fn pair_from_index_enumerates_all_pairs() {
         let n = 7;
         let total = n * (n - 1) / 2;
+        #[allow(clippy::disallowed_types)]
+        // lint:allow(det-hash-collection, reason = "test-only uniqueness check; asserts cardinality, never iterates")
         let mut seen = std::collections::HashSet::new();
         for idx in 0..total {
             let (a, b) = pair_from_index(n, idx as u128);

@@ -1,0 +1,506 @@
+//! A hand-rolled Rust tokenizer: just enough lexical structure for the
+//! lint rules — identifiers, punctuation, and line numbers — with
+//! comments, string/char literals, and lifetimes handled correctly so a
+//! `HashMap` inside a doc comment or a format string never fires a rule.
+//!
+//! The lexer also extracts [`Allow`] suppression annotations from line
+//! comments (`// lint:allow(<rule>, reason = "...")`); the reason is
+//! mandatory and a malformed annotation is a hard error (exit 2 at the
+//! CLI), so suppressions can never silently rot into no-ops.
+
+/// What a token is; only the distinctions the rules need.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `unsafe`, `fn`, …).
+    Ident(String),
+    /// A single punctuation character (`:`, `!`, `{`, …). Multi-char
+    /// operators arrive as consecutive tokens.
+    Punct(char),
+    /// A lifetime (`'a`); kept distinct so `'static` is not an ident.
+    Lifetime,
+    /// Any literal (string, raw string, char, byte, number). Contents
+    /// are deliberately discarded: literals never trigger rules.
+    Literal,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// The token's kind (and text, for identifiers).
+    pub kind: TokKind,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Tok {
+    /// The identifier text, if this token is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the given punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+
+    /// Whether this token is the given identifier/keyword.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.kind, TokKind::Ident(t) if t == s)
+    }
+}
+
+/// A parsed `// lint:allow(<rule>, reason = "...")` annotation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule id being suppressed.
+    pub rule: String,
+    /// The mandatory human-written justification.
+    pub reason: String,
+    /// Line the annotation comment sits on.
+    pub line: usize,
+    /// Whether source tokens precede the annotation on its own line
+    /// (a trailing comment suppresses its own line; a comment-only line
+    /// suppresses the next token-bearing line).
+    pub trailing: bool,
+}
+
+/// A lexical or annotation-grammar error; the CLI maps these to exit 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line the error was detected on.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All tokens, in source order.
+    pub tokens: Vec<Tok>,
+    /// All suppression annotations, in source order.
+    pub allows: Vec<Allow>,
+}
+
+/// Tokenizes `src`, collecting suppression annotations along the way.
+///
+/// # Errors
+///
+/// Returns [`LexError`] on unterminated literals/comments or on a
+/// malformed `lint:allow` annotation (missing reason, bad grammar).
+pub fn lex(src: &str) -> Result<Lexed, LexError> {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    // Whether a token has been emitted on the current line (decides
+    // `Allow::trailing`).
+    let mut line_has_tokens = false;
+
+    macro_rules! bump_line {
+        () => {{
+            line += 1;
+            line_has_tokens = false;
+        }};
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                i += 1;
+                bump_line!();
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == '/' => {
+                // Line comment (incl. doc comments); may carry an allow
+                // annotation.
+                let start = i;
+                while i < b.len() && b[i] != '\n' {
+                    i += 1;
+                }
+                let text: String = b[start..i].iter().collect();
+                // Doc comments (`///`, `//!`) only ever *describe* the
+                // grammar; annotations must be plain `//` comments.
+                let is_doc = text.starts_with("///") || text.starts_with("//!");
+                if let Some(pos) = text.find("lint:allow").filter(|_| !is_doc) {
+                    let (rule, reason) = parse_allow(&text[pos..], line)?;
+                    out.allows.push(Allow {
+                        rule,
+                        reason,
+                        line,
+                        trailing: line_has_tokens,
+                    });
+                }
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                // Block comment, nested per Rust.
+                let open_line = line;
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == '\n' {
+                        bump_line!();
+                        i += 1;
+                    } else if b[i] == '/' && i + 1 < b.len() && b[i + 1] == '*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == '*' && i + 1 < b.len() && b[i + 1] == '/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                if depth > 0 {
+                    return Err(LexError {
+                        line: open_line,
+                        message: "unterminated block comment".into(),
+                    });
+                }
+            }
+            '"' => {
+                i = skip_string(&b, i, &mut line, &mut line_has_tokens)?;
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    line,
+                });
+                line_has_tokens = true;
+            }
+            '\'' => {
+                // Lifetime or char literal. A lifetime is `'` + ident not
+                // followed by a closing `'` (that latter case is a char
+                // literal like 'a').
+                let start_line = line;
+                if i + 1 < b.len() && (b[i + 1].is_alphabetic() || b[i + 1] == '_') {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    if j < b.len() && b[j] == '\'' && j == i + 2 {
+                        // 'x' — a one-char literal.
+                        i = j + 1;
+                        out.tokens.push(Tok {
+                            kind: TokKind::Literal,
+                            line,
+                        });
+                    } else {
+                        i = j;
+                        out.tokens.push(Tok {
+                            kind: TokKind::Lifetime,
+                            line,
+                        });
+                    }
+                } else {
+                    // Escaped or punctuation char literal: '\n', '\'', '{'.
+                    let mut j = i + 1;
+                    if j < b.len() && b[j] == '\\' {
+                        j += 2; // skip the escaped char
+                                // \u{...} escapes run to the closing brace.
+                        while j < b.len() && b[j] != '\'' {
+                            j += 1;
+                        }
+                    } else if j < b.len() {
+                        j += 1;
+                    }
+                    if j >= b.len() || b[j] != '\'' {
+                        return Err(LexError {
+                            line: start_line,
+                            message: "unterminated character literal".into(),
+                        });
+                    }
+                    i = j + 1;
+                    out.tokens.push(Tok {
+                        kind: TokKind::Literal,
+                        line,
+                    });
+                }
+                line_has_tokens = true;
+            }
+            c if c.is_ascii_digit() => {
+                // Numeric literal: digits, `_`, suffixes, hex/bin, and a
+                // single `.` only when followed by a digit (so `0..n`
+                // leaves the range dots alone).
+                i += 1;
+                while i < b.len() {
+                    let d = b[i];
+                    let frac_dot = d == '.' && i + 1 < b.len() && b[i + 1].is_ascii_digit();
+                    if d.is_alphanumeric() || d == '_' || frac_dot {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Literal,
+                    line,
+                });
+                line_has_tokens = true;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_') {
+                    i += 1;
+                }
+                let word: String = b[start..i].iter().collect();
+                // Raw/byte string prefixes introduce literals, not idents.
+                if i < b.len() && word == "b" && b[i] == '"' {
+                    // Byte string: escapes apply, so the plain skipper.
+                    i = skip_string(&b, i, &mut line, &mut line_has_tokens)?;
+                    out.tokens.push(Tok {
+                        kind: TokKind::Literal,
+                        line,
+                    });
+                } else if i < b.len()
+                    && (word == "r" || word == "br")
+                    && (b[i] == '"' || b[i] == '#')
+                {
+                    i = skip_raw_string(&b, i, &mut line)?;
+                    out.tokens.push(Tok {
+                        kind: TokKind::Literal,
+                        line,
+                    });
+                } else {
+                    out.tokens.push(Tok {
+                        kind: TokKind::Ident(word),
+                        line,
+                    });
+                }
+                line_has_tokens = true;
+            }
+            c => {
+                i += 1;
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct(c),
+                    line,
+                });
+                line_has_tokens = true;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Skips a plain (or byte) string literal starting at the opening quote;
+/// returns the index just past the closing quote.
+fn skip_string(
+    b: &[char],
+    open: usize,
+    line: &mut usize,
+    line_has_tokens: &mut bool,
+) -> Result<usize, LexError> {
+    let start_line = *line;
+    let mut i = open + 1;
+    while i < b.len() {
+        match b[i] {
+            '\\' => i += 2,
+            '"' => return Ok(i + 1),
+            '\n' => {
+                *line += 1;
+                *line_has_tokens = true; // the literal spans this line
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    Err(LexError {
+        line: start_line,
+        message: "unterminated string literal".into(),
+    })
+}
+
+/// Skips a raw string (`r"…"`, `r#"…"#`, `br#"…"#`); `i` points at the
+/// first `#` or `"` after the prefix. Returns the index past the close.
+fn skip_raw_string(b: &[char], mut i: usize, line: &mut usize) -> Result<usize, LexError> {
+    let start_line = *line;
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= b.len() || b[i] != '"' {
+        return Err(LexError {
+            line: start_line,
+            message: "malformed raw string prefix".into(),
+        });
+    }
+    i += 1;
+    while i < b.len() {
+        if b[i] == '\n' {
+            *line += 1;
+            i += 1;
+        } else if b[i] == '"' {
+            let mut j = i + 1;
+            let mut seen = 0usize;
+            while j < b.len() && b[j] == '#' && seen < hashes {
+                seen += 1;
+                j += 1;
+            }
+            if seen == hashes {
+                return Ok(j);
+            }
+            i += 1;
+        } else {
+            i += 1;
+        }
+    }
+    Err(LexError {
+        line: start_line,
+        message: "unterminated raw string literal".into(),
+    })
+}
+
+/// Parses the annotation grammar from `text`, which starts at the
+/// `lint:allow` marker: `lint:allow(<rule-id>, reason = "...")`.
+fn parse_allow(text: &str, line: usize) -> Result<(String, String), LexError> {
+    let err = |message: &str| LexError {
+        line,
+        message: format!("malformed lint:allow annotation: {message}"),
+    };
+    let rest = text
+        .strip_prefix("lint:allow")
+        .expect("caller found the marker");
+    let rest = rest.trim_start();
+    let rest = rest
+        .strip_prefix('(')
+        .ok_or_else(|| err("expected `(` after lint:allow"))?;
+    let close = rest.rfind(')').ok_or_else(|| err("missing closing `)`"))?;
+    let inner = &rest[..close];
+    let comma = inner
+        .find(',')
+        .ok_or_else(|| err("expected `, reason = \"...\"` (the reason is mandatory)"))?;
+    let rule = inner[..comma].trim();
+    if rule.is_empty()
+        || !rule
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+    {
+        return Err(err("rule id must be kebab-case ([a-z0-9-])"));
+    }
+    let after = inner[comma + 1..].trim();
+    let after = after
+        .strip_prefix("reason")
+        .ok_or_else(|| err("expected `reason = \"...\"` after the rule id"))?;
+    let after = after.trim_start();
+    let after = after
+        .strip_prefix('=')
+        .ok_or_else(|| err("expected `=` after `reason`"))?;
+    let after = after.trim_start();
+    let after = after
+        .strip_prefix('"')
+        .ok_or_else(|| err("reason must be a quoted string"))?;
+    let endq = after
+        .rfind('"')
+        .filter(|&q| q > 0)
+        .ok_or_else(|| err("unterminated reason string"))?;
+    let reason = after[..endq].trim();
+    if reason.is_empty() {
+        return Err(err("reason must not be empty"));
+    }
+    Ok((rule.to_string(), reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .unwrap()
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_identifiers() {
+        let src = r##"
+            // HashMap in a line comment
+            /// HashMap in a doc comment
+            /* HashMap /* nested */ still comment */
+            let s = "HashMap in a string";
+            let r = r#"HashMap raw"#;
+            let real = HashMap::new();
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|s| *s == "HashMap").count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { let c = 'x'; let n = '\\n'; x }";
+        let lexed = lex(src).unwrap();
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 3);
+        let literals = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(literals, 2);
+    }
+
+    #[test]
+    fn numeric_literals_leave_range_dots() {
+        let lexed = lex("for i in 0..n { let x = 1.5e3_f64; }").unwrap();
+        let dots = lexed.tokens.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2, "the two dots of `..` survive");
+    }
+
+    #[test]
+    fn allow_annotation_round_trip() {
+        let src = "// lint:allow(det-hash-collection, reason = \"membership only; never iterated\")\nlet s = 1;";
+        let lexed = lex(src).unwrap();
+        assert_eq!(lexed.allows.len(), 1);
+        let a = &lexed.allows[0];
+        assert_eq!(a.rule, "det-hash-collection");
+        assert_eq!(a.reason, "membership only; never iterated");
+        assert!(!a.trailing);
+        let trailing = lex("let s = 1; // lint:allow(x-y, reason = \"r\")").unwrap();
+        assert!(trailing.allows[0].trailing);
+    }
+
+    #[test]
+    fn malformed_allows_are_hard_errors() {
+        for bad in [
+            "// lint:allow(det-hash-collection)",
+            "// lint:allow(det-hash-collection, reason = )",
+            "// lint:allow(det-hash-collection, reason = \"\")",
+            "// lint:allow(, reason = \"r\")",
+            "// lint:allow(Bad_Id, reason = \"r\")",
+            "// lint:allow det-hash-collection",
+        ] {
+            assert!(lex(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn unterminated_tokens_error_with_line() {
+        assert!(lex("let s = \"abc").is_err());
+        assert!(lex("/* open").is_err());
+        let err = lex("let a = 1;\nlet s = \"abc").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn macro_bang_adjacency_is_visible() {
+        let lexed = lex("println!(\"x\"); dbg!(y);").unwrap();
+        let toks = &lexed.tokens;
+        let pos = toks.iter().position(|t| t.is_ident("println")).unwrap();
+        assert!(toks[pos + 1].is_punct('!'));
+    }
+}

@@ -1,0 +1,450 @@
+//! `mis-lint`: the workspace's determinism & engine-invariant
+//! static-analysis pass.
+//!
+//! The repo's core asset is its determinism contract — bit-identical
+//! metrics, states, and observer streams across thread counts 0/1/2/4/8
+//! — but dynamic tests only enforce it where golden cells exist. This
+//! crate rejects whole nondeterminism bug classes at CI time, before
+//! any cell runs: hash-ordered collections in engine crates, wall-clock
+//! reads outside the telemetry surface, ambient RNG seeding, and
+//! incomplete shard-merge (`absorb`) coverage.
+//!
+//! Pure std, no registry deps: the scanner is a hand-rolled tokenizer
+//! ([`lex`]) plus a light structural pass ([`parse`]), in the spirit of
+//! `bench_compare`'s JSON parser.
+//!
+//! # Suppressions
+//!
+//! ```text
+//! // lint:allow(<rule-id>, reason = "why this site is sound")
+//! ```
+//!
+//! placed on the offending line (trailing) or on its own line directly
+//! above. The reason is mandatory; a missing or empty reason — or an
+//! unknown rule id — is malformed config (exit 2), so suppressions can
+//! never silently rot.
+//!
+//! # Exit codes
+//!
+//! * `0` — no violations,
+//! * `1` — violations found,
+//! * `2` — malformed source, annotation, or CLI usage.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lex;
+pub mod parse;
+pub mod report;
+pub mod rules;
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Which workspace crate a file belongs to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrateName {
+    /// `crates/graphs` — the CSR graph substrate.
+    Graphs,
+    /// `crates/congest` — the CONGEST engine.
+    Congest,
+    /// `crates/core` — the paper's algorithms.
+    Core,
+    /// `crates/baselines` — Luby/permutation/greedy.
+    Baselines,
+    /// `crates/runner` — the unified scenario API.
+    Runner,
+    /// `crates/bench` — the experiment harness.
+    Bench,
+    /// `crates/lint` — this crate.
+    Lint,
+    /// The root facade crate (`src/`, root `tests/`, `examples/`).
+    Facade,
+    /// An unrecognized `crates/<name>` member.
+    Other(String),
+}
+
+/// How a file participates in the build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourceKind {
+    /// Library source (`src/` outside `src/bin`).
+    Lib,
+    /// Binary source (`src/bin/`, `src/main.rs`).
+    Bin,
+    /// Integration test (`tests/`).
+    Test,
+    /// Example (`examples/`).
+    Example,
+    /// Criterion bench source (`benches/`).
+    Bench,
+}
+
+/// Where a scanned file sits in the workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileContext {
+    /// Root-relative path with `/` separators.
+    pub rel: String,
+    /// The owning crate.
+    pub crate_name: CrateName,
+    /// The build role of the file.
+    pub kind: SourceKind,
+}
+
+/// Diagnostic severity. Every shipped rule is an error today; the
+/// variant exists so the JSON schema can grow advisory rules without a
+/// format break.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the build (exit 1).
+    Error,
+}
+
+impl Severity {
+    /// Stable lowercase name for output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// Root-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Severity (always `error` today).
+    pub severity: Severity,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// A hard error: malformed source, annotation, or filesystem trouble.
+/// The CLI maps every variant to exit 2.
+#[derive(Debug)]
+pub enum LintError {
+    /// Lexing or annotation-grammar failure in a source file.
+    Malformed {
+        /// Root-relative path of the offending file.
+        file: String,
+        /// The underlying lexer error (line + message).
+        err: lex::LexError,
+    },
+    /// An annotation names a rule that does not exist.
+    UnknownRule {
+        /// Root-relative path of the offending file.
+        file: String,
+        /// Line of the annotation.
+        line: usize,
+        /// The unknown id.
+        rule: String,
+    },
+    /// Filesystem error while walking or reading.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        err: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Malformed { file, err } => write!(f, "{file}: {err}"),
+            LintError::UnknownRule { file, line, rule } => write!(
+                f,
+                "{file}: line {line}: lint:allow names unknown rule {rule:?} \
+                 (see --list-rules)"
+            ),
+            LintError::Io { path, err } => write!(f, "{}: {err}", path.display()),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Outcome of linting one file.
+#[derive(Debug, Default)]
+pub struct FileOutcome {
+    /// Unsuppressed findings.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Findings silenced by a `lint:allow` with a written reason.
+    pub suppressed: usize,
+}
+
+/// The assembled workspace report.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// All unsuppressed findings, in path order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Total findings silenced by annotations.
+    pub suppressed: usize,
+}
+
+impl LintReport {
+    /// Per-rule violation counts, in rule-id order.
+    pub fn counts_by_rule(&self) -> BTreeMap<&'static str, usize> {
+        let mut m = BTreeMap::new();
+        for d in &self.diagnostics {
+            *m.entry(d.rule).or_insert(0) += 1;
+        }
+        m
+    }
+}
+
+/// Classifies a root-relative path (with `/` separators) into a scan
+/// context; `None` means the file is out of scope (vendored deps,
+/// build output, lint fixtures).
+pub fn classify(rel: &str) -> Option<FileContext> {
+    if !rel.ends_with(".rs") {
+        return None;
+    }
+    let parts: Vec<&str> = rel.split('/').collect();
+    if parts
+        .iter()
+        .any(|p| *p == "vendor" || *p == "target" || *p == "fixtures" || p.starts_with('.'))
+    {
+        return None;
+    }
+    let (crate_name, rest): (CrateName, &[&str]) = if parts[0] == "crates" && parts.len() > 2 {
+        let name = match parts[1] {
+            "graphs" => CrateName::Graphs,
+            "congest" => CrateName::Congest,
+            "core" => CrateName::Core,
+            "baselines" => CrateName::Baselines,
+            "runner" => CrateName::Runner,
+            "bench" => CrateName::Bench,
+            "lint" => CrateName::Lint,
+            other => CrateName::Other(other.to_string()),
+        };
+        (name, &parts[2..])
+    } else {
+        (CrateName::Facade, &parts[..])
+    };
+    let kind = match rest.first().copied() {
+        Some("src") => {
+            if rest.get(1).copied() == Some("bin") || rest.last().copied() == Some("main.rs") {
+                SourceKind::Bin
+            } else {
+                SourceKind::Lib
+            }
+        }
+        Some("tests") => SourceKind::Test,
+        Some("examples") => SourceKind::Example,
+        Some("benches") => SourceKind::Bench,
+        _ => return None,
+    };
+    Some(FileContext {
+        rel: rel.to_string(),
+        crate_name,
+        kind,
+    })
+}
+
+/// Lints one file's source text under the given context.
+///
+/// # Errors
+///
+/// Returns [`LintError`] on malformed source or annotations.
+pub fn lint_source(ctx: &FileContext, src: &str) -> Result<FileOutcome, LintError> {
+    let lexed = lex::lex(src).map_err(|err| LintError::Malformed {
+        file: ctx.rel.clone(),
+        err,
+    })?;
+    for a in &lexed.allows {
+        if !rules::is_known_rule(&a.rule) {
+            return Err(LintError::UnknownRule {
+                file: ctx.rel.clone(),
+                line: a.line,
+                rule: a.rule.clone(),
+            });
+        }
+    }
+    let st = parse::structure(&lexed.tokens);
+    let mut raw = Vec::new();
+    for rule in rules::registry() {
+        if rule.applies(ctx) {
+            rule.check(ctx, &lexed.tokens, &st, &mut raw);
+        }
+    }
+    // Resolve each allow to the line it suppresses: its own line when
+    // trailing, else the next token-bearing line below it.
+    let mut allowed: Vec<(String, usize)> = Vec::new();
+    for a in &lexed.allows {
+        let line = if a.trailing {
+            a.line
+        } else {
+            lexed
+                .tokens
+                .iter()
+                .map(|t| t.line)
+                .find(|&l| l > a.line)
+                .unwrap_or(a.line)
+        };
+        allowed.push((a.rule.clone(), line));
+    }
+    let mut out = FileOutcome::default();
+    for d in raw {
+        if allowed.iter().any(|(r, l)| *r == d.rule && *l == d.line) {
+            out.suppressed += 1;
+        } else {
+            out.diagnostics.push(d);
+        }
+    }
+    Ok(out)
+}
+
+/// Walks `root` and lints every in-scope `.rs` file.
+///
+/// # Errors
+///
+/// Returns the first [`LintError`] encountered (I/O, malformed source,
+/// malformed/unknown annotation).
+pub fn run_workspace(root: &Path) -> Result<LintReport, LintError> {
+    let mut files = Vec::new();
+    for top in ["src", "crates", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut report = LintReport::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let Some(ctx) = classify(&rel) else {
+            continue;
+        };
+        let src = std::fs::read_to_string(&path).map_err(|err| LintError::Io {
+            path: path.clone(),
+            err,
+        })?;
+        let outcome = lint_source(&ctx, &src)?;
+        report.files_scanned += 1;
+        report.suppressed += outcome.suppressed;
+        report.diagnostics.extend(outcome.diagnostics);
+    }
+    Ok(report)
+}
+
+/// Depth-first, name-sorted directory walk collecting `.rs` files.
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), LintError> {
+    let rd = std::fs::read_dir(dir).map_err(|err| LintError::Io {
+        path: dir.to_path_buf(),
+        err,
+    })?;
+    let mut entries: Vec<PathBuf> = rd.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(rel: &str) -> FileContext {
+        classify(rel).unwrap_or_else(|| panic!("{rel} should classify"))
+    }
+
+    #[test]
+    fn classification_covers_the_workspace_shapes() {
+        let c = ctx("crates/congest/src/engine.rs");
+        assert_eq!(c.crate_name, CrateName::Congest);
+        assert_eq!(c.kind, SourceKind::Lib);
+        assert_eq!(
+            ctx("crates/bench/src/bin/experiments.rs").kind,
+            SourceKind::Bin
+        );
+        assert_eq!(ctx("crates/lint/src/main.rs").kind, SourceKind::Bin);
+        assert_eq!(
+            ctx("crates/bench/tests/scenario_cli.rs").kind,
+            SourceKind::Test
+        );
+        assert_eq!(
+            ctx("crates/bench/benches/algorithms.rs").kind,
+            SourceKind::Bench
+        );
+        assert_eq!(ctx("src/lib.rs").crate_name, CrateName::Facade);
+        assert_eq!(ctx("tests/engine_golden.rs").kind, SourceKind::Test);
+        assert_eq!(ctx("examples/quickstart.rs").kind, SourceKind::Example);
+        assert!(classify("vendor/rand/src/lib.rs").is_none());
+        assert!(classify("target/debug/build.rs").is_none());
+        assert!(classify("crates/lint/tests/fixtures/tree/crates/congest/src/x.rs").is_none());
+        assert!(classify("README.md").is_none());
+    }
+
+    #[test]
+    fn engine_crate_hash_fires_and_runner_does_not() {
+        let src = "fn f() { let m = std::collections::HashMap::new(); }";
+        let hits = lint_source(&ctx("crates/graphs/src/x.rs"), src).unwrap();
+        assert_eq!(hits.diagnostics.len(), 1);
+        assert_eq!(hits.diagnostics[0].rule, "det-hash-collection");
+        let none = lint_source(&ctx("crates/runner/src/x.rs"), src).unwrap();
+        assert!(none.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn trailing_and_preceding_allows_suppress_with_reason() {
+        let above = "// lint:allow(det-hash-collection, reason = \"membership only\")\nuse std::collections::HashSet;\n";
+        let out = lint_source(&ctx("crates/congest/src/x.rs"), above).unwrap();
+        assert!(out.diagnostics.is_empty());
+        assert_eq!(out.suppressed, 1);
+
+        let trailing = "use std::collections::HashSet; // lint:allow(det-hash-collection, reason = \"membership only\")\n";
+        let out = lint_source(&ctx("crates/congest/src/x.rs"), trailing).unwrap();
+        assert!(out.diagnostics.is_empty());
+        assert_eq!(out.suppressed, 1);
+
+        // The allow must name the firing rule.
+        let wrong = "// lint:allow(det-wall-clock, reason = \"misdirected\")\nuse std::collections::HashSet;\n";
+        let out = lint_source(&ctx("crates/congest/src/x.rs"), wrong).unwrap();
+        assert_eq!(out.diagnostics.len(), 1);
+    }
+
+    #[test]
+    fn stacked_allows_cover_one_line_with_multiple_rules() {
+        let src = "// lint:allow(det-hash-collection, reason = \"sorted before use\")\n// lint:allow(det-wall-clock, reason = \"measured outside the run\")\nlet x = (HashSet::new(), Instant::now());\n";
+        let out = lint_source(&ctx("crates/core/src/x.rs"), src).unwrap();
+        assert!(out.diagnostics.is_empty(), "{:?}", out.diagnostics);
+        assert_eq!(out.suppressed, 2);
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_a_config_error() {
+        let src = "// lint:allow(det-hash-colection, reason = \"typo'd id\")\nlet x = 1;\n";
+        let err = lint_source(&ctx("crates/core/src/x.rs"), src).unwrap_err();
+        assert!(matches!(err, LintError::UnknownRule { .. }), "{err}");
+    }
+
+    #[test]
+    fn severity_and_counts_are_stable() {
+        let src = "fn f() { let a = HashSet::new(); let b = HashMap::new(); }";
+        let out = lint_source(&ctx("crates/baselines/src/x.rs"), src).unwrap();
+        let report = LintReport {
+            diagnostics: out.diagnostics,
+            ..LintReport::default()
+        };
+        assert_eq!(report.counts_by_rule().get("det-hash-collection"), Some(&2));
+        assert_eq!(Severity::Error.as_str(), "error");
+    }
+}

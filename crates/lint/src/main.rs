@@ -1,0 +1,97 @@
+//! `mis_lint` — CLI of the workspace static-analysis pass.
+//!
+//! ```text
+//! mis_lint --workspace [--root DIR] [--format human|json] [--out PATH]
+//! mis_lint --list-rules
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations, `2` malformed source/config
+//! or CLI usage error. `--out` writes the JSON report unconditionally
+//! (CI uploads it as an artifact even when the run fails).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage: mis_lint --workspace [--root DIR] [--format human|json] [--out PATH]\n\
+     \x20      mis_lint --list-rules\n\
+     \n\
+     Scans the workspace's Rust sources (src/, crates/*/{src,tests,benches},\n\
+     tests/, examples/; vendor/ and fixtures excluded) against the\n\
+     determinism/engine-invariant rule registry. Suppress a finding with\n\
+     `// lint:allow(<rule>, reason = \"...\")` — the reason is mandatory.\n\
+     Exit codes: 0 clean, 1 violations, 2 malformed source/config."
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut workspace = false;
+    let mut list_rules = false;
+    let mut root = PathBuf::from(".");
+    let mut format = "human".to_string();
+    let mut out_path: Option<PathBuf> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => workspace = true,
+            "--list-rules" => list_rules = true,
+            "--root" => match it.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return cli_error("--root requires a directory"),
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some(v @ ("human" | "json")) => format = v.to_string(),
+                Some(v) => return cli_error(&format!("unknown format {v:?} (human|json)")),
+                None => return cli_error("--format requires a value (human|json)"),
+            },
+            "--out" => match it.next() {
+                Some(v) => out_path = Some(PathBuf::from(v)),
+                None => return cli_error("--out requires a path"),
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => return cli_error(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if list_rules {
+        print!("{}", mis_lint::report::render_rule_list());
+        return ExitCode::SUCCESS;
+    }
+    if !workspace {
+        return cli_error("nothing to do: pass --workspace (or --list-rules)");
+    }
+
+    let report = match mis_lint::run_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mis_lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = &out_path {
+        if let Err(e) = std::fs::write(path, mis_lint::report::render_json(&report)) {
+            eprintln!("mis_lint: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    match format.as_str() {
+        "json" => print!("{}", mis_lint::report::render_json(&report)),
+        _ => print!("{}", mis_lint::report::render_human(&report)),
+    }
+
+    if report.diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn cli_error(msg: &str) -> ExitCode {
+    eprintln!("mis_lint: {msg}\n\n{}", usage());
+    ExitCode::from(2)
+}

@@ -1,0 +1,540 @@
+//! A light structural pass over the token stream: struct definitions
+//! with named fields, inherent/trait impl blocks, `absorb` method
+//! bodies, and builder-style methods. This is not a Rust parser — it
+//! recovers exactly the shapes the rules need and skips everything
+//! else, erring on the side of *not* recognizing a construct (a missed
+//! struct can only cause a missed diagnostic, never a false positive
+//! on unrelated code).
+
+use crate::lex::Tok;
+use std::collections::BTreeSet;
+
+/// A named field of a struct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDef {
+    /// Field name.
+    pub name: String,
+    /// 1-based line of the field name.
+    pub line: usize,
+    /// Identifier tokens appearing in the field's type (`Vec`, `u64`,
+    /// `f64`, …) — enough to spot floating-point fields.
+    pub type_idents: Vec<String>,
+}
+
+/// A struct with named fields (tuple and unit structs are skipped).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructDef {
+    /// Type name.
+    pub name: String,
+    /// 1-based line of the `struct` keyword.
+    pub line: usize,
+    /// The named fields, in declaration order.
+    pub fields: Vec<FieldDef>,
+}
+
+/// An `fn absorb` found in an impl block, with the identifiers its body
+/// references (the merge-completeness rule checks field coverage
+/// against this set).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbsorbFn {
+    /// The impl target's type name (last path segment).
+    pub target: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Every identifier appearing in the body.
+    pub body_idents: BTreeSet<String>,
+}
+
+/// How a method takes `self`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Receiver {
+    /// `self` or `mut self` (by value).
+    Owned,
+    /// `&self`.
+    Ref,
+    /// `&mut self`.
+    RefMut,
+    /// No `self` parameter (associated function).
+    None,
+}
+
+/// A function inside an impl block, as seen by the builder-method rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImplFn {
+    /// The impl target's type name (last path segment).
+    pub target: String,
+    /// Whether the impl is a trait impl (`impl Trait for Type`).
+    pub trait_impl: bool,
+    /// Method name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Whether the method is `pub` (any visibility qualifier counts).
+    pub is_pub: bool,
+    /// Whether a `#[must_use]` attribute precedes the method.
+    pub has_must_use: bool,
+    /// The receiver form.
+    pub receiver: Receiver,
+    /// Whether the return type is exactly the impl target (or `Self`),
+    /// by value — the builder-style signature.
+    pub returns_self: bool,
+}
+
+/// Everything the structural pass recovered from one file.
+#[derive(Debug, Default)]
+pub struct Structure {
+    /// Structs with named fields.
+    pub structs: Vec<StructDef>,
+    /// `absorb` methods found in impl blocks.
+    pub absorbs: Vec<AbsorbFn>,
+    /// All functions found in impl blocks.
+    pub impl_fns: Vec<ImplFn>,
+}
+
+/// Runs the structural pass over `toks`.
+pub fn structure(toks: &[Tok]) -> Structure {
+    let mut out = Structure::default();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("struct") {
+            i = parse_struct(toks, i, &mut out);
+        } else if toks[i].is_ident("impl") {
+            i = parse_impl(toks, i, &mut out);
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Advances past a balanced `<...>` starting at `i` (which points at
+/// `<`), tolerating `->` inside (its `>` is not a closer).
+fn skip_generics(toks: &[Tok], mut i: usize) -> usize {
+    debug_assert!(toks[i].is_punct('<'));
+    let mut depth = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct('<') {
+            depth += 1;
+        } else if toks[i].is_punct('>') {
+            let arrow = i > 0 && toks[i - 1].is_punct('-');
+            if !arrow {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Advances past a balanced bracket group starting at `i` (which points
+/// at the opener `{`, `(`, or `[`).
+fn skip_balanced(toks: &[Tok], mut i: usize) -> usize {
+    let (open, close) = match &toks[i].kind {
+        crate::lex::TokKind::Punct('{') => ('{', '}'),
+        crate::lex::TokKind::Punct('(') => ('(', ')'),
+        crate::lex::TokKind::Punct('[') => ('[', ']'),
+        _ => return i + 1,
+    };
+    let mut depth = 0usize;
+    while i < toks.len() {
+        if toks[i].is_punct(open) {
+            depth += 1;
+        } else if toks[i].is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Parses `struct Name<...> { fields }` at `i` (pointing at `struct`);
+/// records named-field structs, skips tuple/unit structs. Returns the
+/// index to resume scanning at.
+fn parse_struct(toks: &[Tok], i: usize, out: &mut Structure) -> usize {
+    let kw_line = toks[i].line;
+    let mut j = i + 1;
+    let Some(name) = toks.get(j).and_then(Tok::ident).map(str::to_string) else {
+        return i + 1;
+    };
+    j += 1;
+    if j < toks.len() && toks[j].is_punct('<') {
+        j = skip_generics(toks, j);
+    }
+    // Scan to the body `{`; `(` or `;` first means tuple/unit struct.
+    while j < toks.len() {
+        if toks[j].is_punct('{') {
+            break;
+        }
+        if toks[j].is_punct('(') || toks[j].is_punct(';') {
+            return j;
+        }
+        j += 1;
+    }
+    if j >= toks.len() {
+        return j;
+    }
+    let body_end = skip_balanced(toks, j); // index past the closing `}`
+    let mut fields = Vec::new();
+    let mut k = j + 1;
+    while k < body_end - 1 {
+        // Skip attributes and visibility.
+        if toks[k].is_punct('#') {
+            k += 1;
+            if k < body_end && toks[k].is_punct('[') {
+                k = skip_balanced(toks, k);
+            }
+            continue;
+        }
+        if toks[k].is_ident("pub") {
+            k += 1;
+            if k < body_end && toks[k].is_punct('(') {
+                k = skip_balanced(toks, k);
+            }
+            continue;
+        }
+        // A field is `name : Type ,`.
+        let (Some(name_tok), Some(colon)) = (toks.get(k), toks.get(k + 1)) else {
+            break;
+        };
+        if name_tok.ident().is_some() && colon.is_punct(':') {
+            let fname = name_tok.ident().expect("checked").to_string();
+            let fline = name_tok.line;
+            let mut type_idents = Vec::new();
+            let mut depth = 0isize;
+            k += 2;
+            while k < body_end - 1 {
+                let t = &toks[k];
+                if t.is_punct('<') {
+                    depth += 1;
+                } else if t.is_punct('>') && !(k > 0 && toks[k - 1].is_punct('-')) {
+                    depth -= 1;
+                } else if t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                } else if t.is_punct(',') && depth == 0 {
+                    k += 1;
+                    break;
+                } else if let Some(id) = t.ident() {
+                    type_idents.push(id.to_string());
+                }
+                k += 1;
+            }
+            fields.push(FieldDef {
+                name: fname,
+                line: fline,
+                type_idents,
+            });
+        } else {
+            k += 1;
+        }
+    }
+    if !fields.is_empty() {
+        out.structs.push(StructDef {
+            name,
+            line: kw_line,
+            fields,
+        });
+    }
+    body_end
+}
+
+/// Parses an impl block at `i` (pointing at `impl`): resolves the
+/// target type name, then walks the body collecting functions. Returns
+/// the index past the impl body.
+fn parse_impl(toks: &[Tok], i: usize, out: &mut Structure) -> usize {
+    let mut j = i + 1;
+    if j < toks.len() && toks[j].is_punct('<') {
+        j = skip_generics(toks, j);
+    }
+    // Collect the pre-body path; a `for` splits trait from target.
+    let mut segs_before_for: Vec<String> = Vec::new();
+    let mut segs_after_for: Vec<String> = Vec::new();
+    let mut saw_for = false;
+    while j < toks.len() && !toks[j].is_punct('{') {
+        if toks[j].is_ident("for") {
+            saw_for = true;
+            j += 1;
+        } else if toks[j].is_ident("where") {
+            // where clause: scan to the body brace.
+            while j < toks.len() && !toks[j].is_punct('{') {
+                j += 1;
+            }
+            break;
+        } else if toks[j].is_punct('<') {
+            j = skip_generics(toks, j);
+        } else if let Some(id) = toks[j].ident() {
+            if saw_for {
+                segs_after_for.push(id.to_string());
+            } else {
+                segs_before_for.push(id.to_string());
+            }
+            j += 1;
+        } else {
+            j += 1;
+        }
+    }
+    if j >= toks.len() {
+        return j;
+    }
+    let target = if saw_for {
+        segs_after_for.last().cloned()
+    } else {
+        segs_before_for.last().cloned()
+    };
+    let Some(target) = target else {
+        return skip_balanced(toks, j);
+    };
+    let body_end = skip_balanced(toks, j);
+    let mut k = j + 1;
+    let mut has_must_use = false;
+    let mut is_pub = false;
+    while k < body_end.saturating_sub(1) {
+        if toks[k].is_punct('#') {
+            // Attribute: look for must_use inside.
+            let attr_end = if k + 1 < body_end && toks[k + 1].is_punct('[') {
+                skip_balanced(toks, k + 1)
+            } else {
+                k + 1
+            };
+            if toks[k..attr_end].iter().any(|t| t.is_ident("must_use")) {
+                has_must_use = true;
+            }
+            k = attr_end;
+        } else if toks[k].is_ident("pub") {
+            is_pub = true;
+            k += 1;
+            if k < body_end && toks[k].is_punct('(') {
+                k = skip_balanced(toks, k);
+            }
+        } else if toks[k].is_ident("fn") {
+            k = parse_impl_fn(
+                toks,
+                k,
+                body_end,
+                &target,
+                saw_for,
+                is_pub,
+                has_must_use,
+                out,
+            );
+            has_must_use = false;
+            is_pub = false;
+        } else if toks[k].is_ident("const")
+            || toks[k].is_ident("unsafe")
+            || toks[k].is_ident("async")
+            || toks[k].is_ident("extern")
+        {
+            // Qualifiers between visibility and `fn`; keep flags.
+            k += 1;
+        } else {
+            // Anything else (associated consts/types, nested items):
+            // reset the per-item flags and skip bodies wholesale.
+            has_must_use = false;
+            is_pub = false;
+            if toks[k].is_punct('{') {
+                k = skip_balanced(toks, k);
+            } else {
+                k += 1;
+            }
+        }
+    }
+    body_end
+}
+
+/// Parses one `fn` inside an impl body; `i` points at the `fn` keyword.
+/// Records an [`ImplFn`] (and an [`AbsorbFn`] when applicable); returns
+/// the index past the function (body included).
+#[allow(clippy::too_many_arguments)]
+fn parse_impl_fn(
+    toks: &[Tok],
+    i: usize,
+    limit: usize,
+    target: &str,
+    trait_impl: bool,
+    is_pub: bool,
+    has_must_use: bool,
+    out: &mut Structure,
+) -> usize {
+    let fn_line = toks[i].line;
+    let mut j = i + 1;
+    let Some(name) = toks.get(j).and_then(Tok::ident).map(str::to_string) else {
+        return i + 1;
+    };
+    j += 1;
+    if j < limit && toks[j].is_punct('<') {
+        j = skip_generics(toks, j);
+    }
+    if j >= limit || !toks[j].is_punct('(') {
+        return j;
+    }
+    let params_end = skip_balanced(toks, j);
+    // Receiver: inspect the tokens right after `(`.
+    let receiver = {
+        let mut p = j + 1;
+        let mut saw_amp = false;
+        let mut saw_mut = false;
+        let mut rec = Receiver::None;
+        while p < params_end - 1 {
+            match &toks[p].kind {
+                crate::lex::TokKind::Punct('&') => saw_amp = true,
+                crate::lex::TokKind::Lifetime => {}
+                crate::lex::TokKind::Ident(s) if s == "mut" => saw_mut = true,
+                crate::lex::TokKind::Ident(s) if s == "self" => {
+                    rec = match (saw_amp, saw_mut) {
+                        (true, true) => Receiver::RefMut,
+                        (true, false) => Receiver::Ref,
+                        (false, _) => Receiver::Owned,
+                    };
+                    break;
+                }
+                _ => break, // first param is not a receiver
+            }
+            p += 1;
+        }
+        rec
+    };
+    // Return type: `-> T` where T is a single ident equal to the target
+    // or `Self`, immediately followed by the body/`;`/`where`.
+    let mut returns_self = false;
+    let mut k = params_end;
+    if k + 1 < limit && toks[k].is_punct('-') && toks[k + 1].is_punct('>') {
+        k += 2;
+        if let Some(id) = toks.get(k).and_then(Tok::ident) {
+            let next = toks.get(k + 1);
+            let terminated = matches!(
+                next.map(|t| &t.kind),
+                Some(crate::lex::TokKind::Punct('{'))
+                    | Some(crate::lex::TokKind::Punct(';'))
+                    | None
+            ) || next.is_some_and(|t| t.is_ident("where"));
+            if terminated && (id == target || id == "Self") {
+                returns_self = true;
+            }
+        }
+    }
+    // Find the body (or the `;` of a signature-only decl).
+    while k < limit && !toks[k].is_punct('{') && !toks[k].is_punct(';') {
+        k += 1;
+    }
+    let end = if k < limit && toks[k].is_punct('{') {
+        let body_end = skip_balanced(toks, k);
+        if name == "absorb" && receiver != Receiver::None {
+            let body_idents: BTreeSet<String> = toks[k..body_end]
+                .iter()
+                .filter_map(|t| t.ident().map(str::to_string))
+                .collect();
+            out.absorbs.push(AbsorbFn {
+                target: target.to_string(),
+                line: fn_line,
+                body_idents,
+            });
+        }
+        body_end
+    } else {
+        k + 1
+    };
+    out.impl_fns.push(ImplFn {
+        target: target.to_string(),
+        trait_impl,
+        name,
+        line: fn_line,
+        is_pub,
+        has_must_use,
+        receiver,
+        returns_self,
+    });
+    end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn parse(src: &str) -> Structure {
+        structure(&lex(src).unwrap().tokens)
+    }
+
+    #[test]
+    fn struct_fields_and_types_are_recovered() {
+        let s = parse(
+            "pub struct Metrics {\n  /// doc\n  pub n: usize,\n  #[serde]\n  pub avg: f64,\n  pub(crate) v: Vec<(u64, f32)>,\n}",
+        );
+        assert_eq!(s.structs.len(), 1);
+        let m = &s.structs[0];
+        assert_eq!(m.name, "Metrics");
+        let names: Vec<&str> = m.fields.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["n", "avg", "v"]);
+        assert!(m.fields[1].type_idents.contains(&"f64".to_string()));
+        assert!(m.fields[2].type_idents.contains(&"f32".to_string()));
+    }
+
+    #[test]
+    fn tuple_and_unit_structs_are_skipped() {
+        let s = parse("struct A(u32, f64);\nstruct B;\nstruct C { x: u8 }");
+        assert_eq!(s.structs.len(), 1);
+        assert_eq!(s.structs[0].name, "C");
+    }
+
+    #[test]
+    fn absorb_body_identifiers_are_collected() {
+        let s = parse(
+            "impl Metrics {\n  pub fn absorb(&mut self, other: &Metrics) {\n    self.a += other.a;\n    self.b = self.b.max(other.b);\n  }\n}",
+        );
+        assert_eq!(s.absorbs.len(), 1);
+        let a = &s.absorbs[0];
+        assert_eq!(a.target, "Metrics");
+        assert!(a.body_idents.contains("a"));
+        assert!(a.body_idents.contains("b"));
+        assert!(!a.body_idents.contains("c"));
+    }
+
+    #[test]
+    fn builder_signatures_are_classified() {
+        let s = parse(
+            "impl Cfg {\n  #[must_use]\n  pub fn threads(mut self, t: usize) -> Cfg { self }\n  pub fn with_salt(&self, s: u64) -> Cfg { self.clone() }\n  pub fn summary(&self) -> Summary { Summary }\n  pub fn seeded(s: u64) -> Cfg { Cfg }\n  pub fn touch(&mut self) -> &mut Cfg { self }\n}",
+        );
+        let by_name = |n: &str| s.impl_fns.iter().find(|f| f.name == n).unwrap();
+        let threads = by_name("threads");
+        assert!(threads.has_must_use && threads.returns_self);
+        assert_eq!(threads.receiver, Receiver::Owned);
+        let with_salt = by_name("with_salt");
+        assert!(!with_salt.has_must_use && with_salt.returns_self);
+        assert_eq!(with_salt.receiver, Receiver::Ref);
+        assert!(!by_name("summary").returns_self);
+        assert_eq!(by_name("seeded").receiver, Receiver::None);
+        // `-> &mut Cfg` is not a by-value builder return.
+        assert!(!by_name("touch").returns_self);
+    }
+
+    #[test]
+    fn trait_impls_resolve_the_for_target() {
+        let s = parse(
+            "impl Clone for Cfg {\n  fn clone(&self) -> Cfg { Cfg }\n}\nimpl<T> From<T> for Wrap where T: Sized {\n  fn from(t: T) -> Wrap { Wrap }\n}",
+        );
+        let clone = s.impl_fns.iter().find(|f| f.name == "clone").unwrap();
+        assert_eq!(clone.target, "Cfg");
+        assert!(clone.trait_impl);
+        let from = s.impl_fns.iter().find(|f| f.name == "from").unwrap();
+        assert_eq!(from.target, "Wrap");
+    }
+
+    #[test]
+    fn generic_struct_headers_do_not_confuse_fields() {
+        let s = parse("struct S<F: Fn() -> usize> { f: F, n: u32 }");
+        assert_eq!(s.structs.len(), 1);
+        let names: Vec<&str> = s.structs[0]
+            .fields
+            .iter()
+            .map(|f| f.name.as_str())
+            .collect();
+        assert_eq!(names, ["f", "n"]);
+    }
+}

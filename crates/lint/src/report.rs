@@ -1,0 +1,174 @@
+//! Output rendering: the human listing and the JSON report CI uploads
+//! as an artifact. JSON is hand-emitted (same spirit as the
+//! `bench_compare` parser on the read side) with full string escaping.
+
+use crate::{Diagnostic, LintReport};
+
+/// Schema version of the JSON report; bumped on breaking changes.
+pub const LINT_REPORT_SCHEMA_VERSION: u32 = 1;
+
+/// Renders the human-readable listing: one `file:line: [rule] message`
+/// per finding plus a one-line summary.
+pub fn render_human(report: &LintReport) -> String {
+    let mut out = String::new();
+    for d in &report.diagnostics {
+        out.push_str(&format!(
+            "{}:{}: {} [{}] {}\n",
+            d.file,
+            d.line,
+            d.severity.as_str(),
+            d.rule,
+            d.message
+        ));
+    }
+    let mut tail = format!(
+        "{} violation{} across {} file{} scanned",
+        report.diagnostics.len(),
+        if report.diagnostics.len() == 1 {
+            ""
+        } else {
+            "s"
+        },
+        report.files_scanned,
+        if report.files_scanned == 1 { "" } else { "s" },
+    );
+    if report.suppressed > 0 {
+        tail.push_str(&format!(
+            " ({} suppressed by lint:allow with written reasons)",
+            report.suppressed
+        ));
+    }
+    out.push_str(&tail);
+    out.push('\n');
+    out
+}
+
+/// Renders the JSON report.
+pub fn render_json(report: &LintReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"schema_version\": {LINT_REPORT_SCHEMA_VERSION},\n"
+    ));
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str(&format!("  \"suppressed\": {},\n", report.suppressed));
+    out.push_str("  \"counts_by_rule\": {");
+    let counts = report.counts_by_rule();
+    let mut first = true;
+    for (rule, n) in &counts {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\n    \"{rule}\": {n}"));
+    }
+    if !counts.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("},\n");
+    out.push_str("  \"violations\": [");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        out.push_str(&render_diag(d));
+    }
+    if !report.diagnostics.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+fn render_diag(d: &Diagnostic) -> String {
+    format!(
+        "{{\"rule\": {}, \"file\": {}, \"line\": {}, \"severity\": {}, \"message\": {}}}",
+        json_str(d.rule),
+        json_str(&d.file),
+        d.line,
+        json_str(d.severity.as_str()),
+        json_str(&d.message)
+    )
+}
+
+/// Escapes a string for JSON emission.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The rule catalog as text, for `--list-rules` and doc parity tests.
+pub fn render_rule_list() -> String {
+    let mut out = String::new();
+    for rule in crate::rules::registry() {
+        out.push_str(&format!("{}\n    {}\n", rule.id(), rule.summary()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Severity;
+
+    fn sample() -> LintReport {
+        LintReport {
+            files_scanned: 3,
+            suppressed: 2,
+            diagnostics: vec![Diagnostic {
+                rule: "det-hash-collection",
+                file: "crates/congest/src/x.rs".into(),
+                line: 7,
+                severity: Severity::Error,
+                message: "a \"quoted\" message\nwith newline".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn human_listing_has_location_and_summary() {
+        let text = render_human(&sample());
+        assert!(text.contains("crates/congest/src/x.rs:7: error [det-hash-collection]"));
+        assert!(text.contains("1 violation across 3 files scanned"));
+        assert!(text.contains("2 suppressed"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let text = render_json(&sample());
+        assert!(text.contains("\"schema_version\": 1"));
+        assert!(text.contains("\\\"quoted\\\""));
+        assert!(text.contains("\\n"));
+        assert!(text.contains("\"det-hash-collection\": 1"));
+        assert!(!text.contains('\u{0}'));
+    }
+
+    #[test]
+    fn empty_report_is_valid_json_shape() {
+        let text = render_json(&LintReport::default());
+        assert!(text.contains("\"violations\": []"));
+        assert!(text.contains("\"counts_by_rule\": {}"));
+    }
+
+    #[test]
+    fn rule_list_names_every_rule_once() {
+        let text = render_rule_list();
+        for rule in crate::rules::registry() {
+            assert_eq!(text.matches(&format!("{}\n", rule.id())).count(), 1);
+        }
+    }
+}

@@ -1,0 +1,432 @@
+//! The rule registry: three families, each with per-crate scoping.
+//!
+//! * **Determinism bans** — hash-ordered collections in engine crates,
+//!   wall-clock reads outside the sanctioned surfaces, ambient/entropy
+//!   RNG seeding. These reject statically the bug class PR 4's matrix
+//!   diff caught dynamically (a `HashSet` iterated into
+//!   `barabasi_albert`'s endpoint list diverged across processes).
+//! * **Merge-completeness** — every named field of a struct with an
+//!   `absorb` method must be referenced inside that `absorb`, so adding
+//!   a counter but forgetting shard absorption (which would silently
+//!   break par==seq for that field only) is a CI failure.
+//! * **Hygiene** — `unsafe` in engine crates (belt-and-braces over
+//!   `#![forbid(unsafe_code)]`), stray printing from library code,
+//!   floating-point fields in fingerprinted structs, and builder-style
+//!   setters missing `#[must_use]`.
+
+use crate::lex::Tok;
+use crate::parse::{Receiver, Structure};
+use crate::{CrateName, Diagnostic, FileContext, Severity, SourceKind};
+
+/// The engine crates bound by the bit-identical determinism contract.
+const ENGINE_CRATES: [CrateName; 4] = [
+    CrateName::Graphs,
+    CrateName::Congest,
+    CrateName::Core,
+    CrateName::Baselines,
+];
+
+/// Structs whose bytes enter golden fingerprints or cross-engine diffs;
+/// a floating-point field here would make bit-identity depend on FP
+/// evaluation order under sharding.
+const FINGERPRINTED: [&str; 5] = [
+    "Metrics",
+    "EngineProbes",
+    "EngineStats",
+    "EnergyHistogram",
+    "RoundEvent",
+];
+
+/// One lint rule: an id, a scope predicate, and a checker.
+pub trait Rule {
+    /// Stable kebab-case id (what `lint:allow` names).
+    fn id(&self) -> &'static str;
+    /// One-line description for `--list-rules` and the README catalog.
+    fn summary(&self) -> &'static str;
+    /// Whether the rule runs on this file at all.
+    fn applies(&self, ctx: &FileContext) -> bool;
+    /// Scans the file and appends diagnostics.
+    fn check(&self, ctx: &FileContext, toks: &[Tok], st: &Structure, out: &mut Vec<Diagnostic>);
+}
+
+/// The full registry, in reporting order.
+pub fn registry() -> &'static [&'static dyn Rule] {
+    &[
+        &DetHashCollection,
+        &DetWallClock,
+        &DetAmbientRng,
+        &MergeCompleteness,
+        &HygieneUnsafe,
+        &HygienePrint,
+        &HygieneFloatFingerprint,
+        &HygieneMustUseBuilder,
+    ]
+}
+
+/// Whether a rule id exists in the registry (used to reject typo'd
+/// `lint:allow` annotations as malformed config).
+pub fn is_known_rule(id: &str) -> bool {
+    registry().iter().any(|r| r.id() == id)
+}
+
+fn diag(rule: &dyn Rule, ctx: &FileContext, line: usize, message: String) -> Diagnostic {
+    Diagnostic {
+        rule: rule.id(),
+        file: ctx.rel.clone(),
+        line,
+        severity: Severity::Error,
+        message,
+    }
+}
+
+fn in_engine_crate(ctx: &FileContext) -> bool {
+    ENGINE_CRATES.contains(&ctx.crate_name)
+}
+
+/// `det-hash-collection`: `HashMap`/`HashSet` in engine-crate library
+/// sources. Iteration order of the std hash types depends on a
+/// per-process random key, so any order that reaches graph structure,
+/// message payloads, or metrics diverges across processes and breaks
+/// the golden fingerprints.
+struct DetHashCollection;
+
+impl Rule for DetHashCollection {
+    fn id(&self) -> &'static str {
+        "det-hash-collection"
+    }
+    fn summary(&self) -> &'static str {
+        "HashMap/HashSet in engine crates (graphs/congest/core/baselines): \
+         iteration order is per-process random; use BTreeMap/BTreeSet or a \
+         sorted Vec, or allow-annotate with a sortedness argument"
+    }
+    fn applies(&self, ctx: &FileContext) -> bool {
+        ctx.kind == SourceKind::Lib && in_engine_crate(ctx)
+    }
+    fn check(&self, ctx: &FileContext, toks: &[Tok], _st: &Structure, out: &mut Vec<Diagnostic>) {
+        for t in toks {
+            if let Some(id) = t.ident() {
+                if id == "HashMap" || id == "HashSet" {
+                    out.push(diag(
+                        self,
+                        ctx,
+                        t.line,
+                        format!(
+                            "`{id}` in an engine crate: std hash iteration order is \
+                             per-process random and must never reach graph structure, \
+                             message order, or metrics"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `det-wall-clock`: `Instant::now`/`SystemTime` anywhere. The only
+/// sanctioned wall-clock surfaces are the telemetry `timings_ns`
+/// section and the registry's `with_telemetry` wrapper — both carry
+/// `lint:allow` annotations stating exactly that.
+struct DetWallClock;
+
+impl Rule for DetWallClock {
+    fn id(&self) -> &'static str {
+        "det-wall-clock"
+    }
+    fn summary(&self) -> &'static str {
+        "Instant::now/SystemTime outside the telemetry timings surface: \
+         wall-clock reads are nondeterministic by definition and must stay \
+         quarantined in timings_ns"
+    }
+    fn applies(&self, _ctx: &FileContext) -> bool {
+        true
+    }
+    fn check(&self, ctx: &FileContext, toks: &[Tok], _st: &Structure, out: &mut Vec<Diagnostic>) {
+        for (i, t) in toks.iter().enumerate() {
+            if t.is_ident("SystemTime") {
+                out.push(diag(
+                    self,
+                    ctx,
+                    t.line,
+                    "`SystemTime`: wall-clock reads are nondeterministic; route \
+                     timing through telemetry's timings_ns section"
+                        .to_string(),
+                ));
+            } else if t.is_ident("Instant")
+                && toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+                && toks.get(i + 2).is_some_and(|a| a.is_punct(':'))
+                && toks.get(i + 3).is_some_and(|a| a.is_ident("now"))
+            {
+                out.push(diag(
+                    self,
+                    ctx,
+                    t.line,
+                    "`Instant::now()`: wall-clock reads are nondeterministic; the \
+                     sanctioned surfaces are telemetry timings_ns and the \
+                     registry's with_telemetry wrapper"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// `det-ambient-rng`: entropy-based or environment-dependent seeding.
+/// Every RNG in the workspace must derive from `(seed, salt, node)`.
+struct DetAmbientRng;
+
+impl Rule for DetAmbientRng {
+    fn id(&self) -> &'static str {
+        "det-ambient-rng"
+    }
+    fn summary(&self) -> &'static str {
+        "thread_rng/from_entropy/OsRng anywhere, and env-dependent values in \
+         engine-crate library sources: all randomness must derive from \
+         (seed, salt, node)"
+    }
+    fn applies(&self, _ctx: &FileContext) -> bool {
+        true
+    }
+    fn check(&self, ctx: &FileContext, toks: &[Tok], _st: &Structure, out: &mut Vec<Diagnostic>) {
+        for (i, t) in toks.iter().enumerate() {
+            if let Some(id) = t.ident() {
+                if id == "thread_rng" || id == "from_entropy" || id == "OsRng" {
+                    out.push(diag(
+                        self,
+                        ctx,
+                        t.line,
+                        format!(
+                            "`{id}`: ambient/entropy randomness breaks run \
+                             reproducibility; seed from (seed, salt, node) instead"
+                        ),
+                    ));
+                } else if (id == "var" || id == "var_os")
+                    && ctx.kind == SourceKind::Lib
+                    && in_engine_crate(ctx)
+                    && i >= 3
+                    && toks[i - 1].is_punct(':')
+                    && toks[i - 2].is_punct(':')
+                    && toks[i - 3].is_ident("env")
+                {
+                    out.push(diag(
+                        self,
+                        ctx,
+                        t.line,
+                        "`env::var` in an engine crate: environment-dependent \
+                         behavior makes runs irreproducible across hosts"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `merge-completeness`: every named field of a struct must be
+/// referenced inside its same-file `absorb` method. Forgetting a field
+/// in shard absorption silently breaks par==seq for that field only —
+/// precisely the divergence golden cells may not exercise.
+struct MergeCompleteness;
+
+impl Rule for MergeCompleteness {
+    fn id(&self) -> &'static str {
+        "merge-completeness"
+    }
+    fn summary(&self) -> &'static str {
+        "a struct with an `absorb` method must reference every named field \
+         inside it — a skipped field silently breaks par==seq for that \
+         field only"
+    }
+    fn applies(&self, ctx: &FileContext) -> bool {
+        ctx.kind == SourceKind::Lib
+    }
+    fn check(&self, ctx: &FileContext, _toks: &[Tok], st: &Structure, out: &mut Vec<Diagnostic>) {
+        for s in &st.structs {
+            let absorbs: Vec<_> = st.absorbs.iter().filter(|a| a.target == s.name).collect();
+            if absorbs.is_empty() {
+                continue;
+            }
+            let missing: Vec<&str> = s
+                .fields
+                .iter()
+                .map(|f| f.name.as_str())
+                .filter(|f| !absorbs.iter().any(|a| a.body_idents.contains(*f)))
+                .collect();
+            if !missing.is_empty() {
+                let line = absorbs[0].line;
+                out.push(diag(
+                    self,
+                    ctx,
+                    line,
+                    format!(
+                        "`{}::absorb` never references field{} {} — a shard merge \
+                         that skips a field breaks par==seq for that field only",
+                        s.name,
+                        if missing.len() == 1 { "" } else { "s" },
+                        missing
+                            .iter()
+                            .map(|m| format!("`{m}`"))
+                            .collect::<Vec<_>>()
+                            .join(", "),
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `hygiene-unsafe`: the `unsafe` keyword in engine-crate sources.
+/// Belt-and-braces over `#![forbid(unsafe_code)]`: the attribute can be
+/// edited away in the same PR that introduces the block, this rule
+/// makes that a second, independent gate.
+struct HygieneUnsafe;
+
+impl Rule for HygieneUnsafe {
+    fn id(&self) -> &'static str {
+        "hygiene-unsafe"
+    }
+    fn summary(&self) -> &'static str {
+        "`unsafe` in engine crates: the workspace forbids unsafe_code; this \
+         is the independent second gate"
+    }
+    fn applies(&self, ctx: &FileContext) -> bool {
+        (in_engine_crate(ctx) || ctx.crate_name == CrateName::Facade)
+            && matches!(ctx.kind, SourceKind::Lib | SourceKind::Bin)
+    }
+    fn check(&self, ctx: &FileContext, toks: &[Tok], _st: &Structure, out: &mut Vec<Diagnostic>) {
+        // `#![forbid(unsafe_code)]` never fires: `unsafe_code` lexes as
+        // its own identifier; only the bare keyword matches here.
+        for t in toks {
+            if t.is_ident("unsafe") {
+                out.push(diag(
+                    self,
+                    ctx,
+                    t.line,
+                    "`unsafe` in an engine crate: the determinism contract is \
+                     audited on safe code only"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}
+
+/// `hygiene-print`: `println!`/`print!`/`eprintln!`/`dbg!` in library
+/// sources. Libraries return values; binaries print. Stray prints from
+/// library code corrupt the byte-diffed scenario tables.
+struct HygienePrint;
+
+impl Rule for HygienePrint {
+    fn id(&self) -> &'static str {
+        "hygiene-print"
+    }
+    fn summary(&self) -> &'static str {
+        "println!/print!/eprintln!/dbg! in library (non-bin) sources: stray \
+         output corrupts byte-diffed scenario tables; return strings instead"
+    }
+    fn applies(&self, ctx: &FileContext) -> bool {
+        ctx.kind == SourceKind::Lib
+    }
+    fn check(&self, ctx: &FileContext, toks: &[Tok], _st: &Structure, out: &mut Vec<Diagnostic>) {
+        for (i, t) in toks.iter().enumerate() {
+            if let Some(id) = t.ident() {
+                if matches!(id, "println" | "print" | "eprintln" | "dbg")
+                    && toks.get(i + 1).is_some_and(|a| a.is_punct('!'))
+                {
+                    out.push(diag(
+                        self,
+                        ctx,
+                        t.line,
+                        format!(
+                            "`{id}!` in library code: printing belongs to binaries; \
+                             return the string (see `mis_bench::table`)"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `hygiene-float-fingerprint`: `f32`/`f64` fields in structs whose
+/// bytes enter golden fingerprints. Float accumulation order varies
+/// under sharding, so such a field can never be bit-identical across
+/// thread counts; derived float views (like `avg_awake()`) must be
+/// methods, not fields.
+struct HygieneFloatFingerprint;
+
+impl Rule for HygieneFloatFingerprint {
+    fn id(&self) -> &'static str {
+        "hygiene-float-fingerprint"
+    }
+    fn summary(&self) -> &'static str {
+        "floating-point fields in fingerprinted structs (Metrics, \
+         EngineProbes, EngineStats, EnergyHistogram, RoundEvent): float \
+         merge order varies under sharding; expose derived floats as methods"
+    }
+    fn applies(&self, ctx: &FileContext) -> bool {
+        ctx.kind == SourceKind::Lib && ctx.crate_name == CrateName::Congest
+    }
+    fn check(&self, ctx: &FileContext, _toks: &[Tok], st: &Structure, out: &mut Vec<Diagnostic>) {
+        for s in &st.structs {
+            if !FINGERPRINTED.contains(&s.name.as_str()) {
+                continue;
+            }
+            for f in &s.fields {
+                if f.type_idents.iter().any(|t| t == "f32" || t == "f64") {
+                    out.push(diag(
+                        self,
+                        ctx,
+                        f.line,
+                        format!(
+                            "fingerprinted struct `{}` has floating-point field \
+                             `{}`: shard-merge order would make its bytes diverge \
+                             across thread counts",
+                            s.name, f.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `hygiene-must-use-builder`: a public builder-style method (receiver
+/// by value or `&self`, returning the impl target by value) without
+/// `#[must_use]`. Dropping the returned config on the floor is a silent
+/// no-op (`cfg.with_salt(3);` mutates nothing).
+struct HygieneMustUseBuilder;
+
+impl Rule for HygieneMustUseBuilder {
+    fn id(&self) -> &'static str {
+        "hygiene-must-use-builder"
+    }
+    fn summary(&self) -> &'static str {
+        "pub builder-style method (self/&self -> Self) without #[must_use]: \
+         discarding the returned value is a silent no-op"
+    }
+    fn applies(&self, ctx: &FileContext) -> bool {
+        ctx.kind == SourceKind::Lib
+    }
+    fn check(&self, ctx: &FileContext, _toks: &[Tok], st: &Structure, out: &mut Vec<Diagnostic>) {
+        for f in &st.impl_fns {
+            if f.is_pub
+                && !f.trait_impl
+                && !f.has_must_use
+                && f.returns_self
+                && matches!(f.receiver, Receiver::Owned | Receiver::Ref)
+            {
+                out.push(diag(
+                    self,
+                    ctx,
+                    f.line,
+                    format!(
+                        "builder-style `{}::{}` returns `{}` by value but lacks \
+                         `#[must_use]`: calling it as a statement silently \
+                         discards the new value",
+                        f.target, f.name, f.target
+                    ),
+                ));
+            }
+        }
+    }
+}

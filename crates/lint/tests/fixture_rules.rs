@@ -1,0 +1,107 @@
+//! Fixture-driven self-tests: every rule is pinned to an exact
+//! (rule id, file, line, severity) against the mini-workspaces under
+//! `tests/fixtures/`, and the real workspace is asserted clean so a
+//! violation introduced anywhere fails `cargo test` as well as CI's
+//! dedicated lint job.
+
+use std::path::{Path, PathBuf};
+
+use mis_lint::{run_workspace, LintError, Severity};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+#[test]
+fn violations_tree_yields_exactly_the_expected_findings() {
+    let report = run_workspace(&fixture("violations")).expect("fixture tree lints");
+    let got: Vec<(&str, &str, usize)> = report
+        .diagnostics
+        .iter()
+        .map(|d| (d.rule, d.file.as_str(), d.line))
+        .collect();
+    // Path order; one deliberate violation per rule, one rule per file.
+    let want = vec![
+        ("hygiene-unsafe", "crates/baselines/src/unsafe_block.rs", 4),
+        (
+            "hygiene-float-fingerprint",
+            "crates/congest/src/float_stats.rs",
+            5,
+        ),
+        ("merge-completeness", "crates/congest/src/metrics.rs", 9),
+        ("det-wall-clock", "crates/congest/src/wall_clock.rs", 4),
+        ("det-ambient-rng", "crates/core/src/ambient_rng.rs", 4),
+        (
+            "hygiene-must-use-builder",
+            "crates/graphs/src/builder.rs",
+            9,
+        ),
+        ("det-hash-collection", "crates/graphs/src/hash_set.rs", 4),
+        ("hygiene-print", "crates/runner/src/print_debug.rs", 4),
+    ];
+    assert_eq!(got, want);
+    assert!(report
+        .diagnostics
+        .iter()
+        .all(|d| d.severity == Severity::Error));
+    assert_eq!(report.suppressed, 0);
+    // The tree exercises the whole registry: every shipped rule fires.
+    assert_eq!(report.counts_by_rule().len(), 8);
+}
+
+#[test]
+fn clean_tree_has_no_findings_and_counts_its_suppressions() {
+    let report = run_workspace(&fixture("clean")).expect("fixture tree lints");
+    assert!(report.diagnostics.is_empty(), "{:#?}", report.diagnostics);
+    assert_eq!(report.suppressed, 2);
+    assert_eq!(report.files_scanned, 1);
+}
+
+#[test]
+fn allow_without_reason_is_malformed_config() {
+    let err = run_workspace(&fixture("malformed")).unwrap_err();
+    match err {
+        LintError::Malformed { ref file, .. } => {
+            assert_eq!(file, "crates/core/src/missing_reason.rs");
+        }
+        other => panic!("expected Malformed, got {other:?}"),
+    }
+    assert!(err.to_string().contains("reason"), "{err}");
+}
+
+#[test]
+fn allow_naming_unknown_rule_is_config_error() {
+    let err = run_workspace(&fixture("unknown_rule")).unwrap_err();
+    match err {
+        LintError::UnknownRule {
+            ref file,
+            line,
+            ref rule,
+        } => {
+            assert_eq!(file, "crates/core/src/unknown.rs");
+            assert_eq!(line, 4);
+            assert_eq!(rule, "no-such-rule");
+        }
+        other => panic!("expected UnknownRule, got {other:?}"),
+    }
+}
+
+#[test]
+fn the_real_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let report = run_workspace(&root).expect("workspace lints");
+    assert!(
+        report.diagnostics.is_empty(),
+        "workspace has lint violations:\n{:#?}",
+        report.diagnostics
+    );
+    // Every suppression in the tree carries a written reason by
+    // construction (a reason-less allow is a hard error above).
+    assert!(report.suppressed > 0);
+    assert!(report.files_scanned > 80);
+}

@@ -1,0 +1,4 @@
+//! Fixture: a `lint:allow` without a reason is malformed config (exit 2).
+
+// lint:allow(det-hash-collection)
+pub fn f() {}

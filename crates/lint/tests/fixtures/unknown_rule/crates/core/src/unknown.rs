@@ -1,0 +1,5 @@
+//! Fixture: a `lint:allow` naming an unknown rule is a config error
+//! (exit 2), so suppressions can never silently rot after a rename.
+
+// lint:allow(no-such-rule, reason = "nothing suppresses nothing")
+pub fn f() {}

@@ -1,0 +1,5 @@
+//! Fixture: `hygiene-unsafe` fires on an unsafe block in an engine crate.
+
+pub fn peek(xs: &[u32]) -> u32 {
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,6 @@
+//! Fixture: `hygiene-float-fingerprint` fires on a float field in a
+//! fingerprinted struct.
+
+pub struct EngineStats {
+    pub ratio: f64,
+}

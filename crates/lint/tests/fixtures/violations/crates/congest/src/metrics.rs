@@ -1,0 +1,12 @@
+//! Fixture: `merge-completeness` fires when `absorb` skips a field.
+
+pub struct Metrics {
+    pub rounds: u64,
+    pub messages: u64,
+}
+
+impl Metrics {
+    pub fn absorb(&mut self, other: &Metrics) {
+        self.rounds += other.rounds;
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: `det-wall-clock` fires on an un-annotated Instant::now.
+
+pub fn stamp() -> u128 {
+    std::time::Instant::now().elapsed().as_nanos()
+}

@@ -1,0 +1,6 @@
+//! Fixture: `det-ambient-rng` fires on entropy-based seeding.
+
+pub fn roll() -> u64 {
+    let mut r = rand::thread_rng();
+    r.gen()
+}

@@ -1,0 +1,12 @@
+//! Fixture: `hygiene-must-use-builder` fires on an unannotated
+//! by-value builder method.
+
+pub struct Cfg {
+    pub salt: u64,
+}
+
+impl Cfg {
+    pub fn with_salt(self, salt: u64) -> Cfg {
+        Cfg { salt }
+    }
+}

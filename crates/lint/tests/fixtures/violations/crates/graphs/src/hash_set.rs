@@ -1,0 +1,6 @@
+//! Fixture: `det-hash-collection` fires on a HashSet in an engine crate.
+
+pub fn dedup(xs: &[u32]) -> usize {
+    let s: std::collections::HashSet<u32> = xs.iter().copied().collect();
+    s.len()
+}

@@ -1,0 +1,5 @@
+//! Fixture: `hygiene-print` fires on println! in library code.
+
+pub fn announce(n: usize) {
+    println!("n = {n}");
+}

@@ -1,0 +1,163 @@
+//! End-to-end tests of the `mis_lint` binary: the three exit codes are
+//! part of the tool's contract (CI keys off them), so each is pinned
+//! against a fixture tree. Includes the absorb-mutation check: deleting
+//! a single field-fold from the real `Metrics::absorb` must flip the
+//! lint from green to exit 1.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn lint(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_mis_lint"))
+        .args(args)
+        .output()
+        .expect("spawn mis_lint")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn clean_tree_exits_zero_and_reports_suppressions() {
+    let out = lint(&["--workspace", "--root", fixture("clean").to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("0 violations"), "{text}");
+    assert!(text.contains("2 suppressed by lint:allow"), "{text}");
+}
+
+#[test]
+fn violations_tree_exits_one_with_json_and_artifact() {
+    let tmp = Path::new(env!("CARGO_TARGET_TMPDIR")).join("violations-artifact");
+    std::fs::create_dir_all(&tmp).unwrap();
+    let artifact = tmp.join("lint-report.json");
+    let out = lint(&[
+        "--workspace",
+        "--root",
+        fixture("violations").to_str().unwrap(),
+        "--format",
+        "json",
+        "--out",
+        artifact.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("\"schema_version\": 1"), "{text}");
+    // One violation per shipped rule.
+    for rule in [
+        "det-hash-collection",
+        "det-wall-clock",
+        "det-ambient-rng",
+        "merge-completeness",
+        "hygiene-unsafe",
+        "hygiene-print",
+        "hygiene-float-fingerprint",
+        "hygiene-must-use-builder",
+    ] {
+        assert!(text.contains(&format!("\"{rule}\": 1")), "{rule}: {text}");
+    }
+    // `--out` writes the same report even though the run failed.
+    let written = std::fs::read_to_string(&artifact).unwrap();
+    assert_eq!(written, text);
+}
+
+#[test]
+fn malformed_allow_exits_two() {
+    let out = lint(&[
+        "--workspace",
+        "--root",
+        fixture("malformed").to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("reason"), "{}", stderr(&out));
+}
+
+#[test]
+fn unknown_rule_exits_two() {
+    let out = lint(&[
+        "--workspace",
+        "--root",
+        fixture("unknown_rule").to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("no-such-rule"), "{}", stderr(&out));
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    for args in [&[][..], &["--format", "yaml", "--workspace"][..]] {
+        let out = lint(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        assert!(stderr(&out).contains("usage:"), "args {args:?}");
+    }
+}
+
+#[test]
+fn list_rules_names_the_whole_registry() {
+    let out = lint(&["--list-rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let text = stdout(&out);
+    for rule in [
+        "det-hash-collection",
+        "det-wall-clock",
+        "det-ambient-rng",
+        "merge-completeness",
+        "hygiene-unsafe",
+        "hygiene-print",
+        "hygiene-float-fingerprint",
+        "hygiene-must-use-builder",
+    ] {
+        assert!(text.contains(rule), "missing {rule} in:\n{text}");
+    }
+}
+
+/// The acceptance-criteria mutation check: copy the real
+/// `crates/congest/src/metrics.rs` into a scratch tree, delete the one
+/// line folding `collisions`, and the lint must fail with exit 1 and a
+/// merge-completeness finding naming the dropped field.
+#[test]
+fn deleting_a_field_fold_from_absorb_fails_merge_completeness() {
+    let real = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../crates/congest/src/metrics.rs")
+        .canonicalize()
+        .expect("real metrics.rs resolves");
+    let src = std::fs::read_to_string(&real).unwrap();
+    let needle = "self.collisions += phase.collisions;";
+    assert!(
+        src.contains(needle),
+        "metrics.rs no longer folds collisions"
+    );
+
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("absorb-mutation");
+    let dir = root.join("crates/congest/src");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Unmutated copy: clean.
+    std::fs::write(dir.join("metrics.rs"), &src).unwrap();
+    let out = lint(&["--workspace", "--root", root.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "baseline: {}", stdout(&out));
+
+    // Drop the one fold line: merge-completeness must flip to exit 1.
+    let mutated: String = src
+        .lines()
+        .filter(|l| !l.contains(needle))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    std::fs::write(dir.join("metrics.rs"), mutated).unwrap();
+    let out = lint(&["--workspace", "--root", root.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "mutant: {}", stdout(&out));
+    let text = stdout(&out);
+    assert!(text.contains("merge-completeness"), "{text}");
+    assert!(text.contains("`collisions`"), "{text}");
+}

@@ -36,6 +36,8 @@ fn with_telemetry(
     if !cfg.telemetry {
         return f();
     }
+    #[allow(clippy::disallowed_methods)]
+    // lint:allow(det-wall-clock, reason = "the sanctioned wall-clock wrapper: the reading lands only in telemetry timings_ns, never in metrics or states")
     let t0 = std::time::Instant::now();
     let mut report = f()?;
     let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
@@ -309,6 +311,8 @@ mod tests {
                 "greedy"
             ]
         );
+        // Cardinality check only; the set is never iterated.
+        #[allow(clippy::disallowed_types)]
         let set: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(set.len(), 7);
     }

@@ -302,6 +302,7 @@ impl FromStr for ChannelSpec {
 /// ([`WorkloadSpec::churn`]) for the incremental API — executed on a
 /// channel model ([`WorkloadSpec::channel`], default ideal).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[must_use = "a spec describes a workload; realize it with build()"]
 pub struct WorkloadSpec {
     /// The graph family (with its family parameter).
     pub family: Family,
@@ -330,7 +331,7 @@ impl WorkloadSpec {
     }
 
     /// Returns a copy with the given generator seed.
-    #[must_use]
+    #[must_use = "returns a new spec; the receiver is consumed unchanged"]
     pub fn with_seed(mut self, seed: u64) -> WorkloadSpec {
         self.seed = seed;
         self
@@ -338,21 +339,21 @@ impl WorkloadSpec {
 
     /// Returns a copy wrapped in the given edit stream (an `edits:`
     /// workload over this base).
-    #[must_use]
+    #[must_use = "returns a new spec; the receiver is consumed unchanged"]
     pub fn with_churn(mut self, churn: ChurnSpec) -> WorkloadSpec {
         self.churn = Some(churn);
         self
     }
 
     /// Returns a copy running on the given channel model.
-    #[must_use]
+    #[must_use = "returns a new spec; the receiver is consumed unchanged"]
     pub fn with_channel(mut self, channel: ChannelSpec) -> WorkloadSpec {
         self.channel = channel;
         self
     }
 
     /// The static base of this workload (identity for static specs).
-    #[must_use]
+    #[must_use = "returns a new spec; the receiver is consumed unchanged"]
     pub fn base(mut self) -> WorkloadSpec {
         self.churn = None;
         self

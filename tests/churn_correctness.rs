@@ -91,6 +91,8 @@ fn single_edge_repair_wakes_only_the_edit_neighborhood() {
     let applied = dg.apply(&batch).unwrap();
 
     let plan = congest_sim::plan_repair(&dg, &applied, &report.in_mis).unwrap();
+    // Membership-only witness set for the containment assertions below.
+    #[allow(clippy::disallowed_types)]
     let mut two_hop = std::collections::HashSet::new();
     for s in [u, v] {
         two_hop.insert(s);

@@ -1,0 +1,244 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API used by
+//! this workspace's benches: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::sample_size`] / [`bench_function`](BenchmarkGroup::bench_function) /
+//! [`bench_with_input`](BenchmarkGroup::bench_with_input) / [`finish`](BenchmarkGroup::finish),
+//! [`Bencher::iter`], [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! The stand-in really measures: each target runs a short warm-up, then
+//! `sample_size` timed samples, and the per-iteration mean/min are
+//! printed in a criterion-like line. It has none of the statistical
+//! machinery (outlier classification, HTML reports, saved baselines) of
+//! the real crate; with registry access this crate is replaced by
+//! `criterion = "0.5"` unchanged.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Hint the optimizer to keep `value` (and computations leading to it)
+/// alive. Mirrors `criterion::black_box`; forwards to
+/// [`std::hint::black_box`].
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// A benchmark identifier: a function name plus an optional parameter
+/// label, printed as `name/parameter`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter label.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// An id from a parameter label alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The timing driver handed to every benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly: a warm-up, then `sample_size` timed
+    /// samples whose per-iteration times are recorded.
+    // Timing the routine is this stub's whole job; the workspace-wide
+    // wall-clock ban targets engine code, not the bench driver.
+    #[allow(clippy::disallowed_methods)]
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: run until ~50ms or 3 iterations, whichever first.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u32;
+        while warm_iters < 3 && warm_start.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark (the real crate
+    /// enforces a minimum of 10; so does the stand-in).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(10);
+        self
+    }
+
+    /// Sets the target measurement time. The stand-in records a fixed
+    /// number of samples instead; accepted for signature compatibility.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut b);
+        self.report(&id, &b.samples);
+        self
+    }
+
+    /// Benchmarks `routine` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        routine(&mut b, input);
+        self.report(&id, &b.samples);
+        self
+    }
+
+    /// Finishes the group (prints nothing extra; parity with the real
+    /// API, where dropping without `finish()` warns).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, samples: &[Duration]) {
+        if samples.is_empty() {
+            println!("{}/{id}: no samples", self.name);
+            return;
+        }
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "{}/{id}: mean {:>12?}  min {:>12?}  ({} samples)",
+            self.name,
+            mean,
+            min,
+            samples.len()
+        );
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("# bench group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+            _c: self,
+        }
+    }
+}
+
+/// Defines a function running each benchmark target in order, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[doc = concat!("Benchmark group `", stringify!($name), "`.")]
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Defines `main()` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(10);
+        let mut runs = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.finish();
+        // warm-up (>=1) + 10 samples.
+        assert!(runs >= 11, "{runs}");
+    }
+
+    #[test]
+    fn ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 42).to_string(), "f/42");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+        assert_eq!(BenchmarkId::from("s").to_string(), "s");
+    }
+}

@@ -22,13 +22,23 @@
 //! different sizes); zero overlap is an error, because it means the gate
 //! silently compared nothing.
 //!
+//! Besides the `workloads` rows, the gate also reads the
+//! `thread_sweep` section and fails when the **parallel-at-1-thread**
+//! speedup ratio of any `(family, n)` drops below 0.9x of its committed
+//! baseline ratio — the canary for per-round synchronization overhead
+//! creeping back into the sharded engine (a 1-worker run does no useful
+//! parallel work, so its ratio to sequential *is* the overhead). The
+//! sweep gate compares ratios, not absolute rates, so it is robust to
+//! host-speed differences; it is skipped with a note when either side
+//! predates the section.
+//!
 //! The parser is a purpose-built scanner for the emitter's own fixed
 //! schema (the workspace vendors no JSON dependency); it is unit-tested
 //! against the emitter's exact output shape below. Sections it does not
-//! know about (`thread_sweep`, `churn`, anything future emitters add)
-//! are skipped, not fatal: the gate compares the `workloads` rows it
-//! understands and ignores the rest, so a baseline recorded before a
-//! new section existed keeps gating.
+//! know about (`churn`, anything future emitters add) are skipped, not
+//! fatal: the gate compares the sections it understands and ignores the
+//! rest, so a baseline recorded before a new section existed keeps
+//! gating.
 
 use std::process::ExitCode;
 
@@ -84,6 +94,90 @@ fn parse_workloads(doc: &str) -> Option<Vec<WorkloadRow>> {
         rest = &rest[close + 1..];
     }
     Some(rows)
+}
+
+/// One `thread_sweep.entries[]` row: the keys the sweep gate reads.
+#[derive(Debug, Clone, PartialEq)]
+struct SweepRow {
+    family: String,
+    n: u64,
+    threads: u64,
+    speedup_vs_sequential: f64,
+}
+
+/// Parses the `"thread_sweep": {... "entries": [...]}` rows out of a
+/// `BENCH_engine.json` document. Returns `None` when the document has
+/// no sweep section (older artifacts — the caller skips the sweep gate
+/// with a note); a *present but malformed* section is also `None`, which
+/// the caller cannot distinguish — acceptable because the emitter and
+/// this parser ship from the same tree. Entries of the pre-family
+/// schema inherit the section-level `"family"` key.
+fn parse_thread_sweep(doc: &str) -> Option<Vec<SweepRow>> {
+    let sec_start = doc.find("\"thread_sweep\": {")?;
+    let sec = &doc[sec_start..];
+    let entries_start = sec.find("\"entries\": [")?;
+    // The old emitter put one `"family"` on the section head; fall back
+    // to it for entries that predate the per-entry key.
+    let section_family = str_field(&sec[..entries_start], "family");
+    let body = &sec[entries_start..];
+    let body = &body[..body.find(']')?];
+    let mut rows = Vec::new();
+    let mut rest = body;
+    while let Some(open) = rest.find('{') {
+        let close = rest[open..].find('}')? + open;
+        let obj = &rest[open..=close];
+        rows.push(SweepRow {
+            family: str_field(obj, "family").or_else(|| section_family.clone())?,
+            n: num_field(obj, "n")? as u64,
+            threads: num_field(obj, "threads")? as u64,
+            speedup_vs_sequential: num_field(obj, "speedup_vs_sequential")?,
+        });
+        rest = &rest[close + 1..];
+    }
+    Some(rows)
+}
+
+/// The sweep gate's floor: current parallel-at-1-thread speedup must be
+/// at least this fraction of the committed baseline's ratio.
+const SWEEP_FLOOR: f64 = 0.9;
+
+/// Matches parallel-at-1-thread entries by `(family, n)` and flags
+/// ratios-of-ratios below [`SWEEP_FLOOR`]. Only `threads == 1` entries
+/// gate: one worker does no useful parallel work, so its speedup *is*
+/// the engine's synchronization overhead, measured host-independently.
+fn compare_sweep(baseline: &[SweepRow], current: &[SweepRow]) -> Comparison {
+    let mut out = Comparison::default();
+    for b in baseline.iter().filter(|b| b.threads == 1) {
+        match current
+            .iter()
+            .find(|c| c.threads == 1 && c.family == b.family && c.n == b.n)
+        {
+            Some(c) => {
+                let ratio = c.speedup_vs_sequential / b.speedup_vs_sequential;
+                out.matched.push((
+                    b.family.clone(),
+                    b.n,
+                    b.speedup_vs_sequential,
+                    c.speedup_vs_sequential,
+                    ratio,
+                ));
+                if ratio < SWEEP_FLOOR {
+                    out.regressed.push((b.family.clone(), b.n, ratio));
+                }
+            }
+            None => out.unmatched += 1,
+        }
+    }
+    out.unmatched += current
+        .iter()
+        .filter(|c| {
+            c.threads == 1
+                && !baseline
+                    .iter()
+                    .any(|b| b.threads == 1 && b.family == c.family && b.n == c.n)
+        })
+        .count();
+    out
 }
 
 /// Outcome of comparing current rows against a baseline.
@@ -154,7 +248,8 @@ fn main() -> ExitCode {
         None => 0.20,
     };
 
-    let read = |path: &str| -> Option<Vec<WorkloadRow>> {
+    type Parsed = (Vec<WorkloadRow>, Option<Vec<SweepRow>>);
+    let read = |path: &str| -> Option<Parsed> {
         let doc = std::fs::read_to_string(path)
             .map_err(|e| eprintln!("cannot read {path}: {e}"))
             .ok()?;
@@ -174,9 +269,24 @@ fn main() -> ExitCode {
                 return None;
             }
         }
-        rows
+        let sweep = parse_thread_sweep(&doc);
+        if let Some(sweep) = &sweep {
+            if let Some(bad) = sweep
+                .iter()
+                .find(|r| r.threads >= 1 && r.speedup_vs_sequential <= 0.0)
+            {
+                eprintln!(
+                    "{path}: sweep {} n={} threads={} has non-positive speedup {} (schema drift?)",
+                    bad.family, bad.n, bad.threads, bad.speedup_vs_sequential
+                );
+                return None;
+            }
+        }
+        rows.map(|r| (r, sweep))
     };
-    let (Some(baseline), Some(current)) = (read(&base_path), read(&cur_path)) else {
+    let (Some((baseline, base_sweep)), Some((current, cur_sweep))) =
+        (read(&base_path), read(&cur_path))
+    else {
         return ExitCode::from(2);
     };
 
@@ -198,11 +308,50 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(2);
     }
-    if cmp.regressed.is_empty() {
+
+    // The thread-sweep overhead gate: parallel-at-1-thread ratios,
+    // compared as ratios-of-ratios so host speed cancels out. Skipped
+    // (with a note) when either artifact predates the sweep section.
+    let mut sweep_matched = 0usize;
+    let mut sweep_regressed: Vec<(String, u64, f64)> = Vec::new();
+    match (&base_sweep, &cur_sweep) {
+        (Some(base), Some(cur)) => {
+            let scmp = compare_sweep(base, cur);
+            for (family, n, bs, cs, ratio) in &scmp.matched {
+                println!(
+                    "   sweep {family:>8} n={n:<8} baseline {bs:>6.3}x seq  current {cs:>6.3}x seq  \
+                     ({ratio:.3} of baseline)"
+                );
+            }
+            if scmp.unmatched > 0 {
+                println!(
+                    "note: {} 1-thread sweep entr{} present on only one side were skipped",
+                    scmp.unmatched,
+                    if scmp.unmatched == 1 { "y" } else { "ies" }
+                );
+            }
+            if scmp.matched.is_empty() {
+                eprintln!(
+                    "no overlapping parallel-at-1-thread sweep entries: the sweep gate \
+                     compared nothing"
+                );
+                return ExitCode::from(2);
+            }
+            sweep_matched = scmp.matched.len();
+            sweep_regressed = scmp.regressed;
+        }
+        _ => println!("note: thread_sweep section missing on one side; sweep gate skipped"),
+    }
+
+    if cmp.regressed.is_empty() && sweep_regressed.is_empty() {
         println!(
-            "bench-compare OK: {} workload(s) within {:.0}% of baseline",
+            "bench-compare OK: {} workload(s) within {:.0}% of baseline, \
+             {} sweep entr{} within the {:.0}% overhead budget",
             cmp.matched.len(),
-            max_regression * 100.0
+            max_regression * 100.0,
+            sweep_matched,
+            if sweep_matched == 1 { "y" } else { "ies" },
+            (1.0 - SWEEP_FLOOR) * 100.0
         );
         ExitCode::SUCCESS
     } else {
@@ -211,6 +360,13 @@ fn main() -> ExitCode {
                 "REGRESSION: {family} n={n} at {ratio:.3}x of baseline rounds/sec \
                  (floor {:.3}x)",
                 1.0 - max_regression
+            );
+        }
+        for (family, n, ratio) in &sweep_regressed {
+            eprintln!(
+                "SWEEP REGRESSION: {family} n={n} parallel-at-1-thread at {ratio:.3}x of \
+                 its baseline speedup ratio (floor {SWEEP_FLOOR:.3}x): per-round \
+                 synchronization overhead crept back into the engine"
             );
         }
         ExitCode::from(1)
@@ -232,8 +388,11 @@ mod tests {
     {"family": "regular", "n": 1024, "rounds": 4096, "messages": 200, "secs": 2.0, "rounds_per_sec": 2048.0, "messages_per_sec": 100.0}
   ],
   "thread_sweep": {
+    "available_parallelism": 1,
     "entries": [
-      {"n": 1024, "threads": 0, "engine": "sequential", "rounds": 4096, "secs": 1.5, "rounds_per_sec": 2730.7, "speedup_vs_sequential": 1.000}
+      {"family": "gnp", "n": 1024, "threads": 0, "engine": "sequential", "rounds": 4096, "secs": 1.5, "rounds_per_sec": 2730.7, "messages_per_sec": 66.7, "cut_edge_fraction": 0.000000, "speedup_vs_sequential": 1.000},
+      {"family": "gnp", "n": 1024, "threads": 1, "engine": "parallel", "rounds": 4096, "secs": 1.6, "rounds_per_sec": 2560.0, "messages_per_sec": 62.5, "cut_edge_fraction": 0.012345, "speedup_vs_sequential": 0.938},
+      {"family": "ba", "n": 1024, "threads": 1, "engine": "parallel", "rounds": 4096, "secs": 1.7, "rounds_per_sec": 2409.4, "messages_per_sec": 58.8, "cut_edge_fraction": 0.204000, "speedup_vs_sequential": 0.882}
     ]
   }
 }"#;
@@ -297,6 +456,108 @@ mod tests {
         let rows = parse_workloads(doc).unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].n, 1024);
+    }
+
+    #[test]
+    fn parses_the_sweep_schema() {
+        let rows = parse_thread_sweep(DOC).unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].family, "gnp");
+        assert_eq!(rows[0].threads, 0);
+        assert_eq!(rows[1].threads, 1);
+        assert!((rows[1].speedup_vs_sequential - 0.938).abs() < 1e-9);
+        assert_eq!(rows[2].family, "ba");
+    }
+
+    #[test]
+    fn pre_family_sweep_entries_inherit_the_section_family() {
+        // The pre-rearchitecture emitter wrote one "family" key on the
+        // section head and none per entry; committed baselines of that
+        // vintage must keep parsing.
+        let doc = r#"{
+  "workloads": [
+    {"family": "gnp", "n": 4096, "rounds": 10, "messages": 10, "secs": 1.0, "rounds_per_sec": 10.0, "messages_per_sec": 10.0}
+  ],
+  "thread_sweep": {
+    "family": "gnp",
+    "available_parallelism": 1,
+    "entries": [
+      {"n": 4096, "threads": 1, "engine": "parallel", "rounds": 1024, "secs": 0.6, "rounds_per_sec": 1625.0, "speedup_vs_sequential": 0.900}
+    ]
+  }
+}"#;
+        let rows = parse_thread_sweep(doc).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].family, "gnp");
+        assert_eq!(rows[0].n, 4096);
+        assert!((rows[0].speedup_vs_sequential - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_sweep_section_is_none_not_empty() {
+        assert!(parse_thread_sweep("{\"workloads\": []}").is_none());
+    }
+
+    fn sweep_row(family: &str, n: u64, threads: u64, speedup: f64) -> SweepRow {
+        SweepRow {
+            family: family.into(),
+            n,
+            threads,
+            speedup_vs_sequential: speedup,
+        }
+    }
+
+    #[test]
+    fn sweep_gate_passes_within_budget_and_fails_beyond() {
+        let base = vec![
+            sweep_row("gnp", 4096, 0, 1.0),
+            sweep_row("gnp", 4096, 1, 0.95),
+            sweep_row("ba", 4096, 1, 0.90),
+        ];
+        // 0.90/0.95 = 0.947 of baseline: inside the 0.9 floor.
+        let ok = vec![
+            sweep_row("gnp", 4096, 1, 0.90),
+            sweep_row("ba", 4096, 1, 0.89),
+        ];
+        let cmp = compare_sweep(&base, &ok);
+        assert_eq!(cmp.matched.len(), 2);
+        assert!(cmp.regressed.is_empty(), "{:?}", cmp.regressed);
+
+        // 0.84/0.95 = 0.884 of baseline: below the floor.
+        let bad = vec![
+            sweep_row("gnp", 4096, 1, 0.84),
+            sweep_row("ba", 4096, 1, 0.89),
+        ];
+        let cmp = compare_sweep(&base, &bad);
+        assert_eq!(cmp.regressed.len(), 1);
+        assert_eq!(cmp.regressed[0].0, "gnp");
+    }
+
+    #[test]
+    fn sweep_gate_only_reads_one_thread_entries() {
+        // A 2-thread collapse is a host-parallelism story, not an
+        // overhead regression; only threads == 1 rows gate.
+        let base = vec![
+            sweep_row("gnp", 4096, 1, 0.95),
+            sweep_row("gnp", 4096, 2, 1.80),
+        ];
+        let cur = vec![
+            sweep_row("gnp", 4096, 1, 0.94),
+            sweep_row("gnp", 4096, 2, 0.40),
+        ];
+        let cmp = compare_sweep(&base, &cur);
+        assert_eq!(cmp.matched.len(), 1);
+        assert!(cmp.regressed.is_empty());
+        assert_eq!(cmp.unmatched, 0);
+    }
+
+    #[test]
+    fn sweep_entries_on_one_side_only_are_skipped_not_fatal() {
+        let base = vec![sweep_row("gnp", 16384, 1, 0.95)];
+        let cur = vec![sweep_row("gnp", 4096, 1, 0.97)];
+        let cmp = compare_sweep(&base, &cur);
+        assert!(cmp.matched.is_empty());
+        assert_eq!(cmp.unmatched, 2);
     }
 
     fn row(family: &str, n: u64, rps: f64) -> WorkloadRow {

@@ -8,11 +8,15 @@
 //! CI uploads on every push.
 //!
 //! Since the sharded parallel engine landed, the emitter also runs a
-//! **thread sweep**: the same workload through `run_parallel` at 1/2/4/8
-//! workers, recording each count's rounds/sec and its speedup over the
-//! sequential engine (the `thread_sweep` JSON section). The sweep also
-//! records `available_parallelism`, because a speedup curve measured on
-//! fewer cores than workers says more about the host than the engine.
+//! **thread sweep**: three workload families — G(n,p), d-regular, and
+//! the hub-skewed Barabási–Albert — through `run_parallel` at 1/2/4/8
+//! workers, recording each entry's rounds/sec, messages/sec, achieved
+//! `cut_edge_fraction` (cut slots over directed edges, the partition
+//! quality the engine's overhead scales with), and its speedup over a
+//! sequential reference measured in the same process (the
+//! `thread_sweep` JSON section). The sweep also records
+//! `available_parallelism`, because a speedup curve measured on fewer
+//! cores than workers says more about the host than the engine.
 //!
 //! The emitter also measures a **churn** section: repair latency per
 //! edit and awake nodes per repair for the incremental algorithms,
@@ -32,7 +36,7 @@
 //! [--plain-out PATH]`
 //!
 //! * `--tiny` shrinks the sweep to CI scale (n ∈ {2^10, 2^12}; thread
-//!   sweep at 2^12 with 1/2 workers).
+//!   sweep of all three families at 2^12 with 1/2 workers).
 //! * `--telemetry` assembles a full telemetry artifact (counters +
 //!   awake-rounds histogram) inside every timed region, so the emitted
 //!   rates price the telemetry-enabled path. The main workload rows are
@@ -40,14 +44,15 @@
 //!   same process — and `--plain-out PATH` writes the plain twins as a
 //!   standalone document, giving CI's 5% overhead gate a baseline that
 //!   saw the exact same host noise as the priced rows.
-//! * default sweep: n ∈ {2^14, 2^16, 2^18}; thread sweep on G(n,p) at
-//!   every size with 1/2/4/8 workers.
+//! * default sweep: workload rows at n ∈ {2^14, 2^16, 2^18}; thread
+//!   sweep of all three families at n ∈ {2^12, 2^14, 2^16} with 1/2/4/8
+//!   workers.
 
 use congest_sim::{
     run, run_auto, EnergyHistogram, Inbox, InitApi, NodeId, Protocol, RecvApi, SendApi, SimConfig,
     Telemetry,
 };
-use mis_bench::{workload_gnp, workload_regular};
+use mis_bench::{workload_ba, workload_gnp, workload_regular};
 use mis_graphs::Graph;
 use std::time::Instant;
 
@@ -113,6 +118,10 @@ struct Row {
     rounds: u64,
     messages: u64,
     secs: f64,
+    /// Directed edge slots crossing shards over all directed edges —
+    /// the partition quality achieved by this run's engine
+    /// configuration (`0` on the sequential engine).
+    cut_fraction: f64,
 }
 
 /// Assembles the telemetry artifact the runner would build for this
@@ -181,6 +190,7 @@ fn measure_paired(family: &'static str, n: usize, g: &Graph, reps: usize) -> (Ro
         rounds: res.metrics.busy_rounds,
         messages: res.metrics.messages_sent,
         secs,
+        cut_fraction: 0.0,
     };
     (row(plain_secs), row(priced_secs))
 }
@@ -239,13 +249,110 @@ fn measure_threads(
             "parallel metrics diverged at {threads} threads"
         );
     }
+    // `cut_slots / directed_m`: the fraction of directed edge slots
+    // whose endpoints landed on different shards — 0 sequentially.
+    let directed_m = (g.m() * 2) as f64;
+    let cut_fraction = if directed_m > 0.0 {
+        res.stats.cut_slots as f64 / directed_m
+    } else {
+        0.0
+    };
     Row {
         family,
         n,
         rounds: res.metrics.busy_rounds,
         messages: res.metrics.messages_sent,
         secs,
+        cut_fraction,
     }
+}
+
+/// Times one workload at every sweep worker count **plus** a sequential
+/// reference, with the reps *interleaved* across configurations (seq,
+/// t₁, t₂, … per rep, min wall time per configuration). A speedup is a
+/// ratio of two measurements; on a throttled or noisy host, measuring
+/// the reference minutes before the parallel runs folds clock drift
+/// into the ratio — interleaving makes drift hit every configuration
+/// alike, the same discipline `measure_paired` uses for the telemetry
+/// overhead gate. Returns `(row, threads)` with the sequential
+/// reference first (`threads == 0`).
+fn measure_sweep(
+    family: &'static str,
+    n: usize,
+    g: &Graph,
+    sweep_threads: &[usize],
+    reps: usize,
+    telemetry: bool,
+) -> Vec<(Row, usize)> {
+    let rounds = ((1u64 << 22) / n as u64).max(8);
+    let proto = Chatter { rounds };
+    let warm = Chatter {
+        rounds: (rounds / 8).max(1),
+    };
+    let mut threads: Vec<usize> = vec![0];
+    threads.extend_from_slice(sweep_threads);
+    let cfgs: Vec<SimConfig> = threads
+        .iter()
+        .map(|&t| SimConfig::seeded(1).with_threads(t))
+        .collect();
+    for cfg in &cfgs {
+        run_auto(g, &warm, cfg).expect("warmup");
+    }
+    let mut secs = vec![f64::INFINITY; cfgs.len()];
+    let mut results: Vec<Option<_>> = (0..cfgs.len()).map(|_| None).collect();
+    // Rotate the starting config each rep: if the host throttles on a
+    // periodic quota, a fixed visit order would let stalls land on the
+    // same config every cycle and bias its minimum.
+    for rep in 0..reps.max(1) {
+        for k in 0..cfgs.len() {
+            let i = (k + rep) % cfgs.len();
+            let cfg = &cfgs[i];
+            #[allow(clippy::disallowed_methods)]
+            // lint:allow(det-wall-clock, reason = "throughput bench timing; wall seconds are the measurement, never an engine input")
+            let start = Instant::now();
+            let r = run_auto(g, &proto, cfg).expect("sweep run");
+            if telemetry {
+                std::hint::black_box(assemble_telemetry(&r.metrics));
+            }
+            secs[i] = secs[i].min(start.elapsed().as_secs_f64());
+            results[i] = Some(r);
+        }
+    }
+    let directed_m = (g.m() * 2) as f64;
+    let results: Vec<_> = results
+        .into_iter()
+        .map(|r| r.expect("at least one timed rep"))
+        .collect();
+    // Same protocol, graph, and seed at every worker count: the
+    // determinism contract, spot-checked on every sweep cell for free.
+    for (res, &t) in results.iter().zip(&threads) {
+        assert_eq!(
+            res.metrics, results[0].metrics,
+            "parallel metrics diverged from sequential at {t} threads ({family} n={n})"
+        );
+    }
+    threads
+        .into_iter()
+        .zip(secs)
+        .zip(results)
+        .map(|((t, secs), res)| {
+            (
+                Row {
+                    family,
+                    n,
+                    rounds: res.metrics.busy_rounds,
+                    messages: res.metrics.messages_sent,
+                    secs,
+                    cut_fraction: if directed_m > 0.0 {
+                        res.stats.cut_slots as f64 / directed_m
+                    } else {
+                        0.0
+                    },
+                },
+                t,
+            )
+        })
+        .collect()
 }
 
 fn main() {
@@ -273,7 +380,7 @@ fn main() {
     let sweep_sizes: &[usize] = if tiny {
         &[1 << 12]
     } else {
-        &[1 << 14, 1 << 16, 1 << 18]
+        &[1 << 12, 1 << 14, 1 << 16]
     };
     let sweep_threads: &[usize] = if tiny { &[1, 2] } else { &[1, 2, 4, 8] };
     let reps = if tiny { 3 } else { 1 };
@@ -302,29 +409,46 @@ fn main() {
         gnp_graphs.push((n, g));
     }
 
-    // Thread sweep: run_parallel at each worker count on the G(n,p)
-    // workload, against the sequential row measured above (the sweep
-    // sizes are a subset of the main sizes, so graph and reference are
-    // reused, not re-measured).
+    // Thread sweep: run_parallel at each worker count on all three
+    // families — G(n,p), d-regular, and the hub-skewed Barabási–Albert
+    // — each against a sequential reference measured in the same
+    // process with the reps interleaved (see `measure_sweep`: a
+    // speedup ratio taken across minutes of host drift measures the
+    // host, not the engine).
     let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let sweep_families: &[&'static str] = &["gnp", "regular", "ba"];
+    let sweep_reps = reps.max(7);
     let mut sweep: Vec<(Row, usize, f64)> = Vec::new(); // (row, threads, speedup)
     for &n in sweep_sizes {
-        let g = &gnp_graphs
-            .iter()
-            .find(|(gn, _)| *gn == n)
-            .expect("sweep sizes are a subset of the main sizes")
-            .1;
-        let seq = rows
-            .iter()
-            .find(|r| r.family == "gnp" && r.n == n)
-            .expect("sequential gnp row measured above")
-            .clone();
-        let seq_rps = seq.rounds as f64 / seq.secs;
-        sweep.push((seq, 0, 1.0));
-        for &t in sweep_threads {
-            let row = measure_threads("gnp", n, g, t, reps, telemetry);
-            let speedup = (row.rounds as f64 / row.secs) / seq_rps;
-            sweep.push((row, t, speedup));
+        for &family in sweep_families {
+            let built;
+            let g: &Graph = match family {
+                // Main-row G(n,p) graphs are reused where sizes overlap.
+                "gnp" => match gnp_graphs.iter().find(|(gn, _)| *gn == n) {
+                    Some((_, g)) => g,
+                    None => {
+                        built = workload_gnp(n, 5);
+                        &built
+                    }
+                },
+                "regular" => {
+                    built = workload_regular(n, 8, 5);
+                    &built
+                }
+                _ => {
+                    built = workload_ba(n, 4, 5);
+                    &built
+                }
+            };
+            let cells = measure_sweep(family, n, g, sweep_threads, sweep_reps, telemetry);
+            let seq_rps = {
+                let seq = &cells[0].0;
+                seq.rounds as f64 / seq.secs
+            };
+            for (row, t) in cells {
+                let speedup = (row.rounds as f64 / row.secs) / seq_rps;
+                sweep.push((row, t, speedup));
+            }
         }
     }
 
@@ -374,23 +498,26 @@ fn main() {
     json.push_str("  ],\n");
 
     json.push_str("  \"thread_sweep\": {\n");
-    json.push_str("    \"family\": \"gnp\",\n");
     json.push_str(&format!("    \"available_parallelism\": {cores},\n"));
     json.push_str("    \"entries\": [\n");
     for (i, (r, t, speedup)) in sweep.iter().enumerate() {
         let rps = r.rounds as f64 / r.secs;
+        let mps = r.messages as f64 / r.secs;
         println!(
-            "{:>8} n={:<8} threads={:<2} {:>10.1} rounds/s  ({:.2}x sequential)",
-            "sweep", r.n, t, rps, speedup
+            "{:>8} {:<8} n={:<8} threads={:<2} {:>10.1} rounds/s  cut {:>6.4}  ({:.2}x sequential)",
+            "sweep", r.family, r.n, t, rps, r.cut_fraction, speedup
         );
         json.push_str(&format!(
-            "      {{\"n\": {}, \"threads\": {}, \"engine\": \"{}\", \"rounds\": {}, \"secs\": {:.6}, \"rounds_per_sec\": {:.1}, \"speedup_vs_sequential\": {:.3}}}{}\n",
+            "      {{\"family\": \"{}\", \"n\": {}, \"threads\": {}, \"engine\": \"{}\", \"rounds\": {}, \"secs\": {:.6}, \"rounds_per_sec\": {:.1}, \"messages_per_sec\": {:.0}, \"cut_edge_fraction\": {:.6}, \"speedup_vs_sequential\": {:.3}}}{}\n",
+            r.family,
             r.n,
             t,
             if *t == 0 { "sequential" } else { "parallel" },
             r.rounds,
             r.secs,
             rps,
+            mps,
+            r.cut_fraction,
             speedup,
             if i + 1 == sweep.len() { "" } else { "," }
         ));

@@ -56,6 +56,15 @@ pub fn workload_regular(n: usize, d: usize, seed: u64) -> Graph {
         .build()
 }
 
+/// Skewed workload: Barabási–Albert preferential attachment with `m`
+/// edges per arrival (`ba:n=..,m=..`) — a heavy-tailed degree
+/// distribution whose hubs stress partition balance and cut quality.
+pub fn workload_ba(n: usize, m: usize, seed: u64) -> Graph {
+    WorkloadSpec::new(Family::BarabasiAlbert(m as u32), n)
+        .with_seed(seed)
+        .build()
+}
+
 /// The n-sweep used by the scaling experiments.
 pub fn size_sweep(quick: bool) -> Vec<usize> {
     if quick {

@@ -505,18 +505,28 @@ pub(crate) struct ShardSink<'a, M> {
     /// Slot boundaries of all shards (`k + 1` entries), for O(log k)
     /// destination-shard classification of cross-shard payloads.
     pub(crate) slot_starts: &'a [EdgeId],
-    /// Cross-shard staging buffers, one per destination shard; entry
-    /// `(rid, msg)` is the receiver-side slot the destination shard
+    /// Destination shard → staging-buffer index (`k` entries,
+    /// [`crate::par::partition::NO_PAIR`] where this shard shares no cut
+    /// edges with the destination — unreachable from a real send, since
+    /// a cross-shard payload *is* a cut edge).
+    pub(crate) pair_local: &'a [u32],
+    /// Cross-shard staging buffers, one per *cut* destination pair
+    /// (indexed through `pair_local`); entry `(rid, dst, msg)` is the
+    /// receiver-side slot (and its owning node) the destination shard
     /// writes on this shard's behalf during the exchange step.
-    pub(crate) out: &'a mut [Vec<(EdgeId, M)>],
+    pub(crate) out: &'a mut [Vec<crate::par::exchange::Staged<M>>],
 }
 
 /// Resolved placement of one payload; computed by [`SendApi::claim`].
 enum Place {
     /// Store in the sink's slot slice at this (sink-local) index.
     Slot(usize),
-    /// Stage for the exchange step: `(destination shard, receiver slot)`.
-    Stage(usize, EdgeId),
+    /// Stage for the exchange step: `(staging-buffer index, receiver
+    /// slot, destination node)` — the buffer index is the sender
+    /// shard's *local cut-pair* rank of the destination shard, not the
+    /// shard id; the destination rides along so the receiving shard's
+    /// apply loop needs no graph lookups.
+    Stage(usize, EdgeId, NodeId),
     /// Receiver is asleep: the payload is dropped (but still counted).
     Lost,
     /// The channel destroyed the delivery (receiver awake, payload
@@ -798,35 +808,62 @@ impl<'a, M: Message> SendApi<'a, M> {
                 })
             }
             Sink::Sharded(s) => {
-                let out = &mut s.out_stamp[eid - s.slot_base];
-                if *out == self.tick {
-                    *self.error = Some(SimError::DuplicateDestination {
-                        src: self.node,
-                        dst: self.graph.edge_target(eid),
-                        round: self.round,
-                    });
-                    return None;
-                }
-                *out = self.tick;
                 let dst = self.graph.edge_target(eid);
                 let rid = self.graph.reverse_edge(eid);
                 if dst >= s.node_base && dst < s.node_end {
-                    // Local receiver: deliver straight into our slots.
+                    // Local receiver: the receiver-side slot is this
+                    // shard's own memory, so its claim stamp doubles as
+                    // the duplicate check exactly as in the sequential
+                    // engine — local traffic never touches the
+                    // `out_stamp` array, keeping it out of the send
+                    // half's working set (at one shard it is never
+                    // touched at all).
+                    let slot = &mut s.slots[rid - s.slot_base];
+                    if slot.stamp == self.tick {
+                        *self.error = Some(SimError::DuplicateDestination {
+                            src: self.node,
+                            dst,
+                            round: self.round,
+                        });
+                        return None;
+                    }
+                    slot.stamp = self.tick;
                     let awake = self.all_awake || s.awake.get((dst - s.node_base) as usize);
                     Some(if !awake {
                         Place::Lost
                     } else if self.faults.drops(self.round, rid) {
                         // Keyed on the *global* receiver-side id, the
-                        // same input the sequential engine hashes.
+                        // same input the sequential engine hashes. The
+                        // claim stamp must stand without a payload
+                        // (duplicate sends are still CONGEST
+                        // violations), so wipe any stale parked payload
+                        // or the stamp would resurrect it.
+                        slot.msg = None;
                         Place::Dropped
                     } else {
                         Place::Slot(rid - s.slot_base)
                     })
                 } else {
+                    let out = &mut s.out_stamp[eid - s.slot_base];
+                    if *out == self.tick {
+                        *self.error = Some(SimError::DuplicateDestination {
+                            src: self.node,
+                            dst,
+                            round: self.round,
+                        });
+                        return None;
+                    }
+                    *out = self.tick;
                     // Cross-shard: stage for the exchange step; the
                     // owning shard performs the awake check on apply.
                     let shard = s.slot_starts.partition_point(|&b| b <= rid) - 1;
-                    Some(Place::Stage(shard, rid))
+                    let pair = s.pair_local[shard];
+                    debug_assert_ne!(
+                        pair,
+                        crate::par::partition::NO_PAIR,
+                        "cross payload on a pair the plan saw no cut edges for"
+                    );
+                    Some(Place::Stage(pair as usize, rid, dst))
                 }
             }
         }
@@ -849,8 +886,8 @@ impl<'a, M: Message> SendApi<'a, M> {
                 slot.msg = Some(msg);
                 self.tally.delivered += 1;
             }
-            Place::Stage(shard, rid) => match &mut self.sink {
-                Sink::Sharded(s) => s.out[shard].push((rid, msg)),
+            Place::Stage(pair, rid, dst) => match &mut self.sink {
+                Sink::Sharded(s) => s.out[pair].push((rid, dst, msg)),
                 Sink::Direct { .. } => unreachable!("direct sink never stages"),
             },
             Place::Lost => {}
@@ -1353,6 +1390,9 @@ fn run_inner<P: Protocol>(
         shards: 0,
         cut_messages: 0,
         mailbox_posts: 0,
+        exchange_skipped_pairs: 0,
+        local_only_rounds: 0,
+        cut_slots: 0,
         peak_bucket: sched_stats.peak_bucket,
     };
     Ok(SimResult {

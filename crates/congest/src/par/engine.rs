@@ -56,7 +56,11 @@ impl<M: Message + Send> ParScratch<M> {
         while self.shards.len() < k {
             self.shards.push(ShardScratch::new());
         }
-        self.exchange.fit(k);
+        // One exchange cell per cut pair — not k²: shard pairs without
+        // cut edges have no cell, no buffer, and no per-round cost.
+        let plan = &self.plan;
+        self.exchange
+            .fit((0..plan.pair_count()).map(|p| plan.pair_capacity(p)));
         self.sync.fit(k);
     }
 
@@ -219,7 +223,7 @@ where
             }
         });
     }
-    merge(graph, outcomes, observer)
+    merge(graph, outcomes, observer, plan.cut_slots())
 }
 
 /// Stitches per-shard outcomes into one [`SimResult`]: states concatenate
@@ -233,6 +237,7 @@ fn merge<S>(
     graph: &Graph,
     mut outcomes: Vec<ShardOutcome<S>>,
     observer: Option<&mut dyn RoundObserver>,
+    cut_slots: u64,
 ) -> Result<SimResult<S>, SimError> {
     for o in &mut outcomes {
         if let Some(p) = o.panic.take() {
@@ -267,6 +272,7 @@ fn merge<S>(
     metrics.awake_rounds.clear();
     let mut stats = crate::telemetry::EngineStats {
         shards: k as u64,
+        cut_slots,
         ..Default::default()
     };
     let mut states = Vec::with_capacity(n);
@@ -288,6 +294,14 @@ fn merge<S>(
         metrics.probes.absorb(&o.metrics.probes);
         stats.cut_messages += o.stats.cut_messages;
         stats.mailbox_posts += o.stats.mailbox_posts;
+        stats.exchange_skipped_pairs += o.stats.exchange_skipped_pairs;
+        // Every shard observes the same posted-flag snapshots, so the
+        // local-only count is global, not per-shard: take shard 0's.
+        if s == 0 {
+            stats.local_only_rounds = o.stats.local_only_rounds;
+        } else {
+            debug_assert_eq!(stats.local_only_rounds, o.stats.local_only_rounds);
+        }
         stats.peak_bucket = stats.peak_bucket.max(o.stats.peak_bucket);
         metrics
             .awake_rounds

@@ -1,117 +1,271 @@
-//! Cross-shard payload hand-off and round synchronization.
+//! Cross-shard payload hand-off and the one-barrier round agreement.
+//!
+//! This module owns *all* inter-shard synchronization of a parallel run
+//! (the `det-barrier-outside-sync` lint pins that): the sense-reversing
+//! [`SpinBarrier`], the fused publish/agree state in [`RoundSync`], and
+//! the per-cut-pair sequence-counter hand-off in [`Exchange`].
 
-use crate::Round;
+use crate::{NodeId, Round};
 use mis_graphs::EdgeId;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Barrier, Mutex, MutexGuard};
+use std::sync::{Mutex, MutexGuard};
 
-/// Per-ordered-pair mailboxes moving staged payloads between shards.
+/// One staged cross-shard delivery: `(receiver-side slot id, destination
+/// node, payload)`. The destination rides along because the sender has
+/// it loaded already at claim time — without it the receiver would pay
+/// two dependent random-access graph lookups (`reverse_edge` then
+/// `edge_target`) per cut message on the apply hot path.
+pub(crate) type Staged<M> = (EdgeId, NodeId, M);
+
+/// Spins this many times on a stalled wait before yielding the core to
+/// the OS scheduler. Busy rounds are microseconds apart, so a short spin
+/// usually wins; oversubscribed hosts (more workers than cores — the
+/// normal CI shape) fall through to `yield_now` and stay fair.
+const SPIN_LIMIT: u32 = 64;
+
+/// A generation-counter (sense-reversing) rendezvous barrier.
 ///
-/// `boxes[src * k + dst]` holds the payloads shard `src` staged for shard
-/// `dst` this round. The hand-off is double-buffered: the sender *swaps*
-/// its filled staging buffer with the (drained, capacity-retaining)
-/// buffer sitting in the mailbox, and the receiver drains in place — so
-/// each pair ping-pongs two buffers forever and the steady state
-/// allocates nothing. The mutex is uncontended by construction (barriers
-/// separate the post and take phases; each box has exactly one poster and
-/// one taker), so locking is one atomic per shard pair per round — the
-/// per-message path never takes a lock.
+/// `std::sync::Barrier` parks threads in the kernel on every wait; at one
+/// barrier per busy round that syscall round-trip dominates small-graph
+/// runs. This barrier spins briefly on a generation counter and only then
+/// yields, so the uncontended same-core case costs a few atomic ops.
+///
+/// Memory ordering: every arriver does an `AcqRel` RMW on `arrived`, so
+/// the final arriver's view includes all pre-barrier writes of every
+/// thread (the RMW chain forms a release sequence); it then bumps
+/// `generation` with `Release`, and the spinners' `Acquire` loads pick
+/// the whole set up. Everything before any `wait` therefore
+/// happens-before everything after every `wait` — the same guarantee the
+/// std barrier gives, without the parking.
+#[derive(Debug)]
+pub(crate) struct SpinBarrier {
+    size: usize,
+    arrived: AtomicUsize,
+    generation: AtomicU64,
+}
+
+impl SpinBarrier {
+    pub fn new(size: usize) -> SpinBarrier {
+        SpinBarrier {
+            size: size.max(1),
+            arrived: AtomicUsize::new(0),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Blocks until all `size` threads arrive.
+    pub fn wait(&self) {
+        let g = self.generation.load(Ordering::Acquire);
+        if self.arrived.fetch_add(1, Ordering::AcqRel) + 1 == self.size {
+            // Reset before the generation bump: leavers of *this*
+            // barrier observe the bump with Acquire, so their next
+            // arrival is ordered after the reset.
+            self.arrived.store(0, Ordering::Relaxed);
+            self.generation.store(g.wrapping_add(1), Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == g {
+                spins += 1;
+                if spins < SPIN_LIMIT {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Per-cut-pair payload cells moving staged buffers between shards.
+///
+/// One cell per *directed shard pair that has cut edges* — pairs without
+/// cut edges (precomputed by the [`super::partition::ShardPlan`]) get no
+/// cell at all, so the exchange footprint scales with the partition's cut
+/// structure, not `k²`. The hand-off per cell is a sequence counter plus
+/// a double-buffered vector:
+///
+/// * the sender swaps its staged buffer into the cell (only when
+///   non-empty) and then publishes `(participation_count << 1) | payload`
+///   to `seq` with `Release`;
+/// * the receiver spins on `seq` until the count matches the number of
+///   busy rounds the sender has participated in (which it knows from the
+///   [`RoundSync`] snapshot), observing the buffer through the `Acquire`
+///   load. A clear payload bit skips the cell without ever touching its
+///   mutex — the per-round cost of a quiet pair is one atomic load.
+///
+/// The mutex around the buffer is uncontended by construction (the
+/// sequence counter orders the one poster against the one taker, and the
+/// round barrier orders round `r`'s take before round `r + 1`'s post);
+/// it exists only to keep the workspace `unsafe`-free.
 #[derive(Debug)]
 pub(crate) struct Exchange<M> {
-    k: usize,
-    boxes: Vec<Mutex<Vec<(EdgeId, M)>>>,
+    cells: Vec<PairCell<M>>,
+}
+
+#[derive(Debug)]
+struct PairCell<M> {
+    /// `(sender participation count << 1) | payload-present`.
+    seq: AtomicU64,
+    buf: Mutex<Vec<Staged<M>>>,
 }
 
 impl<M> Exchange<M> {
     pub fn new() -> Exchange<M> {
-        Exchange {
-            k: 0,
-            boxes: Vec::new(),
+        Exchange { cells: Vec::new() }
+    }
+
+    /// Resizes for one cut pair per element of `caps`, resets every
+    /// sequence counter, drops any payloads left over from an aborted
+    /// run (keeping buffer capacity), and pre-reserves each cell's
+    /// buffer to its pair's worst-case payload count. The pre-reserve
+    /// keeps the two ping-pong buffers of a pair (the cell's and the
+    /// sender's staging buffer, which swap on every post) at identical
+    /// capacities, so no post ever grows a buffer mid-round and the
+    /// capacity signature is stable however many swaps a run performs.
+    pub fn fit<I>(&mut self, caps: I)
+    where
+        I: IntoIterator<Item = usize>,
+        I::IntoIter: ExactSizeIterator,
+    {
+        let caps = caps.into_iter();
+        if self.cells.len() < caps.len() {
+            self.cells.resize_with(caps.len(), || PairCell {
+                seq: AtomicU64::new(0),
+                buf: Mutex::new(Vec::new()),
+            });
+        }
+        for cell in &mut self.cells {
+            *cell.seq.get_mut() = 0;
+            cell.buf.get_mut().expect("exchange cell poisoned").clear();
+        }
+        for (cell, cap) in self.cells.iter_mut().zip(caps) {
+            cell.buf
+                .get_mut()
+                .expect("exchange cell poisoned")
+                .reserve_exact(cap);
         }
     }
 
-    /// Resizes for `k` shards and drops any payloads left over from an
-    /// aborted run, keeping buffer capacity.
-    pub fn fit(&mut self, k: usize) {
-        self.k = k;
-        if self.boxes.len() < k * k {
-            self.boxes.resize_with(k * k, || Mutex::new(Vec::new()));
-        }
-        for b in &mut self.boxes {
-            b.get_mut().expect("exchange mailbox poisoned").clear();
-        }
-    }
-
-    /// Posts shard `src`'s staged payloads for shard `dst` by swapping
-    /// buffers; `buf` comes back empty with the mailbox's old capacity.
-    pub fn post(&self, src: usize, dst: usize, buf: &mut Vec<(EdgeId, M)>) {
-        let mut slot = self.boxes[src * self.k + dst]
-            .lock()
-            .expect("exchange mailbox poisoned");
-        debug_assert!(slot.is_empty(), "mailbox {src}->{dst} not drained");
+    /// Posts a non-empty staged buffer into cell `p` by swapping; `buf`
+    /// comes back empty with the cell's old capacity. Visible to the
+    /// receiver only after the matching [`Exchange::publish`].
+    pub fn post(&self, p: usize, buf: &mut Vec<Staged<M>>) {
+        let mut slot = self.cells[p].buf.lock().expect("exchange cell poisoned");
+        debug_assert!(slot.is_empty(), "exchange cell {p} not drained");
         std::mem::swap(&mut *slot, buf);
     }
 
-    /// Locks the `src → dst` mailbox for draining by shard `dst`.
-    pub fn take(&self, src: usize, dst: usize) -> MutexGuard<'_, Vec<(EdgeId, M)>> {
-        self.boxes[src * self.k + dst]
-            .lock()
-            .expect("exchange mailbox poisoned")
+    /// Publishes cell `p`'s sequence number for this busy round:
+    /// `count` is the sender's participation count, `payload` whether a
+    /// buffer was posted. Senders call this for **every** out-pair on
+    /// every busy round they participate in — even when erroring out —
+    /// which is what makes [`Exchange::await_seq`] deadlock-free.
+    pub fn publish(&self, p: usize, count: u64, payload: bool) {
+        self.cells[p]
+            .seq
+            .store((count << 1) | u64::from(payload), Ordering::Release);
+    }
+
+    /// Waits until cell `p`'s sender has published sequence `count`;
+    /// returns whether a payload buffer awaits. This is the only
+    /// receiver-side synchronization — there is no post-send barrier.
+    pub fn await_seq(&self, p: usize, count: u64) -> bool {
+        let mut spins = 0u32;
+        loop {
+            let v = self.cells[p].seq.load(Ordering::Acquire);
+            if v >> 1 == count {
+                return v & 1 == 1;
+            }
+            debug_assert!(v >> 1 < count, "exchange cell {p} overran its reader");
+            spins += 1;
+            if spins < SPIN_LIMIT {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Locks cell `p`'s buffer for draining by the receiving shard.
+    pub fn take(&self, p: usize) -> MutexGuard<'_, Vec<Staged<M>>> {
+        self.cells[p].buf.lock().expect("exchange cell poisoned")
     }
 
     /// Buffer capacities for the allocation oracle.
     pub fn capacity_signature(&mut self, out: &mut Vec<usize>) {
-        out.push(self.boxes.capacity());
+        out.push(self.cells.capacity());
         out.extend(
-            self.boxes
+            self.cells
                 .iter_mut()
-                .map(|b| b.get_mut().expect("exchange mailbox poisoned").capacity()),
+                .map(|c| c.buf.get_mut().expect("exchange cell poisoned").capacity()),
         );
     }
 }
 
-/// Shared round-agreement state of one parallel run.
+/// Shared round-agreement state of one parallel run — the *one* publish
+/// per shard per round that the single barrier orders.
 ///
-/// Workers publish their shard's next pending round and active count,
-/// rendezvous at the barrier, then read everyone's values; the barrier's
-/// internal synchronization orders the relaxed publishes before the
-/// post-barrier reads. `failed` is the cooperative abort flag: set before
-/// a barrier by a shard that hit a `SimError` (or caught a protocol
-/// panic), observed by every shard at its next check, so all workers
-/// leave the round loop at the same point.
+/// Each iteration, every shard publishes its whole candidate tuple —
+/// earliest pending round, speculatively drained active count, and
+/// whether it posted any cross-shard payload last round — then crosses
+/// the barrier once and reads everyone's tuples. The arrays are
+/// double-buffered by iteration parity: a fast shard publishing its
+/// *next* candidate writes the other parity's slots, so it can never
+/// clobber values a slower shard is still reading from the current
+/// round's snapshot (the barrier separates parity `i` writers from
+/// parity `i` readers by a full iteration).
 #[derive(Debug)]
 pub(crate) struct RoundSync {
-    barrier: Barrier,
+    barrier: SpinBarrier,
+    k: usize,
+    /// `next[parity * k + s]`, valid iff the matching `has_next` is set.
     next: Vec<AtomicU64>,
-    /// Whether `next[s]` holds a round at all; a separate flag rather
+    /// Whether `next[..]` holds a round at all; a separate flag rather
     /// than a sentinel value, because every `u64` — including
     /// `u64::MAX` — is a legal round a protocol can schedule.
     has_next: Vec<AtomicBool>,
     active: Vec<AtomicUsize>,
-    failed: AtomicBool,
+    /// Whether shard `s` posted any cross-shard payload in the busy
+    /// round *before* this publish (the fast-path detector for
+    /// local-only rounds).
+    posted: Vec<AtomicBool>,
+    /// Whether shard `s` hit an error or caught a protocol panic before
+    /// this publish. Part of the snapshot — *not* a free-running flag —
+    /// so every shard observes the abort after the same barrier; a
+    /// racing global flag would let a slow shard abort one round early
+    /// (nondeterministic) and leave faster shards stranded at the next
+    /// rendezvous (deadlock).
+    failed: Vec<AtomicBool>,
 }
 
 impl RoundSync {
     pub fn new() -> RoundSync {
         RoundSync {
-            barrier: Barrier::new(1),
+            barrier: SpinBarrier::new(1),
+            k: 0,
             next: Vec::new(),
             has_next: Vec::new(),
             active: Vec::new(),
-            failed: AtomicBool::new(false),
+            posted: Vec::new(),
+            failed: Vec::new(),
         }
     }
 
     /// Resizes for `k` workers and resets all per-run state.
     pub fn fit(&mut self, k: usize) {
-        if self.next.len() != k {
-            self.barrier = Barrier::new(k);
+        if self.k != k {
+            self.barrier = SpinBarrier::new(k);
+            self.k = k;
             self.next.clear();
-            self.next.resize_with(k, || AtomicU64::new(0));
+            self.next.resize_with(2 * k, || AtomicU64::new(0));
             self.has_next.clear();
-            self.has_next.resize_with(k, || AtomicBool::new(false));
+            self.has_next.resize_with(2 * k, || AtomicBool::new(false));
             self.active.clear();
-            self.active.resize_with(k, || AtomicUsize::new(0));
+            self.active.resize_with(2 * k, || AtomicUsize::new(0));
+            self.posted.clear();
+            self.posted.resize_with(2 * k, || AtomicBool::new(false));
+            self.failed.clear();
+            self.failed.resize_with(2 * k, || AtomicBool::new(false));
         }
         for a in &mut self.next {
             *a.get_mut() = 0;
@@ -122,114 +276,221 @@ impl RoundSync {
         for a in &mut self.active {
             *a.get_mut() = 0;
         }
-        *self.failed.get_mut() = false;
+        for a in &mut self.posted {
+            *a.get_mut() = false;
+        }
+        for a in &mut self.failed {
+            *a.get_mut() = false;
+        }
     }
 
-    /// Blocks until all `k` workers arrive.
+    /// Blocks until all `k` workers arrive — the round's one rendezvous.
     #[inline]
     pub fn wait(&self) {
         self.barrier.wait();
     }
 
-    /// Publishes shard `s`'s next pending round (`None` = drained).
+    /// Publishes shard `s`'s whole per-round tuple into the `parity`
+    /// buffer: earliest pending round (`None` = drained), the active
+    /// count of that candidate round, whether the shard posted any
+    /// cross-shard payload in the previous busy round, and whether it
+    /// has hit an error or protocol panic.
     #[inline]
-    pub fn publish_next(&self, s: usize, round: Option<Round>) {
-        self.has_next[s].store(round.is_some(), Ordering::Relaxed);
-        self.next[s].store(round.unwrap_or(0), Ordering::Relaxed);
+    pub fn publish(
+        &self,
+        parity: usize,
+        s: usize,
+        round: Option<Round>,
+        active: usize,
+        posted: bool,
+        failed: bool,
+    ) {
+        let i = parity * self.k + s;
+        self.has_next[i].store(round.is_some(), Ordering::Relaxed);
+        self.next[i].store(round.unwrap_or(0), Ordering::Relaxed);
+        self.active[i].store(active, Ordering::Relaxed);
+        self.posted[i].store(posted, Ordering::Relaxed);
+        self.failed[i].store(failed, Ordering::Relaxed);
+    }
+
+    fn slots(&self, parity: usize) -> std::ops::Range<usize> {
+        parity * self.k..(parity + 1) * self.k
     }
 
     /// Minimum published round across shards, `None` when all drained.
-    pub fn min_next(&self) -> Option<Round> {
-        self.next
-            .iter()
-            .zip(&self.has_next)
-            .filter(|(_, has)| has.load(Ordering::Relaxed))
-            .map(|(a, _)| a.load(Ordering::Relaxed))
+    pub fn min_next(&self, parity: usize) -> Option<Round> {
+        self.slots(parity)
+            .filter(|&i| self.has_next[i].load(Ordering::Relaxed))
+            .map(|i| self.next[i].load(Ordering::Relaxed))
             .min()
     }
 
-    /// Publishes shard `s`'s awake-node count for the agreed round.
+    /// Whether shard `s` published `round` as its earliest pending round
+    /// — i.e. whether `s` runs its send half (and bumps its out-pair
+    /// sequence counters) in this busy round.
     #[inline]
-    pub fn publish_active(&self, s: usize, count: usize) {
-        self.active[s].store(count, Ordering::Relaxed);
+    pub fn participates(&self, parity: usize, s: usize, round: Round) -> bool {
+        let i = parity * self.k + s;
+        self.has_next[i].load(Ordering::Relaxed) && self.next[i].load(Ordering::Relaxed) == round
     }
 
-    /// Total awake nodes across shards for the agreed round.
-    pub fn total_active(&self) -> usize {
-        self.active.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+    /// Total awake nodes across the shards participating in `round`.
+    pub fn active_for(&self, parity: usize, round: Round) -> usize {
+        self.slots(parity)
+            .filter(|&i| {
+                self.has_next[i].load(Ordering::Relaxed)
+                    && self.next[i].load(Ordering::Relaxed) == round
+            })
+            .map(|i| self.active[i].load(Ordering::Relaxed))
+            .sum()
     }
 
-    /// Requests a cooperative abort of the run.
-    #[inline]
-    pub fn flag_failure(&self) {
-        self.failed.store(true, Ordering::Release);
+    /// Whether any shard posted a cross-shard payload in the previous
+    /// busy round; clear means that round was local-only.
+    pub fn any_posted(&self, parity: usize) -> bool {
+        self.slots(parity)
+            .any(|i| self.posted[i].load(Ordering::Relaxed))
     }
 
-    /// Whether any shard requested an abort.
-    #[inline]
-    pub fn failed(&self) -> bool {
-        self.failed.load(Ordering::Acquire)
+    /// Whether any shard published a failure into this parity's
+    /// snapshot; identical for every shard reading after the barrier, so
+    /// all workers abort after the same rendezvous.
+    pub fn failed(&self, parity: usize) -> bool {
+        self.slots(parity)
+            .any(|i| self.failed[i].load(Ordering::Relaxed))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicU32;
 
     #[test]
     fn exchange_swap_preserves_capacity() {
         let mut ex: Exchange<u32> = Exchange::new();
-        ex.fit(2);
+        ex.fit([16, 16]);
         let mut buf = Vec::with_capacity(16);
-        buf.push((3, 7u32));
-        ex.post(0, 1, &mut buf);
+        buf.push((3, 1, 7u32));
+        ex.post(0, &mut buf);
+        ex.publish(0, 1, true);
         assert!(buf.is_empty());
+        assert!(ex.await_seq(0, 1), "payload bit lost");
         {
-            let mut got = ex.take(0, 1);
-            assert_eq!(got.as_slice(), &[(3, 7u32)]);
+            let mut got = ex.take(0);
+            assert_eq!(got.as_slice(), &[(3, 1, 7u32)]);
             got.drain(..);
         }
-        // The posted buffer's capacity now sits (drained) in the mailbox…
+        // The posted buffer's capacity now sits (drained) in the cell…
         let mut sig = Vec::new();
         ex.capacity_signature(&mut sig);
         assert!(sig.iter().any(|&c| c >= 16), "capacity lost: {sig:?}");
         // …and the next round's post swaps it back out to the sender:
         // the two buffers ping-pong, nothing is ever reallocated.
-        ex.post(0, 1, &mut buf);
+        ex.post(0, &mut buf);
         assert!(buf.capacity() >= 16, "swap returned a bare buffer");
+    }
+
+    #[test]
+    fn empty_rounds_skip_without_touching_the_cell() {
+        let ex: Exchange<u32> = {
+            let mut e = Exchange::new();
+            e.fit([4]);
+            e
+        };
+        // Three participating rounds with nothing staged: publish-only.
+        for count in 1..=3 {
+            ex.publish(0, count, false);
+            assert!(!ex.await_seq(0, count), "phantom payload");
+        }
+        // A real payload on round 4 still lands.
+        let mut buf = vec![(9, 4, 1u32)];
+        ex.post(0, &mut buf);
+        ex.publish(0, 4, true);
+        assert!(ex.await_seq(0, 4));
+        assert_eq!(ex.take(0).as_slice(), &[(9, 4, 1u32)]);
     }
 
     #[test]
     fn fit_drops_leftovers_but_keeps_capacity() {
         let mut ex: Exchange<u32> = Exchange::new();
-        ex.fit(2);
-        let mut buf = vec![(0, 1u32), (1, 2u32)];
+        ex.fit([4, 4, 4]);
+        let mut buf = vec![(0, 0, 1u32), (1, 1, 2u32)];
         let cap = buf.capacity();
-        ex.post(1, 0, &mut buf);
-        ex.fit(2); // aborted-run cleanup
-        assert!(ex.take(1, 0).is_empty());
+        ex.post(2, &mut buf);
+        ex.publish(2, 1, true);
+        ex.fit([4, 4, 4]); // aborted-run cleanup
+        assert!(ex.take(2).is_empty());
+        // Sequence counters restart from zero for the next run.
+        ex.publish(2, 1, false);
+        assert!(!ex.await_seq(2, 1));
         let mut sig = Vec::new();
         ex.capacity_signature(&mut sig);
         assert!(sig.iter().any(|&c| c >= cap));
     }
 
     #[test]
-    fn round_sync_min_and_active() {
+    fn round_sync_min_active_and_participation() {
         let mut sync = RoundSync::new();
         sync.fit(3);
-        assert_eq!(sync.min_next(), None);
-        sync.publish_next(0, Some(7));
-        sync.publish_next(1, None);
-        sync.publish_next(2, Some(4));
-        assert_eq!(sync.min_next(), Some(4));
-        sync.publish_active(0, 2);
-        sync.publish_active(2, 5);
-        assert_eq!(sync.total_active(), 7);
-        assert!(!sync.failed());
-        sync.flag_failure();
-        assert!(sync.failed());
+        for parity in [0, 1] {
+            assert_eq!(sync.min_next(parity), None);
+        }
+        sync.publish(0, 0, Some(7), 2, false, false);
+        sync.publish(0, 1, None, 0, false, false);
+        sync.publish(0, 2, Some(4), 5, true, false);
+        assert_eq!(sync.min_next(0), Some(4));
+        // Only the shards whose candidate *is* the agreed round count
+        // toward the active total or participate.
+        assert_eq!(sync.active_for(0, 4), 5);
+        assert_eq!(sync.active_for(0, 7), 2);
+        assert!(sync.participates(0, 2, 4));
+        assert!(!sync.participates(0, 0, 4));
+        assert!(!sync.participates(0, 1, 4));
+        assert!(sync.any_posted(0));
+        // The other parity is untouched — that's what lets a fast shard
+        // publish its next candidate while a slow one still reads these.
+        assert_eq!(sync.min_next(1), None);
+        assert!(!sync.any_posted(1));
+        // Failure is per parity-snapshot, not a free-running flag: a
+        // publish into one parity never aborts readers of the other.
+        assert!(!sync.failed(0));
+        sync.publish(1, 1, None, 0, false, true);
+        assert!(sync.failed(1));
+        assert!(!sync.failed(0));
         sync.fit(3);
-        assert!(!sync.failed());
-        assert_eq!(sync.min_next(), None);
+        assert!(!sync.failed(1));
+        assert_eq!(sync.min_next(0), None);
+    }
+
+    #[test]
+    fn round_u64_max_is_publishable() {
+        let mut sync = RoundSync::new();
+        sync.fit(2);
+        sync.publish(1, 0, Some(u64::MAX), 1, false, false);
+        sync.publish(1, 1, None, 0, false, false);
+        assert_eq!(sync.min_next(1), Some(u64::MAX));
+        assert!(sync.participates(1, 0, u64::MAX));
+    }
+
+    #[test]
+    fn spin_barrier_rendezvous_and_reuse() {
+        let barrier = SpinBarrier::new(4);
+        let hits = AtomicU32::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for round in 0..50u32 {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        barrier.wait();
+                        // Everyone's increment for this round is visible
+                        // after the rendezvous — on every reuse.
+                        assert!(hits.load(Ordering::Relaxed) >= 4 * (round + 1));
+                        barrier.wait();
+                    }
+                });
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 200);
     }
 }

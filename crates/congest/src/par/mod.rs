@@ -17,29 +17,52 @@
 //! wrote first. The sequential engine exploits this to skip sorting; the
 //! parallel engine exploits it to skip coordination.
 //!
-//! # Architecture
+//! # Architecture: the one-barrier round
+//!
+//! Each worker crosses exactly **one rendezvous per round**. Everything
+//! else — round agreement, the busy/empty decision, failure aborts, and
+//! the cross-shard payload hand-off — rides on that single barrier or on
+//! per-pair sequence counters, so synchronization overhead scales with
+//! actual cross-shard traffic, not with `k²` or with barrier count:
+//!
+//! ```text
+//!        ┌──────────────── one loop iteration (round r) ───────────────┐
+//! shard: │ drain bucket → publish(round, active, posted, failed)       │
+//!        │                        ═══ barrier ═══                      │
+//!        │ read snapshot: agreed round = min, busy = Σ active,         │
+//!        │                abort if any shard published failure         │
+//!        │ send: local slots directly, cross payloads per cut pair     │
+//!        │ bump every out-pair sequence counter (cut-aware: only       │
+//!        │   non-empty buffers post; empty pairs publish counter only) │
+//!        │ apply: await in-pair counters of participating senders,     │
+//!        │   drain payload cells into own slots; recv half             │
+//!        └───────────── next iteration's barrier orders r before r+1 ──┘
+//! ```
 //!
 //! * [`partition`] — a [`mis_graphs::Partition`] cuts nodes into `k`
-//!   contiguous shards balanced by degree weight; each shard owns the
-//!   matching contiguous [`mis_graphs::EdgeId`] slot range, and the plan
-//!   precomputes per-pair cross-shard slot counts to pre-size exchange
-//!   buffers.
+//!   contiguous shards balanced by degree weight and refined toward the
+//!   sparsest nearby cut; the [`partition::ShardPlan`] enumerates the
+//!   *cut pairs* (directed shard pairs that actually share cut edges)
+//!   with per-pair capacities, so the exchange allocates one cell per
+//!   cut pair instead of a `k²` mailbox matrix.
 //! * [`shard`] — each worker owns one shard's nodes: their RNGs, calendar
 //!   scheduler, halt flags, awake stamps, delivery slots, and states.
-//!   Local sends write the shard's own slots directly.
-//! * [`exchange`] — cross-shard payloads are staged in per-destination
-//!   buffers and handed over through double-buffered per-pair mailboxes
-//!   (a swap under an uncontended mutex, once per shard pair per round —
-//!   the per-message hot path takes no lock), then applied by the owning
-//!   shard.
-//! * [`engine`] — the round loop: shards agree on the global next round
-//!   (min over per-shard calendar peeks), compute + send, exchange,
-//!   apply, then receive, separated by three barriers per busy round.
+//!   Local sends write the shard's own slots directly; the per-round
+//!   loop lives here.
+//! * [`exchange`] — all inter-shard synchronization: the spinning
+//!   rendezvous barrier, the parity-double-buffered round-agreement
+//!   snapshot, and the per-cut-pair payload cells whose atomic sequence
+//!   counters replace the post-send barrier. A pair that moved nothing
+//!   this round costs its receiver one atomic load; a round in which no
+//!   shard posted at all is counted as local-only.
+//! * [`engine`] — spawn, scratch reuse, and the merge of per-shard
+//!   outcomes into one result.
 //!
 //! Since the workspace forbids `unsafe`, no thread ever writes another
 //! shard's memory: all cross-shard traffic moves by ownership through the
-//! mailboxes, and the barrier schedule makes every phase data-race-free
-//! by construction.
+//! payload cells (a swap under a mutex that the sequence counters keep
+//! uncontended), and the barrier plus counter protocol makes every phase
+//! data-race-free by construction.
 //!
 //! # Caveat
 //!

@@ -1,10 +1,16 @@
 //! The per-run sharding plan: a contiguous node partition plus
-//! precomputed cross-shard traffic capacities.
+//! precomputed cross-shard traffic structure.
 
 use mis_graphs::{EdgeId, Graph, NodeId, Partition};
 
+/// "No cut pair" marker in the per-shard destination→pair lookup row.
+pub(crate) const NO_PAIR: u32 = u32::MAX;
+
 /// A [`Partition`] specialized for one engine run, extended with the
-/// per-pair cross-shard slot counts used to pre-size exchange buffers.
+/// cut-pair structure the exchange is sized by: the ordered shard pairs
+/// that actually share cut edges, with per-pair capacities, enumerated
+/// so that the exchange allocates one cell per *cut* pair instead of a
+/// `k²` mailbox matrix.
 ///
 /// Rebuilt (allocation-free after warmup) at the start of every parallel
 /// run: boundaries depend on the graph's CSR offsets, so a cached plan
@@ -16,8 +22,27 @@ pub(crate) struct ShardPlan {
     part: Partition,
     /// `cross[s * k + t]` = number of directed slots from shard `s`'s
     /// nodes whose receiver-side slot lives in shard `t` — the exact
-    /// capacity the `s → t` exchange buffer can ever need in one round.
+    /// capacity the `s → t` staging buffer can ever need in one round.
     cross: Vec<usize>,
+    /// The cut pairs `(src, dst)` in src-major order; the index into
+    /// this list is the pair's exchange cell id. Src-major means each
+    /// shard's out-pairs are one contiguous range, and each shard's
+    /// in-pairs are automatically sorted by ascending src.
+    pairs: Vec<(u32, u32)>,
+    /// `k + 1` prefix bounds: shard `s`'s out-pairs are
+    /// `pairs[out_start[s]..out_start[s + 1]]`.
+    out_start: Vec<usize>,
+    /// Pair ids grouped by destination shard (concatenated lists).
+    in_pairs: Vec<u32>,
+    /// `k + 1` prefix bounds into `in_pairs`.
+    in_start: Vec<usize>,
+    /// `pair_local[s * k + t]` = index of pair `(s, t)` *within shard
+    /// `s`'s out-pair range* (the staging-buffer index the send hot path
+    /// uses), or [`NO_PAIR`] when the pair has no cut edges.
+    pair_local: Vec<u32>,
+    /// Total directed cut slots (sum over `cross`); the partition
+    /// quality signal recorded in [`crate::telemetry::EngineStats`].
+    cut_slots: u64,
 }
 
 impl ShardPlan {
@@ -25,6 +50,12 @@ impl ShardPlan {
         ShardPlan {
             part: Graph::from_edges(0, &[]).expect("empty graph").partition(1),
             cross: Vec::new(),
+            pairs: Vec::new(),
+            out_start: Vec::new(),
+            in_pairs: Vec::new(),
+            in_start: Vec::new(),
+            pair_local: Vec::new(),
+            cut_slots: 0,
         }
     }
 
@@ -47,6 +78,37 @@ impl ShardPlan {
                 }
             }
         }
+        // Enumerate the cut pairs src-major; everything else derives
+        // from that one ordering.
+        self.pairs.clear();
+        self.out_start.clear();
+        self.pair_local.clear();
+        self.pair_local.resize(k * k, NO_PAIR);
+        self.cut_slots = 0;
+        for s in 0..k {
+            self.out_start.push(self.pairs.len());
+            for t in 0..k {
+                let c = self.cross[s * k + t];
+                if c > 0 {
+                    debug_assert_ne!(s, t, "local slots counted as cut");
+                    self.pair_local[s * k + t] = (self.pairs.len() - self.out_start[s]) as u32;
+                    self.pairs.push((s as u32, t as u32));
+                    self.cut_slots += c as u64;
+                }
+            }
+        }
+        self.out_start.push(self.pairs.len());
+        self.in_start.clear();
+        self.in_pairs.clear();
+        for t in 0..k {
+            self.in_start.push(self.in_pairs.len());
+            for (p, &(_, dst)) in self.pairs.iter().enumerate() {
+                if dst as usize == t {
+                    self.in_pairs.push(p as u32);
+                }
+            }
+        }
+        self.in_start.push(self.in_pairs.len());
     }
 
     /// Number of shards.
@@ -79,9 +141,62 @@ impl ShardPlan {
         self.cross[s * self.k() + t]
     }
 
+    /// Total number of cut pairs — the exchange's cell count.
+    #[inline]
+    pub fn pair_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Shard `s`'s out-pairs, as a contiguous range of pair ids.
+    #[inline]
+    pub fn out_pairs(&self, s: usize) -> std::ops::Range<usize> {
+        self.out_start[s]..self.out_start[s + 1]
+    }
+
+    /// Shard `t`'s in-pairs (pair ids), sorted by ascending src shard.
+    #[inline]
+    pub fn in_pairs(&self, t: usize) -> &[u32] {
+        &self.in_pairs[self.in_start[t]..self.in_start[t + 1]]
+    }
+
+    /// Source shard of pair `p`.
+    #[inline]
+    pub fn pair_src(&self, p: usize) -> usize {
+        self.pairs[p].0 as usize
+    }
+
+    /// Shard `s`'s destination→staging-buffer lookup row (`k` entries,
+    /// [`NO_PAIR`] where no cut edges exist).
+    #[inline]
+    pub fn pair_local(&self, s: usize) -> &[u32] {
+        let k = self.k();
+        &self.pair_local[s * k..(s + 1) * k]
+    }
+
+    /// Worst-case one-round payload count of pair `p`.
+    #[inline]
+    pub fn pair_capacity(&self, p: usize) -> usize {
+        let (s, t) = self.pairs[p];
+        self.cross_capacity(s as usize, t as usize)
+    }
+
+    /// Total directed cut slots under this partition (the numerator of
+    /// the cut-edge fraction; the denominator is `graph.directed_m()`).
+    #[inline]
+    pub fn cut_slots(&self) -> u64 {
+        self.cut_slots
+    }
+
     /// Buffer capacity bookkeeping for the allocation oracle.
     pub fn capacity_signature(&self, out: &mut Vec<usize>) {
-        out.push(self.cross.capacity());
+        out.extend([
+            self.cross.capacity(),
+            self.pairs.capacity(),
+            self.out_start.capacity(),
+            self.in_pairs.capacity(),
+            self.in_start.capacity(),
+            self.pair_local.capacity(),
+        ]);
     }
 }
 
@@ -119,6 +234,54 @@ mod tests {
         // boundary edge contributes one slot in each direction.
         let total: usize = (0..16).map(|i| plan.cross[i]).sum();
         assert_eq!(total % 2, 0);
+        assert_eq!(plan.cut_slots(), total as u64);
+    }
+
+    /// The pair lists are exactly the nonzero cross entries, consistent
+    /// between the out view, the in view, and the send-path lookup row.
+    #[test]
+    fn pair_views_are_consistent() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut r = SmallRng::seed_from_u64(9);
+        for (g, k) in [
+            (generators::grid2d(7, 9), 4),
+            (generators::gnp(120, 0.05, &mut r), 5),
+            (generators::star(40), 3),
+            (generators::path(2), 8), // more shards than nodes
+        ] {
+            let mut plan = ShardPlan::new();
+            plan.rebuild(&g, k);
+            let mut seen = 0;
+            for s in 0..k {
+                let row = plan.pair_local(s);
+                for (oi, p) in plan.out_pairs(s).enumerate() {
+                    assert_eq!(plan.pair_src(p), s);
+                    let (_, t) = plan.pairs[p];
+                    assert!(plan.pair_capacity(p) > 0, "zero-capacity pair");
+                    assert_eq!(row[t as usize] as usize, oi, "lookup row broken");
+                    assert!(
+                        plan.in_pairs(t as usize).contains(&(p as u32)),
+                        "pair {p} missing from dst {t}'s in view"
+                    );
+                    seen += 1;
+                }
+                for (t, &entry) in row.iter().enumerate().take(k) {
+                    if plan.cross_capacity(s, t) == 0 {
+                        assert_eq!(entry, NO_PAIR);
+                    }
+                }
+            }
+            assert_eq!(seen, plan.pair_count());
+            // In-pair lists are ascending by src (pair ids are src-major).
+            for t in 0..k {
+                let ins = plan.in_pairs(t);
+                assert!(ins.windows(2).all(|w| w[0] < w[1]));
+                for &p in ins {
+                    assert_ne!(plan.pair_src(p as usize), t);
+                }
+            }
+        }
     }
 
     #[test]
@@ -140,5 +303,9 @@ mod tests {
         plan.rebuild(&g, 1);
         assert_eq!(plan.cross_capacity(0, 0), 0);
         assert_eq!(plan.slots(0), 0..g.directed_m());
+        assert_eq!(plan.pair_count(), 0);
+        assert_eq!(plan.cut_slots(), 0);
+        assert!(plan.in_pairs(0).is_empty());
+        assert!(plan.out_pairs(0).is_empty());
     }
 }

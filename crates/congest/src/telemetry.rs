@@ -88,33 +88,53 @@ impl EngineProbes {
 pub struct EngineStats {
     /// Worker shards the run executed on (`0` = the sequential engine).
     pub shards: u64,
-    /// Cross-shard messages staged through the mailbox exchange (cut-edge
-    /// traffic; always `0` on the sequential engine).
+    /// Cross-shard messages staged through the pair-cell exchange
+    /// (cut-edge traffic; always `0` on the sequential engine).
     pub cut_messages: u64,
-    /// Mailbox buffer swaps posted to the exchange (one per non-empty
-    /// *or* empty post — the fixed `k·(k-1)` handshake volume per busy
-    /// round).
+    /// Buffer swaps posted to the exchange — **non-empty posts only**:
+    /// a cut pair with nothing staged this round advances its sequence
+    /// counter without posting (see `exchange_skipped_pairs`), so this
+    /// counts actual payload hand-offs, not a fixed handshake volume.
     pub mailbox_posts: u64,
+    /// Cut-pair rounds that skipped the exchange entirely because the
+    /// pair had no pending payloads (the receiver saw a clear payload
+    /// bit and never touched the cell's buffer).
+    pub exchange_skipped_pairs: u64,
+    /// Busy rounds in which *no* shard posted any cross-shard payload —
+    /// the rounds the engine fast-paths past all exchange work.
+    pub local_only_rounds: u64,
+    /// Directed edge slots whose endpoints live on different shards
+    /// under the run's partition; `cut_slots / directed_m` is the
+    /// achieved cut fraction (recorded as the integer numerator so the
+    /// stats stay float-free and fingerprintable per configuration).
+    pub cut_slots: u64,
     /// Largest calendar-scheduler bucket observed at insertion time (a
     /// load signal for the ring; per-shard maximum under sharding).
     pub peak_bucket: u64,
 }
 
 impl EngineStats {
-    /// Folds another stat set into this one: volumes add, peaks max.
+    /// Folds another stat set into this one: volumes add, peaks and
+    /// structural maxima (shard count, cut slots) max.
     pub fn absorb(&mut self, other: &EngineStats) {
         self.shards = self.shards.max(other.shards);
         self.cut_messages += other.cut_messages;
         self.mailbox_posts += other.mailbox_posts;
+        self.exchange_skipped_pairs += other.exchange_skipped_pairs;
+        self.local_only_rounds += other.local_only_rounds;
+        self.cut_slots = self.cut_slots.max(other.cut_slots);
         self.peak_bucket = self.peak_bucket.max(other.peak_bucket);
     }
 
     /// The stats as stable `(name, value)` pairs, in export order.
-    pub fn counters(&self) -> [(&'static str, u64); 4] {
+    pub fn counters(&self) -> [(&'static str, u64); 7] {
         [
             ("shards", self.shards),
             ("cut_messages", self.cut_messages),
             ("mailbox_posts", self.mailbox_posts),
+            ("exchange_skipped_pairs", self.exchange_skipped_pairs),
+            ("local_only_rounds", self.local_only_rounds),
+            ("cut_slots", self.cut_slots),
             ("peak_bucket", self.peak_bucket),
         ]
     }
@@ -331,18 +351,28 @@ mod tests {
             shards: 2,
             cut_messages: 10,
             mailbox_posts: 4,
+            exchange_skipped_pairs: 6,
+            local_only_rounds: 3,
+            cut_slots: 40,
             peak_bucket: 7,
         };
         a.absorb(&EngineStats {
             shards: 4,
             cut_messages: 5,
             mailbox_posts: 1,
+            exchange_skipped_pairs: 2,
+            local_only_rounds: 1,
+            cut_slots: 12,
             peak_bucket: 3,
         });
         assert_eq!(a.shards, 4);
         assert_eq!(a.cut_messages, 15);
         assert_eq!(a.mailbox_posts, 5);
+        assert_eq!(a.exchange_skipped_pairs, 8);
+        assert_eq!(a.local_only_rounds, 4);
+        assert_eq!(a.cut_slots, 40);
         assert_eq!(a.peak_bucket, 7);
+        assert_eq!(a.counters().len(), 7);
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub fn registry() -> &'static [&'static dyn Rule] {
         &DetHashCollection,
         &DetWallClock,
         &DetAmbientRng,
+        &DetBarrierOutsideSync,
         &MergeCompleteness,
         &HygieneUnsafe,
         &HygienePrint,
@@ -214,6 +215,65 @@ impl Rule for DetAmbientRng {
                         "`env::var` in an engine crate: environment-dependent \
                          behavior makes runs irreproducible across hosts"
                             .to_string(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// `det-barrier-outside-sync`: `std::sync::Barrier` or raw atomic
+/// fences in engine-crate library sources outside the one file that
+/// owns inter-shard synchronization, `congest/src/par/exchange.rs`.
+/// The parallel engine's determinism argument rests on every shard
+/// crossing exactly one rendezvous per round with all ordering carried
+/// by the exchange module's barrier and sequence counters; a second
+/// barrier or ad-hoc fence elsewhere would re-open the cross-shard
+/// ordering audit file by file.
+struct DetBarrierOutsideSync;
+
+impl Rule for DetBarrierOutsideSync {
+    fn id(&self) -> &'static str {
+        "det-barrier-outside-sync"
+    }
+    fn summary(&self) -> &'static str {
+        "std::sync::Barrier or fence/compiler_fence outside congest's \
+         par/exchange.rs: all inter-shard synchronization lives in the \
+         exchange module so the one-barrier round stays auditable in one \
+         place"
+    }
+    fn applies(&self, ctx: &FileContext) -> bool {
+        ctx.kind == SourceKind::Lib
+            && in_engine_crate(ctx)
+            && !ctx.rel.ends_with("congest/src/par/exchange.rs")
+    }
+    fn check(&self, ctx: &FileContext, toks: &[Tok], _st: &Structure, out: &mut Vec<Diagnostic>) {
+        for (i, t) in toks.iter().enumerate() {
+            if let Some(id) = t.ident() {
+                // `SpinBarrier` lexes as one identifier, so the engine's
+                // own userspace barrier never matches here.
+                if id == "Barrier" {
+                    out.push(diag(
+                        self,
+                        ctx,
+                        t.line,
+                        "`Barrier` outside par/exchange.rs: inter-shard \
+                         rendezvous is owned by the exchange module; a second \
+                         barrier breaks the one-barrier-per-round invariant"
+                            .to_string(),
+                    ));
+                } else if (id == "fence" || id == "compiler_fence")
+                    && toks.get(i + 1).is_some_and(|a| a.is_punct('('))
+                {
+                    out.push(diag(
+                        self,
+                        ctx,
+                        t.line,
+                        format!(
+                            "`{id}` call outside par/exchange.rs: ad-hoc memory \
+                             ordering is unreviewable; route cross-shard \
+                             synchronization through the exchange module"
+                        ),
                     ));
                 }
             }

@@ -22,9 +22,20 @@ fn violations_tree_yields_exactly_the_expected_findings() {
         .iter()
         .map(|d| (d.rule, d.file.as_str(), d.line))
         .collect();
-    // Path order; one deliberate violation per rule, one rule per file.
+    // Path order; one rule per file (barrier.rs deliberately pins both
+    // arms of its rule — the Barrier type and the raw fence call).
     let want = vec![
         ("hygiene-unsafe", "crates/baselines/src/unsafe_block.rs", 4),
+        (
+            "det-barrier-outside-sync",
+            "crates/congest/src/barrier.rs",
+            4,
+        ),
+        (
+            "det-barrier-outside-sync",
+            "crates/congest/src/barrier.rs",
+            6,
+        ),
         (
             "hygiene-float-fingerprint",
             "crates/congest/src/float_stats.rs",
@@ -48,7 +59,7 @@ fn violations_tree_yields_exactly_the_expected_findings() {
         .all(|d| d.severity == Severity::Error));
     assert_eq!(report.suppressed, 0);
     // The tree exercises the whole registry: every shipped rule fires.
-    assert_eq!(report.counts_by_rule().len(), 8);
+    assert_eq!(report.counts_by_rule().len(), 9);
 }
 
 #[test]
@@ -56,7 +67,8 @@ fn clean_tree_has_no_findings_and_counts_its_suppressions() {
     let report = run_workspace(&fixture("clean")).expect("fixture tree lints");
     assert!(report.diagnostics.is_empty(), "{:#?}", report.diagnostics);
     assert_eq!(report.suppressed, 2);
-    assert_eq!(report.files_scanned, 1);
+    // lib.rs plus the barrier-exempt par/exchange.rs stand-in.
+    assert_eq!(report.files_scanned, 2);
 }
 
 #[test]

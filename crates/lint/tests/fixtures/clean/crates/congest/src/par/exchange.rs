@@ -1,0 +1,8 @@
+//! Fixture: `par/exchange.rs` is the sanctioned home of inter-shard
+//! synchronization — `det-barrier-outside-sync` exempts it by path, so
+//! a barrier and a fence here leave the tree clean without annotations.
+
+pub fn sanctioned(b: &std::sync::Barrier) {
+    b.wait();
+    std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
+}

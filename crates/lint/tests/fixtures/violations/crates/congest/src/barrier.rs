@@ -1,0 +1,7 @@
+//! Fixture: `det-barrier-outside-sync` fires on a kernel barrier and a
+//! raw fence outside the exchange module (both arms of the rule).
+
+pub fn rendezvous(b: &std::sync::Barrier) {
+    b.wait();
+    std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
+}

@@ -8,10 +8,10 @@
 //! `congest_sim::par`, probed across the input space rather than only on
 //! the recorded golden workloads.
 
-use congest_sim::SimConfig;
+use congest_sim::{RoundLog, SimConfig};
 use energy_mis::params::{Alg1Params, Alg2Params};
 use energy_mis::{alg1, alg2};
-use mis_baselines::luby;
+use mis_baselines::{luby, luby_observed};
 use mis_graphs::{generators, Graph};
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
@@ -76,6 +76,63 @@ proptest! {
                     state_hash(&par.in_mis),
                     state_hash(&seq.in_mis),
                     "state hash @ {} threads",
+                    threads
+                );
+            }
+        }
+    }
+
+    /// Adversarially imbalanced partitions: a star puts one hub of
+    /// degree `n - 1` in a single shard (the degree-weighted split gives
+    /// that shard almost everything, so most cut pairs never exist), and
+    /// a Barabási–Albert graph concentrates its heavy tail the same way.
+    /// At 2, 4, and 8 shards — including shards that end up with zero or
+    /// one node — metrics, final states, and the full per-round observer
+    /// stream must stay bit-identical to the sequential engine, and the
+    /// one-barrier loop must terminate (a skew-induced deadlock would
+    /// hang this test, not fail an assertion).
+    #[test]
+    fn imbalanced_graphs_match_sequential_at_every_shard_count(
+        n in 16usize..120,
+        m in 2usize..5,
+        seed in any::<u64>(),
+    ) {
+        let ba = {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            generators::barabasi_albert(n, m, &mut rng)
+        };
+        for g in [generators::star(n), ba] {
+            let cfg = SimConfig::seeded(seed ^ 0x1b);
+            let mut seq_log = RoundLog::new();
+            let seq = luby_observed(&g, &cfg, &mut seq_log).unwrap();
+            for threads in [2usize, 4, 8] {
+                let mut par_log = RoundLog::new();
+                let par = luby_observed(&g, &cfg.with_threads(threads), &mut par_log).unwrap();
+                prop_assert_eq!(&par.metrics, &seq.metrics, "metrics @ {} threads", threads);
+                prop_assert_eq!(
+                    state_hash(&par.in_mis),
+                    state_hash(&seq.in_mis),
+                    "state hash @ {} threads",
+                    threads
+                );
+                prop_assert_eq!(
+                    &par_log, &seq_log,
+                    "observer stream diverged @ {} threads", threads
+                );
+            }
+            // The paper's algorithm on the same skewed shapes, for the
+            // metrics/state half of the contract (its observer path is
+            // covered by the runner's round-log plumbing elsewhere).
+            let params = Alg1Params::default();
+            let seq = alg1::run_algorithm1_with(&g, &params, &cfg).unwrap();
+            for threads in [2usize, 4, 8] {
+                let par =
+                    alg1::run_algorithm1_with(&g, &params, &cfg.with_threads(threads)).unwrap();
+                prop_assert_eq!(&par.metrics, &seq.metrics, "alg1 metrics @ {} threads", threads);
+                prop_assert_eq!(
+                    state_hash(&par.in_mis),
+                    state_hash(&seq.in_mis),
+                    "alg1 state hash @ {} threads",
                     threads
                 );
             }

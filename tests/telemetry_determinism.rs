@@ -68,6 +68,57 @@ proptest! {
     }
 }
 
+/// The engine's fast-path counters (`exchange_skipped_pairs`,
+/// `local_only_rounds`) and cut accounting are *per-configuration*
+/// deterministic: re-running the same `(algorithm, graph, seed,
+/// threads)` reproduces the whole `engine_stats` section bit-identically
+/// at 2 and 4 threads, and the counters reach the telemetry artifact's
+/// engine section and its Prometheus rendering. (Across thread counts
+/// they may differ — that is why they live in quarantined stats, not in
+/// fingerprinted probes.)
+#[test]
+fn fast_path_counters_are_deterministic_per_config() {
+    let g = "gnp:n=96,deg=5,seed=7"
+        .parse::<WorkloadSpec>()
+        .unwrap()
+        .build();
+    for algo in ["luby", "alg1", "alg2"] {
+        let alg = registry::from_name(algo).expect("registered");
+        for threads in [2usize, 4] {
+            let cfg = RunConfig::seeded(11).threads(threads).telemetry(true);
+            let a = alg.run(&g, &cfg).expect("first run");
+            let b = alg.run(&g, &cfg).expect("second run");
+            assert_eq!(
+                a.engine_stats, b.engine_stats,
+                "engine stats diverged: {algo} @ {threads} threads"
+            );
+            assert_eq!(a.engine_stats.shards, threads as u64);
+            let tel = a.telemetry.as_ref().expect("telemetry requested");
+            let engine: std::collections::BTreeMap<&str, u64> = tel
+                .engine
+                .iter()
+                .map(|(name, v)| (name.as_str(), *v))
+                .collect();
+            for key in [
+                "exchange_skipped_pairs",
+                "local_only_rounds",
+                "cut_messages",
+                "cut_slots",
+            ] {
+                assert!(
+                    engine.contains_key(key),
+                    "{key} missing from the telemetry engine section ({algo})"
+                );
+            }
+            let text = tel.to_prometheus();
+            assert!(
+                text.contains("exchange_skipped_pairs") && text.contains("local_only_rounds"),
+                "fast-path counters missing from the Prometheus snapshot ({algo})"
+            );
+        }
+    }
+}
+
 /// Telemetry off (the default) means no artifact: every registry
 /// algorithm leaves `RunReport::telemetry` as `None`, and the explicit
 /// builder round-trips.
